@@ -1,0 +1,1 @@
+"""Benchmark suite: one module per table/figure/claim (see DESIGN.md §3)."""

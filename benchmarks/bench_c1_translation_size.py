@@ -1,0 +1,75 @@
+"""Experiment C1 — Section 4.2 size claims:
+
+* translated queries are O(mn) in parse-tree nodes (n = source nodes,
+  m = max simultaneous variables);
+* observed translations are less than twice the source size.
+
+Sweeps n (query size, via the hidden-join family and chained filters)
+and m (environment depth, via dependent multi-variable OQL queries), and
+prints the paper-style size table.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.translate.metrics import measure_translation
+from repro.translate.oql import parse_oql
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+from benchmarks.conftest import banner
+
+
+def _deep_env_query(m: int):
+    """An OQL query with m simultaneously-scoped variables
+    (select [x1, [x2, ...]] from x1 in P, x2 in x1.child, ...)."""
+    bindings = ["x1 in P"]
+    for index in range(2, m + 1):
+        bindings.append(f"x{index} in x{index - 1}.child")
+    projection = f"x{m}.age"
+    conditions = " and ".join(
+        f"x{index}.age > {index}" for index in range(1, m + 1))
+    text = (f"select {projection} from {', '.join(bindings)} "
+            f"where {conditions}")
+    return parse_oql(text)
+
+
+N_DEPTHS = [1, 2, 3, 4, 5, 6]
+M_DEPTHS = [1, 2, 3, 4, 5]
+
+
+def test_c1_report(benchmark):
+    banner("C1 — translation size: O(mn) bound and the <2x observation")
+    print("sweep n (hidden-join family, m fixed at 2):")
+    print(f"{'n':>3} {'aqua n':>7} {'kola':>6} {'ratio':>6} {'m*n':>6} "
+          f"{'<=2x bound':>10}")
+    worst_ratio = 0.0
+    for depth in N_DEPTHS:
+        metrics = measure_translation(
+            hidden_join_family(HiddenJoinSpec(depth=depth)))
+        worst_ratio = max(worst_ratio, metrics.ratio)
+        assert metrics.kola_nodes <= 2 * metrics.bound
+        print(f"{depth:>3} {metrics.aqua_nodes:>7} {metrics.kola_nodes:>6} "
+              f"{metrics.ratio:>6.2f} {metrics.bound:>6} "
+              f"{'yes':>10}")
+
+    print("sweep m (dependent bindings):")
+    print(f"{'m':>3} {'aqua n':>7} {'kola':>6} {'ratio':>6} {'m*n':>6}")
+    for m in M_DEPTHS:
+        metrics = measure_translation(_deep_env_query(m))
+        worst_ratio = max(worst_ratio, metrics.ratio)
+        assert metrics.max_env_depth == m
+        assert metrics.kola_nodes <= 2 * metrics.bound
+        print(f"{m:>3} {metrics.aqua_nodes:>7} {metrics.kola_nodes:>6} "
+              f"{metrics.ratio:>6.2f} {metrics.bound:>6}")
+
+    print(f"worst observed ratio: {worst_ratio:.2f} "
+          "(paper: 'less than twice the size')")
+    benchmark(measure_translation,
+              hidden_join_family(HiddenJoinSpec(depth=2)))
+
+
+@pytest.mark.parametrize("m", M_DEPTHS)
+def test_translation_cost_by_env_depth(benchmark, m):
+    query = _deep_env_query(m)
+    metrics = benchmark(measure_translation, query)
+    assert metrics.max_env_depth == m

@@ -1,0 +1,117 @@
+"""Experiment C2 — Section 4.2: gradual small rules vs one monolithic
+rule with a diving head routine.
+
+The paper's two claims about monolithic rules:
+
+1. *"Complex rules need complex head and body routines"* — the head must
+   dive to unbounded depth, so its cost grows with nesting even when it
+   ultimately rejects the query.
+2. *"Complex rules do not simplify queries"* — a failed monolithic match
+   leaves the query untouched, while the gradual blocks simplify it on
+   the way to discovering inapplicability.
+
+Both are measured here, plus the ablation from DESIGN.md section 6:
+chain-window matching disabled (plain syntactic matching only) to show
+why the engine's associative matching is load-bearing.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coko.hidden_join import untangle
+from repro.optimizer.monolithic import MonolithicHiddenJoinRule
+from repro.rewrite.engine import Engine
+from repro.rewrite.match import match
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+from benchmarks.conftest import banner
+
+DEPTHS = [1, 2, 3, 4, 5]
+
+
+def _query(depth: int, applicable: bool = True):
+    return translate_query(hidden_join_family(
+        HiddenJoinSpec(depth=depth, applicable=applicable)))
+
+
+def test_c2_report(benchmark, rulebase):
+    banner("C2 — gradual rules vs monolithic rule (hidden joins)")
+    print(f"{'n':>3} {'applicable':>10} | {'mono head nodes':>15} "
+          f"{'mono simplifies':>15} | {'gradual steps':>13} "
+          f"{'gradual simplifies':>18}")
+    for depth in DEPTHS:
+        for applicable in (True, False):
+            query = _query(depth, applicable)
+            mono = MonolithicHiddenJoinRule(rulebase)
+            mono_result = mono.apply(query)
+            mono_changed = mono_result is not None
+
+            final, derivation = untangle(query, rulebase)
+            gradual_changed = final != query
+            assert gradual_changed  # blocks always simplify these
+            if not applicable:
+                assert not mono_changed  # rejected, query untouched
+            print(f"{depth:>3} {str(applicable):>10} | "
+                  f"{mono.nodes_inspected:>15} "
+                  f"{str(mono_changed):>15} | {len(derivation):>13} "
+                  f"{str(gradual_changed):>18}")
+    print("paper: monolithic head-routine work grows with depth and a "
+          "'no' leaves the query unchanged; gradual rules always "
+          "simplify — reproduced")
+    benchmark(lambda: untangle(_query(2), rulebase)[0])
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_monolithic_cost(benchmark, rulebase, depth):
+    query = _query(depth)
+    rule = MonolithicHiddenJoinRule(rulebase)
+    result = benchmark(rule.apply, query)
+    assert result is not None
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_gradual_cost(benchmark, rulebase, depth):
+    query = _query(depth)
+    result = benchmark(lambda: untangle(query, rulebase)[0])
+    assert result != query
+
+
+@pytest.mark.parametrize("depth", [2, 4])
+def test_monolithic_rejection_cost(benchmark, rulebase, depth):
+    """Cost of deciding 'not applicable' — pure waste for the
+    monolithic rule."""
+    query = _query(depth, applicable=False)
+    rule = MonolithicHiddenJoinRule(rulebase)
+
+    def decide():
+        rule.reset_stats()
+        assert rule.head(query) is None
+        return rule.nodes_inspected
+
+    nodes = benchmark(decide)
+    assert nodes > 0
+
+
+def test_ablation_chain_matching(benchmark, rulebase, queries):
+    """DESIGN.md ablation: without window/peel matching (plain syntactic
+    match at each node) the small rules stop firing inside long chains."""
+    engine = Engine()
+    query = queries.kg1
+
+    # Step-1 output has a 4-factor chain; rule 19 must fire at a peel.
+    from repro.coko.hidden_join import hidden_join_blocks
+    step1 = hidden_join_blocks()[0].transform(query, rulebase)
+    rule19 = rulebase.get("r19")
+
+    # full engine: fires
+    assert engine.rewrite_once(step1, [rule19]) is not None
+
+    # plain matching at every node (no peels): never fires
+    plain_hits = sum(
+        1 for node in step1.subterms() if match(rule19.lhs, node))
+    assert plain_hits == 0
+    print("\nablation: rule 19 fires 1 time with invocation peeling, "
+          "0 times with plain node matching — chain/peel matching is "
+          "load-bearing")
+    benchmark(engine.rewrite_once, step1, [rule19])

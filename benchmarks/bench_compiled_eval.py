@@ -1,0 +1,75 @@
+"""Ablation — compiled closures vs the tree-walking evaluator.
+
+`repro.core.compile` translates ground KOLA terms to Python closures
+once, removing per-invocation operator dispatch.  This benchmark
+measures both execution modes over the paper's queries; results are
+asserted identical.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.compile import compile_query
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from benchmarks.conftest import banner, sized_db
+
+QUERIES = {
+    "t1 (map chain)": "iterate(Kp(T), city o addr) ! P",
+    "t2k (select+map)":
+        "iterate(Cp(lt, 25), id) o iterate(Kp(T), age) ! P",
+    "garage KG2":
+        "nest(pi1, pi2) o (unnest(pi1, pi2) >< id)"
+        " o <join(in @ (id >< cars), (id >< grgs)), pi1> ! [V, P]",
+    "count-correlated":
+        "iterate(Kp(T), <id, count o iter(gt @ <age o pi2, age o pi1>,"
+        " pi2) o <id, Kf(P)>>) ! P",
+}
+
+
+def test_compiled_report(benchmark):
+    banner("Ablation — compiled closures vs interpreted evaluation")
+    database = sized_db(80)
+    print(f"{'query':<20} {'interp ms':>10} {'compiled ms':>12} "
+          f"{'speedup':>8}")
+    for name, text in QUERIES.items():
+        query = parse_obj(text)
+        compiled = compile_query(query, database)
+        reference = eval_obj(query, database)
+        assert compiled() == reference
+        start = time.perf_counter()
+        for _ in range(3):
+            eval_obj(query, database)
+        interp_ms = (time.perf_counter() - start) / 3 * 1000
+        start = time.perf_counter()
+        for _ in range(3):
+            compiled()
+        compiled_ms = (time.perf_counter() - start) / 3 * 1000
+        print(f"{name:<20} {interp_ms:>10.2f} {compiled_ms:>12.2f} "
+              f"{interp_ms / compiled_ms:>8.1f}")
+    query = parse_obj(QUERIES["garage KG2"])
+    benchmark(compile_query(query, database))
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_interpreted(benchmark, name):
+    database = sized_db(60)
+    query = parse_obj(QUERIES[name])
+    benchmark(eval_obj, query, database)
+
+
+@pytest.mark.parametrize("name", list(QUERIES))
+def test_compiled(benchmark, name):
+    database = sized_db(60)
+    compiled = compile_query(parse_obj(QUERIES[name]), database)
+    benchmark(compiled)
+
+
+def test_compile_overhead(benchmark):
+    """One-time compilation cost (amortized over plan reuse)."""
+    database = sized_db(60)
+    query = parse_obj(QUERIES["garage KG2"])
+    benchmark(compile_query, query, database)

@@ -1,0 +1,54 @@
+"""Experiment F1 — Figure 1: the AQUA transformations T1 and T2,
+performed by the baseline engine whose rules carry head/body routines.
+
+Regenerates the figure (source => target for both transformations),
+verifies the rewritten queries against evaluation, and measures the
+baseline's rewrite cost for comparison with the KOLA engine (F4).
+"""
+
+from __future__ import annotations
+
+from repro.aqua.analysis import alpha_equal
+from repro.aqua.eval import aqua_eval
+from repro.aqua.rules import AquaRuleEngine, T1_COMPOSE_APP, T2_SPLIT_SEL
+from repro.aqua.terms import aqua_pretty
+from benchmarks.conftest import banner
+
+
+def test_figure1_report(benchmark, queries, db_small):
+    banner("Figure 1 — AQUA transformations T1 and T2 (baseline engine, "
+           "rules with code)")
+    engine = AquaRuleEngine()
+
+    for label, source, target, rule in (
+            ("T1", queries.t1_source_aqua, queries.t1_target_aqua,
+             T1_COMPOSE_APP),
+            ("T2", queries.t2_source_aqua, queries.t2_target_aqua,
+             T2_SPLIT_SEL)):
+        transformed, applied = engine.normalize(source, [rule])
+        assert alpha_equal(transformed, target)
+        assert aqua_eval(transformed, db_small) == aqua_eval(source,
+                                                             db_small)
+        print(f"{label}: {aqua_pretty(source)}")
+        print(f"  => {aqua_pretty(transformed)}   (rule {applied[0]}, "
+              "body routine = expression composition/decomposition)")
+
+    def run_both():
+        engine.normalize(queries.t1_source_aqua, [T1_COMPOSE_APP])
+        engine.normalize(queries.t2_source_aqua, [T2_SPLIT_SEL])
+
+    benchmark(run_both)
+
+
+def test_t1_rewrite_cost(benchmark, queries):
+    engine = AquaRuleEngine()
+    result = benchmark(engine.normalize, queries.t1_source_aqua,
+                       [T1_COMPOSE_APP])
+    assert result[1] == ["T1-compose-app"]
+
+
+def test_t2_rewrite_cost(benchmark, queries):
+    engine = AquaRuleEngine()
+    result = benchmark(engine.normalize, queries.t2_source_aqua,
+                       [T2_SPLIT_SEL])
+    assert result[1] == ["T2-split-sel"]

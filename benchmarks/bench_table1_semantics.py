@@ -1,0 +1,84 @@
+"""Experiment T1 — Table 1: basic combinator operational semantics.
+
+Regenerates Table 1 as an executable conformance table (every equation
+checked) and measures evaluator throughput per primitive/former, so
+regressions in the semantic core are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.eval import apply_fn
+from repro.core.eval import test_pred as check_pred
+from repro.core.signature import REGISTRY
+from repro.core.values import KPair, kset
+from benchmarks.conftest import banner
+
+#: (name, term, input, expected) — one row per Table 1 equation.
+TABLE1_ROWS = [
+    ("id", C.id_(), 7, 7),
+    ("pi1", C.pi1(), KPair(1, 2), 1),
+    ("pi2", C.pi2(), KPair(1, 2), 2),
+    ("compose", C.compose(C.pi1(), C.pi2()), KPair(0, KPair(7, 8)), 7),
+    ("pair", C.pair(C.pi2(), C.pi1()), KPair(1, 2), KPair(2, 1)),
+    ("cross", C.cross(C.pi1(), C.pi2()),
+     KPair(KPair(1, 2), KPair(3, 4)), KPair(1, 4)),
+    ("const_f", C.const_f(C.lit(9)), "x", 9),
+    ("curry_f", C.curry_f(C.pi1(), C.lit(5)), 6, 5),
+    ("cond", C.cond(C.curry_p(C.lt(), C.lit(0)), C.id_(),
+                    C.const_f(C.lit(0))), 3, 3),
+]
+
+TABLE1_PRED_ROWS = [
+    ("eq", C.eq(), KPair(2, 2), True),
+    ("lt", C.lt(), KPair(1, 2), True),
+    ("leq", C.leq(), KPair(2, 2), True),
+    ("gt", C.gt(), KPair(2, 2), False),
+    ("in", C.isin(), KPair(1, kset([1, 2])), True),
+    ("oplus", C.oplus(C.eq(), C.pair(C.pi1(), C.pi2())),
+     KPair(3, 3), True),
+    ("conj", C.conj(C.const_p(C.true()), C.const_p(C.true())), 0, True),
+    ("disj", C.disj(C.const_p(C.false()), C.const_p(C.true())), 0, True),
+    ("inv", C.inv(C.gt()), KPair(1, 2), True),
+    ("neg", C.neg(C.const_p(C.false())), 0, True),
+    ("const_p", C.const_p(C.true()), 0, True),
+    ("curry_p", C.curry_p(C.lt(), C.lit(1)), 5, True),
+]
+
+
+def test_table1_conformance_report(benchmark):
+    """Print Table 1 with every equation's observed result."""
+    banner("Table 1 — basic KOLA combinators: semantics conformance")
+    print(f"{'combinator':<10} {'doc':<48} ok")
+    for name, term, value, expected in TABLE1_ROWS:
+        doc = REGISTRY[term.op].doc[:48]
+        assert apply_fn(term, value) == expected
+        print(f"{name:<10} {doc:<48} yes")
+    for name, term, value, expected in TABLE1_PRED_ROWS:
+        doc = REGISTRY[term.op].doc[:48]
+        assert check_pred(term, value) is expected
+        print(f"{name:<10} {doc:<48} yes")
+
+    def full_row_check():
+        for _, term, value, __ in TABLE1_ROWS:
+            apply_fn(term, value)
+        for _, term, value, __ in TABLE1_PRED_ROWS:
+            check_pred(term, value)
+
+    benchmark(full_row_check)
+
+
+@pytest.mark.parametrize("name,term,value,expected", TABLE1_ROWS,
+                         ids=[r[0] for r in TABLE1_ROWS])
+def test_function_throughput(benchmark, name, term, value, expected):
+    result = benchmark(apply_fn, term, value)
+    assert result == expected
+
+
+@pytest.mark.parametrize("name,term,value,expected", TABLE1_PRED_ROWS,
+                         ids=[r[0] for r in TABLE1_PRED_ROWS])
+def test_predicate_throughput(benchmark, name, term, value, expected):
+    result = benchmark(check_pred, term, value)
+    assert result is expected

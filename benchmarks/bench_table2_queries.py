@@ -1,0 +1,85 @@
+"""Experiment T2 — Table 2: query combinator semantics at scale.
+
+Measures each query former's evaluation cost over growing set sizes,
+checking its semantic equation at every size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.eval import apply_fn
+from repro.core.values import KPair, kset
+from benchmarks.conftest import banner
+
+SIZES = [16, 64, 256]
+
+
+def _ints(n: int) -> frozenset:
+    return kset(range(n))
+
+
+def _pairs(n: int) -> frozenset:
+    return kset(KPair(i % 8, i) for i in range(n))
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_iterate(benchmark, size):
+    term = C.iterate(C.curry_p(C.leq(), C.lit(size // 2)), C.id_())
+    data = _ints(size)
+    result = benchmark(apply_fn, term, data)
+    assert result == kset(x for x in range(size) if size // 2 <= x)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_iter(benchmark, size):
+    term = C.iter_(C.lt(), C.pi2())
+    data = KPair(size // 2, _ints(size))
+    result = benchmark(apply_fn, term, data)
+    assert result == kset(x for x in range(size) if size // 2 < x)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_flat(benchmark, size):
+    data = kset(kset(range(i, i + 8)) for i in range(0, size, 8))
+    result = benchmark(apply_fn, C.flat(), data)
+    assert result == _ints(size)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_join(benchmark, size):
+    term = C.join(C.eq(), C.pi1())
+    data = KPair(_ints(size), _ints(size))
+    result = benchmark(apply_fn, term, data)
+    assert result == _ints(size)
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_nest(benchmark, size):
+    term = C.nest(C.pi1(), C.pi2())
+    data = KPair(_pairs(size), _ints(8))
+    result = benchmark(apply_fn, term, data)
+    assert len(result) == 8
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_unnest(benchmark, size):
+    groups = kset(KPair(i, kset(range(4))) for i in range(size // 4))
+    term = C.unnest(C.pi1(), C.pi2())
+    result = benchmark(apply_fn, term, groups)
+    assert len(result) == size
+
+def test_table2_report(benchmark):
+    banner("Table 2 — query combinators: semantics at |A| = 64")
+    rows = [
+        ("flat", "flat ! A = union of A's members"),
+        ("iterate", "iterate(p, f) ! A = {f!x | x in A, p?x}"),
+        ("iter", "iter(p, f) ! [x, B] = {f![x,y] | y in B, p?[x,y]}"),
+        ("join", "join(p, f) ! [A, B] = {f![x,y] | p?[x,y]}"),
+        ("nest", "nest(f, g) ! [A, B]: NULL-free grouping"),
+        ("unnest", "unnest(f, g) ! A: pair keys with members"),
+    ]
+    for name, equation in rows:
+        print(f"  {name:<8} {equation}")
+    benchmark(apply_fn, C.flat(), kset([_ints(8), kset(range(8, 16))]))

@@ -1,0 +1,54 @@
+"""Shared fixtures for the benchmark suite.
+
+Every benchmark module regenerates one table/figure/claim of the paper
+(see DESIGN.md section 3 for the index).  Benchmarks print a paper-style
+summary (series/rows) in addition to pytest-benchmark's timing table;
+EXPERIMENTS.md records the paper-claim vs measured outcome.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewrite.engine import Engine
+from repro.rules.registry import standard_rulebase
+from repro.schema.generator import GeneratorConfig, generate_database
+from repro.workloads.queries import paper_queries
+
+
+@pytest.fixture(scope="session")
+def rulebase():
+    return standard_rulebase()
+
+
+@pytest.fixture(scope="session")
+def queries():
+    return paper_queries()
+
+
+@pytest.fixture(scope="session")
+def db():
+    """The default benchmark database (|P| = 100, |V| = 60)."""
+    return generate_database(GeneratorConfig(
+        n_persons=100, n_vehicles=60, n_addresses=25, seed=2026))
+
+
+@pytest.fixture(scope="session")
+def db_small():
+    return generate_database(GeneratorConfig(
+        n_persons=30, n_vehicles=20, n_addresses=10, seed=2026))
+
+
+def sized_db(n_persons: int, n_vehicles: int | None = None, seed: int = 1):
+    """Helper for size sweeps."""
+    return generate_database(GeneratorConfig(
+        n_persons=n_persons,
+        n_vehicles=n_vehicles if n_vehicles is not None else n_persons,
+        n_addresses=max(5, n_persons // 4), seed=seed))
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

@@ -1,0 +1,55 @@
+"""OQL text to executed plan: the whole optimizer pipeline.
+
+Each query is parsed (OQL subset), translated to KOLA, simplified and
+untangled with the declarative rule pool, planned with the cost model,
+and executed — with every stage printed.
+
+Run:  python examples/oql_end_to_end.py
+"""
+
+from repro.aqua.eval import aqua_eval
+from repro.core.pretty import pretty
+from repro.optimizer.optimizer import Optimizer
+from repro.schema.generator import GeneratorConfig, generate_database
+from repro.translate.oql import parse_oql
+
+QUERIES = [
+    # a simple projection with a path expression
+    "select p.addr.city from p in P",
+    # selection + projection (T2's shape)
+    "select p.age from p in P where p.age > 25",
+    # a hidden join: correlate persons with older persons
+    "select [a, (select q from q in P where q.age > a.age)] from a in P",
+    # the Garage Query in OQL
+    "select [v, (select g from p in P, g in p.grgs where v in p.cars)]"
+    " from v in V",
+]
+
+
+def main() -> None:
+    db = generate_database(GeneratorConfig(n_persons=60, n_vehicles=40,
+                                           n_addresses=15, seed=4))
+    optimizer = Optimizer()
+
+    for text in QUERIES:
+        print("=" * 72)
+        print("OQL       :", text)
+        optimized = optimizer.optimize(text, db)
+        print("KOLA      :", pretty(optimized.initial))
+        if optimized.untangled != optimized.initial:
+            print("optimized :", pretty(optimized.untangled))
+            print("steps     :", " ".join(optimized.derivation.rules_used()))
+        print("plan      :",
+              optimized.plan.explain().splitlines()[0].strip())
+        print(f"est. cost : {optimized.estimated_cost:.0f}")
+
+        result = optimized.execute(db)
+        reference = aqua_eval(parse_oql(text), db)
+        assert result == reference, "plan disagrees with naive evaluation!"
+        print(f"result    : {len(result)} rows (verified against naive "
+              "evaluation)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,33 @@
+"""AQUA: the variable-based object algebra used as the paper's foil.
+
+AQUA (Leung et al., DBPL 1993) denotes anonymous functions with
+lambda-notation; Section 2 of the paper uses it to show why variable-based
+algebras force rules to carry head and body routines.  This subpackage
+implements the fragment the paper uses — ``app``, ``sel``, ``flatten``,
+``join``, lambda terms, path expressions — together with:
+
+* an environment-based evaluator (:mod:`repro.aqua.eval`);
+* the "additional machinery" variables require: free-variable analysis,
+  capture-avoiding substitution, alpha-renaming and expression
+  composition (:mod:`repro.aqua.analysis`);
+* a Starburst/EXODUS-style rule engine whose rules are supplemented with
+  Python *head routines* (conditions) and *body routines* (actions)
+  (:mod:`repro.aqua.rules`), including the paper's T1/T2 and the
+  code-motion rule of Figure 2, plus the monolithic hidden-join
+  transformation of Section 4.2 (:mod:`repro.aqua.routines`).
+"""
+
+from repro.aqua.terms import (AquaExpr, App, Attr, BinCmp, BoolOp, Const,
+                              Flatten, IfE, In, Join, Lam, Not, PairE, Sel,
+                              SetRef, Var, aqua_pretty)
+from repro.aqua.eval import aqua_eval
+from repro.aqua.analysis import (alpha_rename, compose_lambdas, free_vars,
+                                 substitute)
+from repro.aqua.rules import AquaRule, AquaRuleEngine
+
+__all__ = [
+    "AquaExpr", "Var", "Lam", "Const", "SetRef", "Attr", "PairE", "BinCmp",
+    "BoolOp", "Not", "In", "IfE", "App", "Sel", "Flatten", "Join",
+    "aqua_pretty", "aqua_eval", "free_vars", "substitute", "alpha_rename",
+    "compose_lambdas", "AquaRule", "AquaRuleEngine",
+]

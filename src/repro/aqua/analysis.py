@@ -1,0 +1,172 @@
+"""The "additional machinery" that variables force on an optimizer.
+
+Section 2 of the paper lists the operations a variable-based
+representation needs beyond unification: *variable renaming*, *free
+variable (environmental) analysis*, and *expression composition* (by
+substitution).  This module implements them — correctly, which is
+precisely the burden the paper wants to lift from rule authors: note the
+capture-avoidance logic in :func:`substitute` that no KOLA rule ever
+needs.
+
+These functions are used by the head/body routines of the AQUA rule
+engine (:mod:`repro.aqua.rules`) and by the AQUA -> KOLA translator.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, BoolOp, Const,
+                              CountE, Flatten, IfE, In, Join, Lam, Not,
+                              OrderBy, PairE, Sel, SetRef, Var)
+
+
+def free_vars(expr: AquaExpr) -> frozenset[str]:
+    """The free variables of ``expr``.
+
+    This is the *environmental analysis* that the code-motion rule of
+    Figure 2 needs as a head routine: queries A3 and A4 are structurally
+    identical except for which variable occurs free in the inner
+    predicate.
+    """
+    if isinstance(expr, Var):
+        return frozenset((expr.name,))
+    if isinstance(expr, Lam):
+        return free_vars(expr.body) - {expr.var}
+    result: frozenset[str] = frozenset()
+    for child in expr.children():
+        result |= free_vars(child)
+    return result
+
+
+def bound_vars(expr: AquaExpr) -> frozenset[str]:
+    """Every variable bound by a lambda anywhere in ``expr``."""
+    result: frozenset[str] = frozenset()
+    for node in expr.subexprs():
+        if isinstance(node, Lam):
+            result |= {node.var}
+    return result
+
+
+def fresh_name(base: str, avoid: frozenset[str]) -> str:
+    """A variable name not in ``avoid``, derived from ``base``."""
+    if base not in avoid:
+        return base
+    for index in itertools.count(1):
+        candidate = f"{base}_{index}"
+        if candidate not in avoid:
+            return candidate
+    raise AssertionError("unreachable")
+
+
+def substitute(expr: AquaExpr, name: str, value: AquaExpr) -> AquaExpr:
+    """Capture-avoiding substitution ``expr[name := value]``.
+
+    The paper's Section 2.1: "This substitution is not expressible using
+    unification alone" — it requires renaming bound variables whenever
+    they would capture a free variable of ``value``.
+    """
+    if isinstance(expr, Var):
+        return value if expr.name == name else expr
+    if isinstance(expr, Lam):
+        if expr.var == name:
+            return expr  # binder shadows the substituted name
+        if expr.var in free_vars(value):
+            avoid = free_vars(value) | free_vars(expr.body) | {name}
+            renamed_var = fresh_name(expr.var, avoid)
+            renamed_body = substitute(expr.body, expr.var, Var(renamed_var))
+            return Lam(renamed_var,
+                       substitute(renamed_body, name, value))
+        return Lam(expr.var, substitute(expr.body, name, value))
+    return _map_children(expr, lambda child: substitute(child, name, value))
+
+
+def alpha_rename(lam: Lam, new_var: str) -> Lam:
+    """Rename a lambda's parameter (the T2 head routine needs this to
+    recognize ``\\(x)x.age`` as a subfunction of ``\\(p)p.age > 25``)."""
+    if new_var == lam.var:
+        return lam
+    if new_var in free_vars(lam.body):
+        raise ValueError(f"renaming to {new_var!r} would capture")
+    return Lam(new_var, substitute(lam.body, lam.var, Var(new_var)))
+
+
+def alpha_equal(a: AquaExpr, b: AquaExpr) -> bool:
+    """Structural equality modulo bound-variable names."""
+    if isinstance(a, Lam) and isinstance(b, Lam):
+        if a.var == b.var:
+            return alpha_equal(a.body, b.body)
+        try:
+            return alpha_equal(alpha_rename(a, b.var).body, b.body)
+        except ValueError:
+            return False
+    if type(a) is not type(b):
+        return False
+    a_children, b_children = a.children(), b.children()
+    if isinstance(a, Var):
+        return a.name == b.name
+    if isinstance(a, Const):
+        return a.value == b.value
+    if isinstance(a, SetRef):
+        return a.name == b.name
+    if isinstance(a, Attr):
+        return a.name == b.name and alpha_equal(a.expr, b.expr)
+    if isinstance(a, (BinCmp, BoolOp)):
+        if a.op != b.op:
+            return False
+    if len(a_children) != len(b_children):
+        return False
+    return all(alpha_equal(x, y) for x, y in zip(a_children, b_children))
+
+
+def compose_lambdas(outer: Lam, inner: Lam) -> Lam:
+    """Expression composition: ``\\(x) outer_body[outer.var := inner_body]``.
+
+    This is the body routine transformation T1 needs: composing
+    ``\\(a)a.city`` with ``\\(p)p.addr`` yields ``\\(p)p.addr.city``.
+    Implemented by (capture-avoiding) substitution of the inner body for
+    the outer parameter.
+    """
+    body = substitute(outer.body, outer.var, inner.body)
+    return Lam(inner.var, body)
+
+
+def occurs_free_in_lambda_body(lam: Lam, name: str) -> bool:
+    """Does ``name`` occur free inside ``lam``'s body (not counting the
+    lambda's own parameter)?  The Figure 2 discriminator."""
+    return name in free_vars(lam)
+
+
+def _map_children(expr: AquaExpr, fn) -> AquaExpr:
+    if isinstance(expr, (Var, Const, SetRef)):
+        return expr
+    if isinstance(expr, Attr):
+        return Attr(fn(expr.expr), expr.name)
+    if isinstance(expr, PairE):
+        return PairE(fn(expr.left), fn(expr.right))
+    if isinstance(expr, BinCmp):
+        return BinCmp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, fn(expr.left), fn(expr.right))
+    if isinstance(expr, Not):
+        return Not(fn(expr.expr))
+    if isinstance(expr, In):
+        return In(fn(expr.item), fn(expr.collection))
+    if isinstance(expr, IfE):
+        return IfE(fn(expr.cond), fn(expr.then), fn(expr.other))
+    if isinstance(expr, App):
+        return App(fn(expr.fn), fn(expr.source))
+    if isinstance(expr, Sel):
+        return Sel(fn(expr.pred), fn(expr.source))
+    if isinstance(expr, Flatten):
+        return Flatten(fn(expr.source))
+    if isinstance(expr, Join):
+        return Join(fn(expr.pred), fn(expr.fn), fn(expr.left),
+                    fn(expr.right))
+    if isinstance(expr, CountE):
+        return CountE(fn(expr.source))
+    if isinstance(expr, OrderBy):
+        return OrderBy(fn(expr.key), fn(expr.source))
+    if isinstance(expr, Lam):
+        return Lam(expr.var, fn(expr.body))
+    raise TypeError(f"unknown AQUA expression: {expr!r}")

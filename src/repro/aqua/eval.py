@@ -1,0 +1,133 @@
+"""Environment-based evaluation of AQUA expressions.
+
+This is the machinery KOLA exists to avoid: every evaluation carries an
+*environment* mapping variable names to values, lambdas close over it,
+and correctness of any transformation depends on scoping discipline.  The
+evaluator is the semantic ground truth for the AQUA side of the
+comparison: the translator tests assert ``aqua_eval(e) ==
+eval_obj(translate(e))`` on random databases.
+"""
+
+from __future__ import annotations
+
+import operator
+from typing import Mapping
+
+from repro.core.errors import AquaError
+from repro.core.values import Instance, KPair, kset
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, BoolOp, Const,
+                              CountE, Flatten, IfE, In, Join, Lam, Not,
+                              OrderBy, PairE, Sel, SetRef, Var)
+from repro.schema.adt import Database
+
+_CMP = {"==": operator.eq, "!=": operator.ne, "<": operator.lt,
+        "<=": operator.le, ">": operator.gt, ">=": operator.ge}
+
+Env = Mapping[str, object]
+
+
+def aqua_eval(expr: AquaExpr, db: Database | None = None,
+              env: Env | None = None) -> object:
+    """Evaluate ``expr`` under ``env`` against ``db``."""
+    env = env or {}
+
+    if isinstance(expr, Var):
+        try:
+            return env[expr.name]
+        except KeyError:
+            raise AquaError(f"unbound variable {expr.name!r}") from None
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, SetRef):
+        if db is None:
+            raise AquaError(f"named collection {expr.name!r} needs a database")
+        return db.collection(expr.name)
+    if isinstance(expr, Attr):
+        target = aqua_eval(expr.expr, db, env)
+        if isinstance(target, Instance):
+            if db is None:
+                raise AquaError("attribute access needs a database")
+            return db.apply_prim(expr.name, target)
+        raise AquaError(f"attribute {expr.name!r} on non-object {target!r}")
+    if isinstance(expr, PairE):
+        return KPair(aqua_eval(expr.left, db, env),
+                     aqua_eval(expr.right, db, env))
+    if isinstance(expr, BinCmp):
+        return _CMP[expr.op](aqua_eval(expr.left, db, env),
+                             aqua_eval(expr.right, db, env))
+    if isinstance(expr, BoolOp):
+        left = aqua_eval(expr.left, db, env)
+        if expr.op == "and":
+            return bool(left) and bool(aqua_eval(expr.right, db, env))
+        return bool(left) or bool(aqua_eval(expr.right, db, env))
+    if isinstance(expr, Not):
+        return not aqua_eval(expr.expr, db, env)
+    if isinstance(expr, In):
+        return aqua_eval(expr.item, db, env) in aqua_eval(
+            expr.collection, db, env)
+    if isinstance(expr, IfE):
+        if aqua_eval(expr.cond, db, env):
+            return aqua_eval(expr.then, db, env)
+        return aqua_eval(expr.other, db, env)
+    if isinstance(expr, Lam):
+        raise AquaError("a lambda is not a value in this fragment; "
+                        "apply it via app/sel/join")
+
+    if isinstance(expr, App):
+        source = _as_set(aqua_eval(expr.source, db, env))
+        return kset(_call(expr.fn, item, db, env) for item in source)
+    if isinstance(expr, Sel):
+        source = _as_set(aqua_eval(expr.source, db, env))
+        return kset(item for item in source
+                    if _truth(_call(expr.pred, item, db, env)))
+    if isinstance(expr, Flatten):
+        outer = _as_set(aqua_eval(expr.source, db, env))
+        result: set = set()
+        for inner in outer:
+            result.update(_as_set(inner))
+        return kset(result)
+    if isinstance(expr, CountE):
+        return len(_as_set(aqua_eval(expr.source, db, env)))
+    if isinstance(expr, OrderBy):
+        from repro.core.lists import KList, stable_sort_key
+        source = _as_set(aqua_eval(expr.source, db, env))
+        return KList(sorted(
+            source,
+            key=lambda item: stable_sort_key(
+                _call(expr.key, item, db, env), item)))
+    if isinstance(expr, Join):
+        left = _as_set(aqua_eval(expr.left, db, env))
+        right = _as_set(aqua_eval(expr.right, db, env))
+        return kset(
+            _call2(expr.fn, a, b, db, env)
+            for a in left for b in right
+            if _truth(_call2(expr.pred, a, b, db, env)))
+    raise AquaError(f"cannot evaluate {expr!r}")
+
+
+def _call(fn: Lam, value: object, db: Database | None, env: Env) -> object:
+    inner = dict(env)
+    inner[fn.var] = value
+    return aqua_eval(fn.body, db, inner)
+
+
+def _call2(fn: Lam, a: object, b: object, db: Database | None,
+           env: Env) -> object:
+    if not isinstance(fn.body, Lam):
+        raise AquaError("join requires binary (curried) lambdas")
+    inner = dict(env)
+    inner[fn.var] = a
+    inner[fn.body.var] = b
+    return aqua_eval(fn.body.body, db, inner)
+
+
+def _as_set(value: object) -> frozenset:
+    if isinstance(value, frozenset):
+        return value
+    raise AquaError(f"expected a set, got {value!r}")
+
+
+def _truth(value: object) -> bool:
+    if isinstance(value, bool):
+        return value
+    raise AquaError(f"expected a boolean, got {value!r}")

@@ -1,0 +1,246 @@
+"""A Starburst/EXODUS-style rule engine over AQUA: rules with code.
+
+This is the baseline the paper argues against.  An :class:`AquaRule` is a
+pair of Python callables:
+
+* the **head routine** ("condition function" in Starburst, "condition"
+  in EXODUS) inspects an expression and decides applicability, returning
+  whatever evidence the body needs;
+* the **body routine** ("action routine" / "support function") builds
+  the replacement expression.
+
+The three rules of Section 2 are provided:
+
+* :data:`T1_COMPOSE_APP` — ``app(f)(app(g)(A)) => app(f . g)(A)``, whose
+  body routine must perform *expression composition* by capture-avoiding
+  substitution;
+* :data:`T2_SPLIT_SEL` — ``app(f)(sel(p)(A)) => sel(p')(app(f)(A))``
+  when ``p``'s body is a comparison whose left side is ``f``'s body (up
+  to *alpha-renaming*, which the head routine must perform);
+* :data:`CODE_MOTION` — Figure 2's transformation, whose head routine
+  must do *environmental analysis* (free-variable checking) to
+  distinguish the structurally identical A3 and A4.
+
+Correctness of each rule therefore rests on the correctness of its
+routines — exactly the liability the paper's KOLA rules do not have.
+The engine counts head-routine invocations and node visits so benchmarks
+can compare against the KOLA engine's match counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.aqua.analysis import alpha_rename, compose_lambdas, free_vars
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, Const, Flatten,
+                              IfE, In, Join, Lam, PairE, Sel, Var)
+
+HeadRoutine = Callable[[AquaExpr], Optional[object]]
+BodyRoutine = Callable[[AquaExpr, object], AquaExpr]
+
+
+@dataclass(frozen=True)
+class AquaRule:
+    """A transformation rule supplemented with code (the paper's foil)."""
+
+    name: str
+    head: HeadRoutine
+    body: BodyRoutine
+    description: str = ""
+
+
+@dataclass
+class AquaEngineStats:
+    nodes_visited: int = 0
+    head_invocations: int = 0
+    rewrites: int = 0
+
+    def reset(self) -> None:
+        self.nodes_visited = 0
+        self.head_invocations = 0
+        self.rewrites = 0
+
+
+class AquaRuleEngine:
+    """Top-down, first-match rewriting over AQUA expressions."""
+
+    def __init__(self) -> None:
+        self.stats = AquaEngineStats()
+
+    def rewrite_once(self, expr: AquaExpr,
+                     rules: list[AquaRule]) -> tuple[AquaExpr, AquaRule] | None:
+        self.stats.nodes_visited += 1
+        for rule in rules:
+            self.stats.head_invocations += 1
+            evidence = rule.head(expr)
+            if evidence is not None:
+                self.stats.rewrites += 1
+                return rule.body(expr, evidence), rule
+        rebuilt = self._rewrite_children(expr, rules)
+        return rebuilt
+
+    def _rewrite_children(self, expr: AquaExpr, rules: list[AquaRule]):
+        for index, child in enumerate(expr.children()):
+            result = self.rewrite_once(child, rules)
+            if result is not None:
+                new_child, rule = result
+                return _replace_child(expr, index, new_child), rule
+        return None
+
+    def normalize(self, expr: AquaExpr, rules: list[AquaRule],
+                  max_steps: int = 200) -> tuple[AquaExpr, list[str]]:
+        applied: list[str] = []
+        current = expr
+        for _ in range(max_steps):
+            result = self.rewrite_once(current, rules)
+            if result is None:
+                return current, applied
+            current, rule = result
+            applied.append(rule.name)
+        return current, applied
+
+
+def _replace_child(expr: AquaExpr, index: int,
+                   new_child: AquaExpr) -> AquaExpr:
+    children = list(expr.children())
+    children[index] = new_child
+    if isinstance(expr, Lam):
+        return Lam(expr.var, children[0])
+    if isinstance(expr, Attr):
+        return Attr(children[0], expr.name)
+    if isinstance(expr, PairE):
+        return PairE(children[0], children[1])
+    if isinstance(expr, BinCmp):
+        return BinCmp(expr.op, children[0], children[1])
+    if isinstance(expr, In):
+        return In(children[0], children[1])
+    if isinstance(expr, IfE):
+        return IfE(children[0], children[1], children[2])
+    if isinstance(expr, App):
+        return App(children[0], children[1])
+    if isinstance(expr, Sel):
+        return Sel(children[0], children[1])
+    if isinstance(expr, Flatten):
+        return Flatten(children[0])
+    if isinstance(expr, Join):
+        return Join(children[0], children[1], children[2], children[3])
+    from repro.aqua.terms import BoolOp, Not
+    if isinstance(expr, BoolOp):
+        return BoolOp(expr.op, children[0], children[1])
+    if isinstance(expr, Not):
+        return Not(children[0])
+    raise TypeError(f"cannot rebuild {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# T1: app(f)(app(g)(A))  =>  app(f . g)(A)          (Figure 1, top)
+# ---------------------------------------------------------------------------
+
+def _t1_head(expr: AquaExpr):
+    """Applicability: an app over an app."""
+    if isinstance(expr, App) and isinstance(expr.source, App):
+        return (expr.fn, expr.source.fn, expr.source.source)
+    return None
+
+
+def _t1_body(expr: AquaExpr, evidence) -> AquaExpr:
+    """BODY ROUTINE: must open both lambdas and *compose expressions*
+    by capture-avoiding substitution — machinery beyond unification."""
+    outer, inner, source = evidence
+    return App(compose_lambdas(outer, inner), source)
+
+
+T1_COMPOSE_APP = AquaRule(
+    "T1-compose-app", _t1_head, _t1_body,
+    "app(f)(app(g)(A)) => app(\\(x) f-body[g-body/x])(A)")
+
+
+# ---------------------------------------------------------------------------
+# T2: app(f)(sel(p)(A)) => sel(p')(app(f)(A))       (Figure 1, bottom)
+# ---------------------------------------------------------------------------
+
+def _t2_head(expr: AquaExpr):
+    """Applicability: ``p``'s body must be a comparison whose left side
+    is exactly ``f``'s body *after renaming p's parameter to f's* — the
+    alpha-renaming the paper calls out ("x.age should be renamed to
+    p.age so that this function is recognized as a subfunction")."""
+    if not (isinstance(expr, App) and isinstance(expr.source, Sel)):
+        return None
+    fn, pred, source = expr.fn, expr.source.pred, expr.source.source
+    try:
+        renamed = alpha_rename(fn, pred.var)
+    except ValueError:
+        return None
+    body = pred.body
+    if isinstance(body, BinCmp) and body.left == renamed.body:
+        if not isinstance(body.right, Const):
+            return None
+        return (fn, body.op, body.right, source)
+    return None
+
+
+def _t2_body(expr: AquaExpr, evidence) -> AquaExpr:
+    """BODY ROUTINE: *decompose* the predicate into the mapped function
+    and a residual comparison over a fresh variable."""
+    fn, op, const, source = evidence
+    residual_var = "a"
+    if residual_var in free_vars(fn):
+        residual_var = "a_0"
+    residual = Lam(residual_var, BinCmp(op, Var(residual_var), const))
+    return Sel(residual, App(fn, source))
+
+
+T2_SPLIT_SEL = AquaRule(
+    "T2-split-sel", _t2_head, _t2_body,
+    "app(f)(sel(\\(p) f(p) OP c)(A)) => sel(\\(a) a OP c)(app(f)(A))")
+
+
+# ---------------------------------------------------------------------------
+# Code motion (Figure 2): hoist an inner predicate that does not depend
+# on the iterated variable out of the inner query.
+# ---------------------------------------------------------------------------
+
+def _code_motion_head(expr: AquaExpr):
+    """HEAD ROUTINE: *environmental analysis*.  The rule applies to
+    ``app(\\(p)[p, sel(\\(c) pred)(path)])(A)`` **only when** ``c`` does
+    not occur free in ``pred`` (query A4, where the predicate tests
+    ``p``) — the structurally identical A3 (predicate tests ``c``) must
+    be rejected.  That decision is invisible to unification."""
+    if not isinstance(expr, App):
+        return None
+    outer = expr.fn
+    if not isinstance(outer.body, PairE):
+        return None
+    if outer.body.left != Var(outer.var):
+        return None
+    inner = outer.body.right
+    if not isinstance(inner, Sel):
+        return None
+    inner_pred = inner.pred
+    # The decisive check: the inner predicate must not mention the inner
+    # variable (freeness analysis over the representation).
+    if inner_pred.var in free_vars(inner_pred.body):
+        return None
+    return (outer, inner_pred.body, inner.source, expr.source)
+
+
+def _code_motion_body(expr: AquaExpr, evidence) -> AquaExpr:
+    """BODY ROUTINE: rebuild with a conditional —
+    ``app(\\(p) if pred then [p, source] else [p, {}])(A)``."""
+    outer, condition, inner_source, top_source = evidence
+    var = outer.var
+    moved = Lam(var, IfE(condition,
+                         PairE(Var(var), inner_source),
+                         PairE(Var(var), Const(frozenset()))))
+    return App(moved, top_source)
+
+
+CODE_MOTION = AquaRule(
+    "code-motion", _code_motion_head, _code_motion_body,
+    "hoist an environment-only predicate out of a nested sel (Figure 2)")
+
+
+STANDARD_AQUA_RULES: list[AquaRule] = [
+    T1_COMPOSE_APP, T2_SPLIT_SEL, CODE_MOTION,
+]

@@ -1,0 +1,268 @@
+"""AQUA expression trees (the variable-based representation).
+
+The fragment implemented is the one the paper's Section 2 uses:
+
+* lambda abstractions ``Lam("p", body)`` for anonymous functions and
+  predicates (one parameter; binary functions for ``join`` take nested
+  lambdas);
+* path expressions ``Attr(Var("p"), "addr")`` (``p.addr``);
+* comparisons, boolean connectives, membership, conditionals;
+* the set operators ``app``, ``sel``, ``flatten`` and ``join`` with the
+  semantics of the paper's Section 2:
+
+  .. code-block:: text
+
+     app(f)(A)      = { f(a) | a in A }
+     sel(p)(A)      = { a | a in A, p(a) }
+     flatten(A)     = { a | B in A, a in B }
+     join(p,f)(A,B) = { f(a,b) | a in A, b in B, p(a,b) }
+
+Expressions are immutable dataclasses with structural equality, so the
+AQUA rule engine can compare and hash them like KOLA terms.  Unlike KOLA
+terms, however, they contain *variables* — which is the whole point of
+the comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class AquaExpr:
+    """Base class for AQUA expressions."""
+
+    def children(self) -> tuple["AquaExpr", ...]:
+        return ()
+
+    def subexprs(self) -> Iterator["AquaExpr"]:
+        """This expression and every descendant, pre-order."""
+        yield self
+        for child in self.children():
+            yield from child.subexprs()
+
+    def size(self) -> int:
+        """Parse-tree node count (the paper's size measure)."""
+        return sum(1 for _ in self.subexprs())
+
+
+@dataclass(frozen=True)
+class Var(AquaExpr):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Lam(AquaExpr):
+    """A lambda abstraction ``lambda(var) body``."""
+
+    var: str
+    body: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.body,)
+
+
+@dataclass(frozen=True)
+class Const(AquaExpr):
+    """A literal constant."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class SetRef(AquaExpr):
+    """A named top-level collection (``P``, ``V``)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Attr(AquaExpr):
+    """Attribute access / path-expression step: ``expr.name``."""
+
+    expr: AquaExpr
+    name: str
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class PairE(AquaExpr):
+    """Object pair ``[left, right]``."""
+
+    left: AquaExpr
+    right: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class BinCmp(AquaExpr):
+    """A comparison ``left <op> right`` with op in ``== != < <= > >=``."""
+
+    op: str
+    left: AquaExpr
+    right: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class BoolOp(AquaExpr):
+    """``left and right`` / ``left or right``."""
+
+    op: str  # "and" | "or"
+    left: AquaExpr
+    right: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.left, self.right)
+
+
+@dataclass(frozen=True)
+class Not(AquaExpr):
+    """Boolean negation."""
+
+    expr: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.expr,)
+
+
+@dataclass(frozen=True)
+class In(AquaExpr):
+    """Set membership ``item in collection``."""
+
+    item: AquaExpr
+    collection: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.item, self.collection)
+
+
+@dataclass(frozen=True)
+class IfE(AquaExpr):
+    """Conditional expression (used by the code-motion transformation)."""
+
+    cond: AquaExpr
+    then: AquaExpr
+    other: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.cond, self.then, self.other)
+
+
+@dataclass(frozen=True)
+class App(AquaExpr):
+    """``app(fn)(source)`` — map an anonymous function over a set."""
+
+    fn: Lam
+    source: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.fn, self.source)
+
+
+@dataclass(frozen=True)
+class Sel(AquaExpr):
+    """``sel(pred)(source)`` — select by an anonymous predicate."""
+
+    pred: Lam
+    source: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.pred, self.source)
+
+
+@dataclass(frozen=True)
+class Flatten(AquaExpr):
+    """``flatten(source)`` — union a set of sets."""
+
+    source: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class CountE(AquaExpr):
+    """``count(source)`` — set cardinality (for the count-bug study)."""
+
+    source: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.source,)
+
+
+@dataclass(frozen=True)
+class OrderBy(AquaExpr):
+    """``orderby(key)(source)`` — order a set by a key function,
+    yielding a list (OQL's ORDER BY; the Section 6 list extension)."""
+
+    key: Lam
+    source: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.key, self.source)
+
+
+@dataclass(frozen=True)
+class Join(AquaExpr):
+    """``join(p, f)([A, B])`` with binary ``p``/``f`` as nested lambdas
+    (``Lam(x, Lam(y, body))``)."""
+
+    pred: Lam
+    fn: Lam
+    left: AquaExpr
+    right: AquaExpr
+
+    def children(self) -> tuple[AquaExpr, ...]:
+        return (self.pred, self.fn, self.left, self.right)
+
+
+def aqua_pretty(expr: AquaExpr) -> str:
+    """Render an AQUA expression in the paper's notation (ASCII lambda)."""
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, Lam):
+        return f"\\({expr.var}){aqua_pretty(expr.body)}"
+    if isinstance(expr, Const):
+        return repr(expr.value)
+    if isinstance(expr, SetRef):
+        return expr.name
+    if isinstance(expr, Attr):
+        return f"{aqua_pretty(expr.expr)}.{expr.name}"
+    if isinstance(expr, PairE):
+        return f"[{aqua_pretty(expr.left)}, {aqua_pretty(expr.right)}]"
+    if isinstance(expr, BinCmp):
+        return f"({aqua_pretty(expr.left)} {expr.op} {aqua_pretty(expr.right)})"
+    if isinstance(expr, BoolOp):
+        return f"({aqua_pretty(expr.left)} {expr.op} {aqua_pretty(expr.right)})"
+    if isinstance(expr, Not):
+        return f"(not {aqua_pretty(expr.expr)})"
+    if isinstance(expr, In):
+        return f"({aqua_pretty(expr.item)} in {aqua_pretty(expr.collection)})"
+    if isinstance(expr, IfE):
+        return (f"if {aqua_pretty(expr.cond)} then {aqua_pretty(expr.then)} "
+                f"else {aqua_pretty(expr.other)}")
+    if isinstance(expr, App):
+        return f"app({aqua_pretty(expr.fn)})({aqua_pretty(expr.source)})"
+    if isinstance(expr, Sel):
+        return f"sel({aqua_pretty(expr.pred)})({aqua_pretty(expr.source)})"
+    if isinstance(expr, Flatten):
+        return f"flatten({aqua_pretty(expr.source)})"
+    if isinstance(expr, CountE):
+        return f"count({aqua_pretty(expr.source)})"
+    if isinstance(expr, OrderBy):
+        return (f"orderby({aqua_pretty(expr.key)})"
+                f"({aqua_pretty(expr.source)})")
+    if isinstance(expr, Join):
+        return (f"join({aqua_pretty(expr.pred)}, {aqua_pretty(expr.fn)})"
+                f"([{aqua_pretty(expr.left)}, {aqua_pretty(expr.right)}])")
+    raise TypeError(f"unknown AQUA expression: {expr!r}")

@@ -1,0 +1,228 @@
+"""Command-line interface: ``python -m repro.cli <command> ...``.
+
+Commands:
+
+``eval``       evaluate a KOLA query against a generated database
+``optimize``   run the full optimizer on OQL text or a KOLA query
+``untangle``   run the five-step hidden-join strategy, printing the
+               derivation
+``verify``     check a rule (given as ``lhs == rhs``) with the
+               Larch-substitute model checker
+``prove``      search for an equational proof of ``lhs == rhs`` from the
+               standard rule pool
+``rules``      list the rule pool (optionally one group)
+
+Examples::
+
+    python -m repro.cli eval "iterate(Kp(T), city o addr) ! P"
+    python -m repro.cli optimize "select p.age from p in P where p.age > 25"
+    python -m repro.cli untangle --paper-garage
+    python -m repro.cli verify "iterate(\\$p, id) o iterate(\\$q, id)" \\
+        "iterate(\\$q, id) o iterate(\\$p, id)"
+    python -m repro.cli rules --group fig8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.errors import KolaError, VerificationError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.pretty import pretty, pretty_multiline
+from repro.core.terms import Sort
+from repro.core.values import value_repr
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="KOLA: combinator query algebra and rule language "
+                    "(SIGMOD '96 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    eval_cmd = sub.add_parser("eval", help="evaluate a KOLA query")
+    eval_cmd.add_argument("query", help="query text, e.g. "
+                          "'iterate(Kp(T), age) ! P'")
+    eval_cmd.add_argument("--persons", type=int, default=40)
+    eval_cmd.add_argument("--vehicles", type=int, default=25)
+    eval_cmd.add_argument("--seed", type=int, default=2026)
+
+    opt_cmd = sub.add_parser("optimize", help="optimize OQL or KOLA text")
+    opt_cmd.add_argument("query")
+    opt_cmd.add_argument("--kola", action="store_true",
+                         help="input is KOLA text, not OQL")
+    opt_cmd.add_argument("--persons", type=int, default=40)
+    opt_cmd.add_argument("--vehicles", type=int, default=25)
+    opt_cmd.add_argument("--seed", type=int, default=2026)
+    opt_cmd.add_argument("--execute", action="store_true",
+                         help="also run the chosen plan")
+
+    unt_cmd = sub.add_parser("untangle",
+                             help="five-step hidden-join strategy")
+    group = unt_cmd.add_mutually_exclusive_group(required=True)
+    group.add_argument("query", nargs="?",
+                       help="a KOLA query (object expression)")
+    group.add_argument("--paper-garage", action="store_true",
+                       help="use Figure 3's Garage Query KG1")
+
+    verify_cmd = sub.add_parser("verify", help="model-check a rule")
+    verify_cmd.add_argument("lhs")
+    verify_cmd.add_argument("rhs")
+    verify_cmd.add_argument("--sort", choices=["fun", "pred", "obj"],
+                            default="fun")
+    verify_cmd.add_argument("--trials", type=int, default=200)
+
+    prove_cmd = sub.add_parser("prove", help="equational proof search")
+    prove_cmd.add_argument("lhs")
+    prove_cmd.add_argument("rhs")
+    prove_cmd.add_argument("--sort", choices=["fun", "pred", "obj"],
+                           default="fun")
+    prove_cmd.add_argument("--depth", type=int, default=3)
+
+    rules_cmd = sub.add_parser("rules", help="list the rule pool")
+    rules_cmd.add_argument("--group", default=None)
+
+    pool_cmd = sub.add_parser("verify-pool",
+                              help="model-check every rule in the pool")
+    pool_cmd.add_argument("--trials", type=int, default=30)
+    pool_cmd.add_argument("--group", default=None)
+
+    decompile_cmd = sub.add_parser(
+        "decompile", help="show a KOLA query in lambda notation")
+    decompile_cmd.add_argument("query")
+    return parser
+
+
+def _database(args):
+    from repro.schema.generator import GeneratorConfig, generate_database
+    return generate_database(GeneratorConfig(
+        n_persons=args.persons, n_vehicles=args.vehicles, seed=args.seed))
+
+
+def _parse_by_sort(text: str, sort: str):
+    return {"fun": parse_fun, "pred": parse_pred,
+            "obj": parse_obj}[sort](text)
+
+
+def cmd_eval(args) -> int:
+    db = _database(args)
+    query = parse_obj(args.query)
+    print("query :", pretty(query))
+    print("result:", value_repr(eval_obj(query, db), limit=20))
+    return 0
+
+
+def cmd_optimize(args) -> int:
+    from repro.optimizer.optimizer import Optimizer
+    db = _database(args)
+    source = parse_obj(args.query) if args.kola else args.query
+    optimized = Optimizer().optimize(source, db)
+    print(optimized.explain())
+    if args.execute:
+        print("result:", value_repr(optimized.execute(db), limit=20))
+    return 0
+
+
+def cmd_untangle(args) -> int:
+    from repro.coko.hidden_join import untangle
+    from repro.rules.registry import standard_rulebase
+    if args.paper_garage:
+        from repro.workloads.queries import paper_queries
+        query = paper_queries().kg1
+    else:
+        query = parse_obj(args.query)
+    final, derivation = untangle(query, standard_rulebase())
+    print(derivation.render())
+    print()
+    print("final form:")
+    print(pretty_multiline(final))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.larch.checker import check_rule
+    from repro.rewrite.rule import rule
+    sort = {"fun": Sort.FUN, "pred": Sort.PRED, "obj": Sort.OBJ}[args.sort]
+    candidate = rule("cli-rule", args.lhs, args.rhs, sort=sort,
+                     bidirectional=False)
+    try:
+        report = check_rule(candidate, trials=args.trials)
+    except VerificationError as refutation:
+        print(f"REFUTED: {refutation}")
+        return 1
+    print(f"PASS: verified on {report.trials} random instantiations "
+          f"({report.skipped_trials} skipped)")
+    return 0
+
+
+def cmd_prove(args) -> int:
+    from repro.larch.prover import EquationalProver
+    from repro.rules.registry import standard_rulebase
+    base = standard_rulebase()
+    prover = EquationalProver(base.group("simplify")
+                              + base.group("fig4") + base.group("fig5"),
+                              max_depth=args.depth)
+    lhs = _parse_by_sort(args.lhs, args.sort)
+    rhs = _parse_by_sort(args.rhs, args.sort)
+    proof = prover.prove(lhs, rhs)
+    if proof is None:
+        print(f"no proof found within depth {args.depth}")
+        return 1
+    print(proof.render())
+    return 0
+
+
+def cmd_rules(args) -> int:
+    from repro.rules.registry import standard_rulebase
+    base = standard_rulebase()
+    rules = base.group(args.group) if args.group else base.all_rules()
+    for one_rule in rules:
+        print(repr(one_rule))
+    print(f"({len(rules)} rules)")
+    return 0
+
+
+def cmd_verify_pool(args) -> int:
+    from repro.larch.report import pool_report, render_report
+    from repro.rules.registry import standard_rulebase
+    base = standard_rulebase()
+    rules = base.group(args.group) if args.group else base
+    reports = pool_report(rules, trials=args.trials)
+    print(render_report(reports))
+    return 0 if all(r.passed for r in reports) else 1
+
+
+def cmd_decompile(args) -> int:
+    from repro.aqua.terms import aqua_pretty
+    from repro.translate.kola_to_aqua import decompile
+    query = parse_obj(args.query)
+    print("KOLA:", pretty(query))
+    print("AQUA:", aqua_pretty(decompile(query)))
+    return 0
+
+
+_COMMANDS = {
+    "eval": cmd_eval,
+    "optimize": cmd_optimize,
+    "untangle": cmd_untangle,
+    "verify": cmd_verify,
+    "prove": cmd_prove,
+    "rules": cmd_rules,
+    "verify-pool": cmd_verify_pool,
+    "decompile": cmd_decompile,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except KolaError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

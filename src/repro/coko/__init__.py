@@ -1,0 +1,30 @@
+"""COKO: rule blocks and firing strategies over KOLA rules.
+
+Section 4.2 previews COKO ("[C]ontrol [O]f [K]OLA [O]ptimizations"): a
+language of *rule blocks* — "sets of rules that are used together,
+together with strategies for their firing" — whose blocks correspond to
+conceptual transformations like "push selects past joins" or each step
+of the hidden-join strategy.  The full language appeared in the authors'
+follow-on work (Cherniack & Zdonik, SIGMOD 1998); this subpackage
+implements the SIGMOD'96 description:
+
+* :mod:`repro.coko.strategy` — strategy combinators (once, exhaust,
+  seq, repeat, try);
+* :mod:`repro.coko.blocks` — named rule blocks with a strategy;
+* :mod:`repro.coko.parser` — a small textual COKO DSL;
+* :mod:`repro.coko.stdblocks` — blocks replaying the paper's figures
+  plus classic conceptual transformations;
+* :mod:`repro.coko.hidden_join` — the five-step untangling pipeline of
+  Section 4.1.
+"""
+
+from repro.coko.strategy import (Context, Exhaust, Once, Repeat, Seq,
+                                 Strategy, Try)
+from repro.coko.blocks import RuleBlock
+from repro.coko.parser import parse_coko
+from repro.coko.hidden_join import hidden_join_blocks, untangle
+
+__all__ = [
+    "Context", "Strategy", "Once", "Exhaust", "Seq", "Repeat", "Try",
+    "RuleBlock", "parse_coko", "hidden_join_blocks", "untangle",
+]

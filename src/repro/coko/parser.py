@@ -1,0 +1,154 @@
+"""A textual DSL for COKO rule blocks.
+
+The follow-on COKO paper gives rule blocks a concrete syntax; for this
+reproduction a small DSL in the same spirit::
+
+    TRANSFORMATION BreakUp
+    USES r17, r17b, group:cleanup
+    BEGIN
+      exhaust { r17 r17b group:cleanup }
+    END
+
+    TRANSFORMATION T2K
+    USES r11, r13, r7, r1, r3, r5b, r12
+    BEGIN
+      once! r11 ;
+      exhaust { r13 r7 } ;
+      exhaust { r1 r3 r5b } ;
+      once! r12-rev
+    END
+
+Strategy forms::
+
+    once <ref>          apply a rule once if it matches
+    once! <ref>         apply a rule once; error if it does not fire
+    exhaust { refs... } normalize with the rules until fixpoint
+    repeat { strategy } run a strategy until the term stops changing
+    try { strategy }    run a strategy, ignoring rewrite errors
+    s1 ; s2             sequence
+
+``<ref>`` is a rule name, ``<name>-rev`` for the right-to-left reading,
+or ``group:<group>``.  :func:`parse_coko` returns the blocks in source
+order; each parses to a regular :class:`~repro.coko.blocks.RuleBlock`.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.core.errors import ParseError
+from repro.coko.blocks import RuleBlock
+from repro.coko.strategy import (Exhaust, IfFires, Once, Repeat, Seq,
+                                 Strategy, Try)
+
+_TOKEN = re.compile(r"\s*(?:(?P<sym>[{};,])|(?P<word>[A-Za-z0-9_:!.-]+))")
+_KEYWORDS = {"TRANSFORMATION", "USES", "BEGIN", "END",
+             "exhaust", "once", "once!", "repeat", "try"}
+
+
+class _CokoParser:
+    def __init__(self, text: str) -> None:
+        self.tokens: list[str] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None or match.end() == pos:
+                rest = text[pos:].strip()
+                if not rest:
+                    break
+                raise ParseError(f"bad COKO character {rest[0]!r}", pos)
+            self.tokens.append(match.group("sym") or match.group("word"))
+            pos = match.end()
+        self.index = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.index] if self.index < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of COKO input")
+        self.index += 1
+        return token
+
+    def expect(self, word: str) -> None:
+        token = self.next()
+        if token != word:
+            raise ParseError(f"expected {word!r}, got {token!r}")
+
+    # -- productions -----------------------------------------------------
+
+    def blocks(self) -> list[RuleBlock]:
+        result = []
+        while self.peek() is not None:
+            result.append(self.block())
+        return result
+
+    def block(self) -> RuleBlock:
+        self.expect("TRANSFORMATION")
+        name = self.next()
+        self.expect("USES")
+        uses: list[str] = [self.next()]
+        while self.peek() == ",":
+            self.next()
+            uses.append(self.next())
+        self.expect("BEGIN")
+        strategy = self.sequence(until="END")
+        self.expect("END")
+        return RuleBlock(name=name, uses=tuple(uses), strategy=strategy)
+
+    def sequence(self, until: str) -> Strategy:
+        parts = [self.step()]
+        while self.peek() == ";":
+            self.next()
+            parts.append(self.step())
+        if self.peek() != until and until != "}":
+            pass  # caller validates the closer
+        return parts[0] if len(parts) == 1 else Seq(*parts)
+
+    def step(self) -> Strategy:
+        token = self.next()
+        if token == "exhaust":
+            traversal = "topdown"
+            if self.peek() in ("td", "bu"):
+                traversal = {"td": "topdown", "bu": "bottomup"}[self.next()]
+            self.expect("{")
+            refs: list[str] = []
+            while self.peek() != "}":
+                refs.append(self.next())
+            self.expect("}")
+            if not refs:
+                raise ParseError("exhaust { } needs at least one rule")
+            return Exhaust(*refs, traversal=traversal)
+        if token == "if":
+            ref = self.next()
+            self.expect("then")
+            self.expect("{")
+            then_branch = self.sequence(until="}")
+            self.expect("}")
+            else_branch = None
+            if self.peek() == "else":
+                self.next()
+                self.expect("{")
+                else_branch = self.sequence(until="}")
+                self.expect("}")
+            return IfFires(ref, then_branch, else_branch)
+        if token in ("once", "once!"):
+            ref = self.next()
+            return Once(ref, required=token == "once!")
+        if token == "repeat":
+            self.expect("{")
+            body = self.sequence(until="}")
+            self.expect("}")
+            return Repeat(body)
+        if token == "try":
+            self.expect("{")
+            body = self.sequence(until="}")
+            self.expect("}")
+            return Try(body)
+        raise ParseError(f"unknown COKO strategy {token!r}")
+
+
+def parse_coko(text: str) -> list[RuleBlock]:
+    """Parse COKO source text into rule blocks."""
+    return _CokoParser(text).blocks()

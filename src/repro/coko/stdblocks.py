@@ -1,0 +1,186 @@
+"""Standard rule blocks: figure replays and classic conceptual
+transformations.
+
+* :func:`block_t1k` / :func:`block_t2k` — the Figure 4 derivations as
+  blocks (T2K ends with the paper's right-to-left use of rule 12);
+* :func:`block_code_motion` — the Figure 6 staged derivation that
+  rewrites K4's inner ``iter`` into a conditional, and leaves K3's
+  blocked at rule 15 (the paper's structural-discrimination point);
+* :func:`block_env_free_select` — the alternative strategy Section 4.2
+  alludes to for queries like K3: an ``iter`` whose predicate ignores
+  its environment is a plain selection on the inner set;
+* :func:`block_push_select_past_join` and :func:`block_cnf` — the two
+  example conceptual transformations the paper names when introducing
+  COKO.
+"""
+
+from __future__ import annotations
+
+from repro.coko.blocks import RuleBlock
+from repro.coko.strategy import Exhaust, Once, Ranked, Repeat, Seq, Try
+
+_CONVERSES = ("r7", "inv-lt", "inv-leq", "inv-geq", "inv-eq", "inv-neq")
+
+
+def block_t1k() -> RuleBlock:
+    """Figure 4, transformation T1K: fuse an iterate chain."""
+    return RuleBlock(
+        name="T1K",
+        uses=("r11", "r6", "r5", "r5b"),
+        strategy=Seq(Once("r11", required=True),
+                     Exhaust("r6"),
+                     Exhaust("r5", "r5b")),
+        description="compose the functions of two pipelined iterates "
+                    "(paper steps: 11, 6, 5)")
+
+
+def block_t2k() -> RuleBlock:
+    """Figure 4, transformation T2K: decompose a mapped selection."""
+    return RuleBlock(
+        name="T2K",
+        uses=("r11", "r1", "r3", "r5", "r5b", "r6", "r13") + _CONVERSES
+             + ("r12-rev",),
+        strategy=Seq(Once("r11", required=True),
+                     Exhaust("r13", *_CONVERSES),
+                     Exhaust("r1", "r3", "r5", "r5b", "r6"),
+                     Once("r12-rev", required=True)),
+        description="split a predicate into mapped function + residual "
+                    "comparison (paper steps: 11, 13, 7, ..., 12^-1)")
+
+
+def block_code_motion() -> RuleBlock:
+    """Figure 6: the staged derivation that hoists K4's predicate.
+
+    Stage 1 rewrites the predicate with rules 13 and the converse family;
+    stage 2 re-associates the predicate onto the environment projection
+    (rule 14); stage 3 eliminates the inner loop (rule 15); stage 4
+    distributes the composition into the conditional (rule 16); stage 5
+    cleans up with rule 14 right-to-left and the Figure 4 identities.
+
+    On K3 the pipeline stops after stage 2 — rule 15 requires the
+    predicate to project the *environment* (``@ pi1``), and K3's
+    predicate projects the element (``@ pi2``).  No head routine decides
+    this; the structure does.
+    """
+    return RuleBlock(
+        name="code-motion",
+        uses=("r13", "r14", "r15", "r16", "r14-rev", "group:cleanup")
+             + _CONVERSES,
+        strategy=Seq(Exhaust("r13", *_CONVERSES),
+                     Exhaust("r14"),
+                     Exhaust("r15"),
+                     Exhaust("r16"),
+                     Exhaust("r14-rev", "group:cleanup")),
+        description="move an environment-only predicate out of a nested "
+                    "query (Figure 6)")
+
+
+def block_env_free_select() -> RuleBlock:
+    """The 'alternative strategy' for K3-shaped queries: an inner loop
+    whose predicate ignores the environment becomes a selection on the
+    inner set."""
+    return RuleBlock(
+        name="env-free-select",
+        uses=("iter-env-free", "iter-env-free-chain", "iter-map-env-free",
+              "group:cleanup"),
+        strategy=Exhaust("iter-env-free", "iter-env-free-chain",
+                         "iter-map-env-free", "group:cleanup"),
+        description="rewrite iter(p @ pi2, pi2) into a plain selection")
+
+
+def block_push_select_past_join() -> RuleBlock:
+    """The paper's first example COKO block name."""
+    return RuleBlock(
+        name="push-selects-past-joins",
+        uses=("iterate-join-fuse", "join-pushdown-left",
+              "join-pushdown-right", "group:cleanup"),
+        strategy=Exhaust("iterate-join-fuse", "join-pushdown-left",
+                         "join-pushdown-right", "group:cleanup"),
+        description="fuse selections above/below a join into its "
+                    "predicate")
+
+
+def block_cnf() -> RuleBlock:
+    """The paper's second example COKO block name: convert predicates to
+    conjunctive normal form."""
+    return RuleBlock(
+        name="convert-predicates-to-CNF",
+        uses=("neg-neg", "de-morgan-and", "de-morgan-or", "neg-true",
+              "neg-false", "neg-lt", "neg-leq", "neg-gt", "neg-geq",
+              "neg-eq", "neg-neq", "or-over-and-left",
+              "or-over-and-right"),
+        strategy=Repeat(Seq(
+            Exhaust("neg-neg", "de-morgan-and", "de-morgan-or",
+                    "neg-true", "neg-false", "neg-lt", "neg-leq",
+                    "neg-gt", "neg-geq", "neg-eq", "neg-neq"),
+            Exhaust("or-over-and-left", "or-over-and-right"))),
+        description="push negations to the leaves, distribute | over &")
+
+
+def block_defer_dupelim() -> RuleBlock:
+    """Section 6's bag optimization as a COKO block: rewrite a set
+    pipeline into a bag pipeline with one final ``distinct``.
+
+    The flatten stage converts first (``defer-dupelim-flat``); maps and
+    filters to its left are then pulled across the ``distinct`` and
+    fused into the bag pipeline.
+    """
+    return RuleBlock(
+        name="defer-duplicate-elimination",
+        uses=("defer-dupelim-flat", "defer-dupelim-map",
+              "distinct-filter-rev", "bag-fusion", "bag-fold-filter-map",
+              "group:cleanup"),
+        strategy=Seq(Try(Once("defer-dupelim-flat")),
+                     Exhaust("defer-dupelim-map", "distinct-filter-rev",
+                             "bag-fusion", "bag-fold-filter-map",
+                             "group:cleanup")),
+        description="produce bags as intermediate results; deduplicate "
+                    "once at the end (Section 6)")
+
+
+def block_predicate_ordering() -> RuleBlock:
+    """Section 6 names "predicate ordering" among the COKO blocks under
+    development.  Conjunction evaluates left-to-right with short
+    circuiting, so cheap conjuncts should lead; this block reorders
+    conjunctions using only the sound structural rules (``conj-comm``,
+    ``conj-assoc`` in both directions), steered by the cost model's
+    ranking — a :class:`Ranked` hill-climb, so it terminates despite the
+    rules being individually non-terminating."""
+    from repro.optimizer.cost import conjunction_order_cost
+
+    def objective(term):
+        return sum(conjunction_order_cost(node)
+                   for node in term.subterms() if node.op == "conj")
+
+    return RuleBlock(
+        name="predicate-ordering",
+        uses=("conj-comm", "conj-assoc", "conj-assoc-rev"),
+        strategy=Ranked("conj-comm", "conj-assoc", "conj-assoc-rev",
+                        objective=objective),
+        description="order conjuncts cheapest-first using only "
+                    "commutativity/associativity (Section 6)")
+
+
+def block_semantic_optimization() -> RuleBlock:
+    """Section 6's "semantic optimization": precondition-guarded rules
+    that fire only when the engine's :class:`AnnotationOracle`
+    establishes properties like injectivity (from schema annotations and
+    the paper's inference rules).  Run it with an engine built over an
+    oracle: ``block.transform(term, rulebase, Engine(oracle))``."""
+    return RuleBlock(
+        name="semantic-optimization",
+        uses=("map-intersect-inj", "map-difference-inj", "eq-inj",
+              "group:cleanup"),
+        strategy=Exhaust("map-intersect-inj", "map-difference-inj",
+                         "eq-inj", "group:cleanup"),
+        description="apply annotation-guarded rules (injective keys &c., "
+                    "Section 4.2/6)")
+
+
+def standard_blocks() -> dict[str, RuleBlock]:
+    """All standard blocks, by name."""
+    blocks = [block_t1k(), block_t2k(), block_code_motion(),
+              block_env_free_select(), block_push_select_past_join(),
+              block_cnf(), block_defer_dupelim(),
+              block_predicate_ordering(), block_semantic_optimization()]
+    return {block.name: block for block in blocks}

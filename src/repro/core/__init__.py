@@ -1,0 +1,19 @@
+"""KOLA core: terms, constructors, semantics, types, parsing, printing."""
+
+from repro.core import constructors
+from repro.core.constructors import *  # noqa: F401,F403 — re-export the term DSL
+from repro.core.errors import (EvalError, KolaError, ParseError, TermError,
+                               TypeInferenceError)
+from repro.core.eval import apply_fn, eval_obj, run_query, test_pred
+from repro.core.pretty import pretty, pretty_multiline
+from repro.core.terms import (Sort, Term, fun_var, meta, mk, obj_var,
+                              pred_var, sort_of)
+
+__all__ = [
+    "Sort", "Term", "meta", "mk", "sort_of",
+    "fun_var", "pred_var", "obj_var",
+    "apply_fn", "test_pred", "eval_obj", "run_query",
+    "pretty", "pretty_multiline",
+    "KolaError", "TermError", "ParseError", "EvalError",
+    "TypeInferenceError",
+] + list(constructors.__all__)

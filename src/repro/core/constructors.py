@@ -1,0 +1,411 @@
+"""Named constructors for KOLA terms.
+
+These are the public construction API.  Each constructor mirrors one row
+of Table 1 or Table 2 of the paper and produces an immutable, sort-checked
+:class:`~repro.core.terms.Term`.  Example — the paper's transformed query
+from transformation T1 (Figure 1 / Section 3)::
+
+    iterate(Kp(T), city o addr) ! P
+
+is built as::
+
+    q = invoke(iterate(const_p(true()), compose(prim("city"), prim("addr"))),
+               setname("P"))
+
+The constructors perform *no* simplification: ``compose(id_(), f)`` stays
+``id o f``.  Simplification is the rewrite engine's job — keeping
+construction literal is what lets derivations replay the paper's figures
+step by step.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Term, mk
+
+__all__ = [
+    "id_", "pi1", "pi2", "prim", "setop", "union", "intersect", "difference",
+    "eq", "neq", "lt", "leq", "gt", "geq", "isin", "subset", "pprim",
+    "compose", "compose_chain", "pair", "cross", "const_f", "curry_f",
+    "cond", "oplus", "conj", "disj", "inv", "neg", "const_p", "curry_p",
+    "flat", "iterate", "iter_", "join", "nest", "unnest",
+    "tobag", "distinct", "bag_iterate", "bag_flat", "bag_union", "bag_join",
+    "listify", "list_iterate", "list_flat", "list_cat", "to_set",
+    "count", "bag_count", "ssum", "bag_sum", "plus",
+    "lit", "true", "false", "empty_set", "setname", "pairobj", "invoke",
+    "test",
+]
+
+
+# -- primitive functions -----------------------------------------------------
+
+def id_() -> Term:
+    """The identity function: ``id ! x = x``."""
+    return mk("id")
+
+
+def pi1() -> Term:
+    """First projection: ``pi1 ! [x, y] = x``."""
+    return mk("pi1")
+
+
+def pi2() -> Term:
+    """Second projection: ``pi2 ! [x, y] = y``."""
+    return mk("pi2")
+
+
+def prim(name: str) -> Term:
+    """A schema-defined unary function (``age``, ``addr``, ``child``...).
+
+    The meaning of the primitive comes from the active schema at
+    evaluation time; construction only records the name.
+    """
+    return mk("prim", label=name)
+
+
+def setop(name: str) -> Term:
+    """A binary set function invoked on a pair of sets.
+
+    ``name`` is one of ``"union"``, ``"intersect"``, ``"difference"``.
+    """
+    if name not in ("union", "intersect", "difference"):
+        raise ValueError(f"unknown set operation {name!r}")
+    return mk("setop", label=name)
+
+
+def union() -> Term:
+    """Set union as a KOLA function on pairs: ``union ! [A, B] = A | B``."""
+    return setop("union")
+
+
+def intersect() -> Term:
+    """Set intersection on pairs: ``intersect ! [A, B] = A & B``."""
+    return setop("intersect")
+
+
+def difference() -> Term:
+    """Set difference on pairs: ``difference ! [A, B] = A - B``."""
+    return setop("difference")
+
+
+# -- primitive predicates ----------------------------------------------------
+
+def eq() -> Term:
+    """Equality predicate on pairs: ``eq ? [x, y]``."""
+    return mk("eq")
+
+
+def neq() -> Term:
+    """Disequality predicate on pairs."""
+    return mk("neq")
+
+
+def lt() -> Term:
+    """Strict less-than on pairs of comparables."""
+    return mk("lt")
+
+
+def leq() -> Term:
+    """Less-or-equal on pairs of comparables."""
+    return mk("leq")
+
+
+def gt() -> Term:
+    """Strict greater-than on pairs of comparables."""
+    return mk("gt")
+
+
+def geq() -> Term:
+    """Greater-or-equal on pairs of comparables."""
+    return mk("geq")
+
+
+def isin() -> Term:
+    """Set membership: ``in ? [x, A] = x in A``."""
+    return mk("isin")
+
+
+def subset() -> Term:
+    """Subset test: ``subset ? [A, B]``."""
+    return mk("subset")
+
+
+def pprim(name: str) -> Term:
+    """A schema-defined unary predicate."""
+    return mk("pprim", label=name)
+
+
+# -- function formers --------------------------------------------------------
+
+def compose(f: Term, g: Term) -> Term:
+    """Function composition: ``(f o g) ! x = f ! (g ! x)``."""
+    return mk("compose", f, g)
+
+
+def compose_chain(*fs: Term) -> Term:
+    """Right-associated composition of one or more functions.
+
+    ``compose_chain(f, g, h)`` builds ``f o (g o h)`` — the normal form
+    used by the rewrite engine's associative chain matcher.
+    """
+    if not fs:
+        raise ValueError("compose_chain requires at least one function")
+    result = fs[-1]
+    for f in reversed(fs[:-1]):
+        result = compose(f, result)
+    return result
+
+
+def pair(f: Term, g: Term) -> Term:
+    """Function pairing: ``<f, g> ! x = [f ! x, g ! x]``."""
+    return mk("pair", f, g)
+
+
+def cross(f: Term, g: Term) -> Term:
+    """Pairwise application: ``(f x g) ! [x, y] = [f ! x, g ! y]``."""
+    return mk("cross", f, g)
+
+
+def const_f(value: Term) -> Term:
+    """Constant function former ``Kf``: ``Kf(c) ! y = c``.
+
+    ``value`` is an object term — typically a :func:`lit` or a
+    :func:`setname` (the paper's ``Kf(P)`` closes a query over the named
+    set ``P``).
+    """
+    return mk("const_f", value)
+
+
+def curry_f(f: Term, x: Term) -> Term:
+    """Currying former ``Cf``: ``Cf(f, x) ! y = f ! [x, y]``."""
+    return mk("curry_f", f, x)
+
+
+def cond(p: Term, f: Term, g: Term) -> Term:
+    """Conditional former ``con``: apply ``f`` where ``p`` holds, else ``g``."""
+    return mk("cond", p, f, g)
+
+
+# -- predicate formers --------------------------------------------------------
+
+def oplus(p: Term, f: Term) -> Term:
+    """Predicate/function combiner: ``(p (+) f) ? x = p ? (f ! x)``."""
+    return mk("oplus", p, f)
+
+
+def conj(p: Term, q: Term) -> Term:
+    """Predicate conjunction: ``(p & q) ? x``."""
+    return mk("conj", p, q)
+
+
+def disj(p: Term, q: Term) -> Term:
+    """Predicate disjunction: ``(p | q) ? x``."""
+    return mk("disj", p, q)
+
+
+def inv(p: Term) -> Term:
+    """Predicate converse: ``inv(p) ? [x, y] = p ? [y, x]``.
+
+    See DESIGN.md: the paper's ``-1`` former must be the converse for its
+    rule 13 and the Figure 6 derivation to be sound.
+    """
+    return mk("inv", p)
+
+
+def neg(p: Term) -> Term:
+    """Predicate negation: ``(~p) ? x = not (p ? x)``."""
+    return mk("neg", p)
+
+
+def const_p(value: Term) -> Term:
+    """Constant predicate former ``Kp``: ``Kp(b) ? y = b``.
+
+    ``const_p(true())`` is the paper's ubiquitous ``Kp(T)``.
+    """
+    return mk("const_p", value)
+
+
+def curry_p(p: Term, x: Term) -> Term:
+    """Currying former ``Cp``: ``Cp(p, x) ? y = p ? [x, y]``."""
+    return mk("curry_p", p, x)
+
+
+# -- query formers (Table 2) ---------------------------------------------------
+
+def flat() -> Term:
+    """Set flattening: ``flat ! A = {x | x in B, B in A}``."""
+    return mk("flat")
+
+
+def iterate(p: Term, f: Term) -> Term:
+    """Select-then-map over a set: ``iterate(p, f) ! A = {f!x | x in A, p?x}``.
+
+    Captures both of AQUA's ``app`` (with ``p = Kp(T)``) and ``sel``
+    (with ``f = id``).
+    """
+    return mk("iterate", p, f)
+
+
+def iter_(p: Term, f: Term) -> Term:
+    """Environment-carrying iteration, invoked on a pair ``[x, B]``:
+
+    ``iter(p, f) ! [x, B] = {f ! [x, y] | y in B, p ? [x, y]}``.
+
+    ``x`` plays the role of the environment that a variable-based algebra
+    would keep implicit; ``iter`` generalizes the "pairwith" combinator
+    of Breazu-Tannen et al.
+    """
+    return mk("iter", p, f)
+
+
+def join(p: Term, f: Term) -> Term:
+    """Join former: ``join(p, f) ! [A, B] = {f![x,y] | x in A, y in B, p?[x,y]}``."""
+    return mk("join", p, f)
+
+
+def nest(f: Term, g: Term) -> Term:
+    """NULL-free nesting, relative to a second set:
+
+    ``nest(f, g) ! [A, B] = {[y, {g!x | x in A, f!x = y}] | y in B}``.
+
+    Elements of ``B`` with no partners in ``A`` are paired with the empty
+    set — the paper's alternative to outer joins with NULLs.
+    """
+    return mk("nest", f, g)
+
+
+def unnest(f: Term, g: Term) -> Term:
+    """Unnesting: ``unnest(f, g) ! A = {[f!x, y] | x in A, y in g!x}``."""
+    return mk("unnest", f, g)
+
+
+# -- bag formers (Section 6 extension) --------------------------------------------
+
+def tobag() -> Term:
+    """Set-to-bag injection: every element with multiplicity 1."""
+    return mk("tobag")
+
+
+def distinct() -> Term:
+    """Duplicate elimination: the support set of a bag."""
+    return mk("distinct")
+
+
+def bag_iterate(p: Term, f: Term) -> Term:
+    """Filter-then-map over a bag, preserving multiplicities
+    (images that collide merge their counts)."""
+    return mk("bag_iterate", p, f)
+
+
+def bag_flat() -> Term:
+    """Additive union of a bag of bags."""
+    return mk("bag_flat")
+
+
+def bag_union() -> Term:
+    """Additive bag union of a pair of bags (OQL's ``union all``)."""
+    return mk("bag_union")
+
+
+def bag_join(p: Term, f: Term) -> Term:
+    """Bag join: multiplicities of matching pairs multiply."""
+    return mk("bag_join", p, f)
+
+
+# -- list formers (Section 6 extension) ---------------------------------------------
+
+def listify(f: Term) -> Term:
+    """Order a set by key function ``f`` (the algebraic ORDER BY)."""
+    return mk("listify", f)
+
+
+def list_iterate(p: Term, f: Term) -> Term:
+    """Order-preserving filter-then-map over a list."""
+    return mk("list_iterate", p, f)
+
+
+def list_flat() -> Term:
+    """Concatenate a list of lists."""
+    return mk("list_flat")
+
+
+def list_cat() -> Term:
+    """Concatenate a pair of lists."""
+    return mk("list_cat")
+
+
+def to_set() -> Term:
+    """Forget order and duplicates: the set of a list's elements."""
+    return mk("to_set")
+
+
+# -- aggregates and arithmetic ----------------------------------------------------
+
+def count() -> Term:
+    """Set cardinality: ``count ! A = |A|``."""
+    return mk("count")
+
+
+def bag_count() -> Term:
+    """Total multiplicity of a bag (counts duplicates)."""
+    return mk("bag_count")
+
+
+def ssum() -> Term:
+    """Sum of a set of numbers (each distinct value once)."""
+    return mk("ssum")
+
+
+def bag_sum() -> Term:
+    """Multiplicity-weighted sum of a bag of numbers (SQL's SUM)."""
+    return mk("bag_sum")
+
+
+def plus() -> Term:
+    """Addition on pairs of numbers."""
+    return mk("plus")
+
+
+# -- object expressions ---------------------------------------------------------
+
+def lit(value: object) -> Term:
+    """A literal value.  Must be hashable (int, str, bool, frozenset...)."""
+    return mk("lit", label=value)
+
+
+def true() -> Term:
+    """The boolean literal ``T``."""
+    return lit(True)
+
+
+def false() -> Term:
+    """The boolean literal ``F``."""
+    return lit(False)
+
+
+def empty_set() -> Term:
+    """The empty-set literal used by rule 15's ``Kf({})``."""
+    return lit(frozenset())
+
+
+def setname(name: str) -> Term:
+    """A named database collection (the paper's ``P`` and ``V``)."""
+    return mk("setname", label=name)
+
+
+def pairobj(x: Term, y: Term) -> Term:
+    """An object pair ``[x, y]``."""
+    return mk("pairobj", x, y)
+
+
+def invoke(f: Term, x: Term) -> Term:
+    """Function invocation ``f ! x`` as an object expression.
+
+    Whole queries are ``invoke`` terms — e.g. the Garage Query is
+    ``invoke(<big function>, pairobj(setname("V"), setname("P")))``.
+    """
+    return mk("invoke", f, x)
+
+
+def test(p: Term, x: Term) -> Term:
+    """Predicate test ``p ? x`` as a boolean-valued object expression."""
+    return mk("test", p, x)

@@ -1,0 +1,80 @@
+"""Exception hierarchy for the KOLA core.
+
+Every error raised by the library derives from :class:`KolaError`, so
+callers can catch library failures without catching programming errors.
+The hierarchy mirrors the phases of the system: construction, parsing,
+typing, evaluation and rewriting.
+"""
+
+from __future__ import annotations
+
+
+class KolaError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class TermError(KolaError):
+    """A term was constructed with the wrong operator arity or argument kind."""
+
+
+class ParseError(KolaError):
+    """The KOLA (or OQL/COKO) text parser rejected its input."""
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        if position is not None:
+            message = f"{message} (at position {position})"
+        super().__init__(message)
+        self.position = position
+
+
+class TypeInferenceError(KolaError):
+    """A KOLA term is ill-typed (no consistent type assignment exists)."""
+
+
+class EvalError(KolaError):
+    """The operational-semantics evaluator received a value outside an
+    operator's domain (e.g. projecting a non-pair, iterating a non-set)."""
+
+
+class UnknownOperatorError(TermError):
+    """An operator name is not present in the signature registry."""
+
+
+class UnknownPrimitiveError(EvalError):
+    """A schema primitive was invoked but is not defined by the database schema."""
+
+
+class MatchFailure(KolaError):
+    """Internal signal that a pattern failed to match a subject term.
+
+    Matching APIs normally return ``None`` instead of raising; this class
+    exists for strategy code that prefers exception control flow.
+    """
+
+
+class RewriteError(KolaError):
+    """A rewrite produced an invalid term, or a strategy was misused."""
+
+
+class PreconditionError(KolaError):
+    """A rule precondition refers to an unknown property or malformed goal."""
+
+
+class VerificationError(KolaError):
+    """The Larch-substitute checker refuted a rule (found a counterexample)."""
+
+    def __init__(self, message: str, counterexample: object | None = None) -> None:
+        super().__init__(message)
+        self.counterexample = counterexample
+
+
+class AquaError(KolaError):
+    """Errors from the AQUA (variable-based) substrate."""
+
+
+class TranslationError(KolaError):
+    """The OQL/AQUA -> KOLA translator could not translate its input."""
+
+
+class PlanError(KolaError):
+    """Physical plan construction or execution failed."""

@@ -1,0 +1,115 @@
+"""Lists (ordered collections): the other Section 6 bulk type.
+
+OQL supports lists alongside bags and sets; the paper's Section 6 lists
+both as planned KOLA extensions.  Lists enter a query through
+``listify(f)`` — deterministically ordering a set by a key function
+(the algebraic residue of ORDER BY) — and are processed by
+order-preserving formers:
+
+========================  ===================================================
+``listify(f) ! A``         the elements of set ``A`` sorted by ``f!x``
+``list_iterate(p, f) ! L`` order-preserving filter-then-map
+``list_flat ! L``          concatenation of a list of lists
+``list_cat ! [L1, L2]``    concatenation
+``to_set ! L``             forget order and duplicates
+========================  ===================================================
+
+Determinism: ``listify`` breaks key ties with a stable total order on
+value representations, so equal inputs produce equal lists on every run
+— a requirement for rule checking by evaluation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import EvalError
+
+
+class KList:
+    """An immutable ordered sequence (duplicates allowed)."""
+
+    __slots__ = ("_items", "_hash")
+
+    def __init__(self, items: Iterable[object] = ()) -> None:
+        self._items = tuple(items)
+        self._hash = hash((KList, self._items))
+
+    def items(self) -> tuple[object, ...]:
+        return self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[object]:
+        return iter(self._items)
+
+    def __contains__(self, element: object) -> bool:
+        return element in self._items
+
+    def __getitem__(self, index: int) -> object:
+        return self._items[index]
+
+    # -- algebra -----------------------------------------------------------
+
+    def map(self, fn) -> "KList":
+        return KList(fn(item) for item in self._items)
+
+    def filter(self, pred) -> "KList":
+        return KList(item for item in self._items if pred(item))
+
+    def concat(self, other: "KList") -> "KList":
+        return KList(self._items + other._items)
+
+    def flatten(self) -> "KList":
+        result: list[object] = []
+        for member in self._items:
+            if not isinstance(member, KList):
+                raise EvalError(f"list_flat over non-list member {member!r}")
+            result.extend(member.items())
+        return KList(result)
+
+    def support(self) -> frozenset:
+        return frozenset(self._items)
+
+    # -- protocol ------------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KList):
+            return NotImplemented
+        return self._items == other._items
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(item) for item in self._items)
+        return f"List[{inner}]"
+
+
+def as_list(value: object, context: str = "") -> KList:
+    """Coerce to a list or raise a descriptive :class:`EvalError`."""
+    if isinstance(value, KList):
+        return value
+    where = f" in {context}" if context else ""
+    raise EvalError(f"expected a list{where}, got {value!r}")
+
+
+def stable_sort_key(key_value: object, element: object) -> tuple:
+    """Total, deterministic sort key.
+
+    Primary: the ``listify`` key — numerically for numbers, textually
+    (canonical rendering) for everything else, with a type rank so mixed
+    comparisons never raise.  Tie-break: a canonical rendering of the
+    element, so equal keys still yield one deterministic order.
+    """
+    from repro.core.values import value_repr
+    if isinstance(key_value, bool):
+        primary: tuple = (0, float(key_value), "")
+    elif isinstance(key_value, (int, float)):
+        primary = (0, float(key_value), "")
+    elif isinstance(key_value, str):
+        primary = (1, 0.0, key_value)
+    else:
+        primary = (2, 0.0, value_repr(key_value))
+    return primary + (value_repr(element),)

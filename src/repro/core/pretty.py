@@ -1,0 +1,197 @@
+"""Pretty printer for KOLA terms, in (ASCII-ized) paper notation.
+
+The rendering is designed to round-trip through
+:mod:`repro.core.parser` and to read like the paper's figures:
+
+====================  =============================
+paper                 printed
+====================  =============================
+``f o g``             ``f o g``
+``<f, g>``            ``<f, g>``
+``f x g``             ``(f >< g)``
+``Kf(c)`` / ``Kp(b)`` ``Kf(c)`` / ``Kp(T)``
+``Cf(f,x)/Cp(p,x)``   ``Cf(f, x)`` / ``Cp(p, x)``
+``con(p,f,g)``        ``con(p, f, g)``
+``p (+) f``           ``p @ f``
+``p & q`` / ``p | q`` ``p & q`` / ``p | q``
+``p^-1`` / ``~p``     ``inv(p)`` / ``~p``
+``f ! x`` / ``p ? x`` ``f ! x`` / ``p ? x``
+``[x, y]``            ``[x, y]``
+====================  =============================
+
+Composition chains print without parentheses (composition is
+associative); other binary formers parenthesize when nested under an
+operator of equal or tighter binding, so output is unambiguous.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Term
+
+#: Higher binds tighter.  ``!``/``?`` bind loosest so a whole query prints
+#: as ``<function> ! <arg>`` with no outer parens, like the paper.
+_PREC_APPLY = 1
+_PREC_OR = 2
+_PREC_AND = 3
+_PREC_OPLUS = 4
+_PREC_COMPOSE = 5
+_PREC_ATOM = 10
+
+
+def pretty(term: Term) -> str:
+    """Render ``term`` in paper notation."""
+    text, _ = _render(term)
+    return text
+
+
+def _parens(text: str, inner: int, outer: int) -> str:
+    return f"({text})" if inner < outer else text
+
+
+def _render(term: Term) -> tuple[str, int]:
+    """Return ``(text, precedence)`` for ``term``."""
+    op = term.op
+    args = term.args
+
+    if op == "meta":
+        name, sort = term.label
+        return f"${name}", _PREC_ATOM
+    if op == "lit":
+        return _render_literal(term.label), _PREC_ATOM
+    if op == "setname":
+        return str(term.label), _PREC_ATOM
+    if op in ("prim", "pprim"):
+        return str(term.label), _PREC_ATOM
+    if op == "setop":
+        return str(term.label), _PREC_ATOM
+
+    if op == "compose":
+        # Flatten the chain: composition is associative, print flat.
+        chain = _flatten_compose(term)
+        rendered = []
+        for factor in chain:
+            text, prec = _render(factor)
+            rendered.append(_parens(text, prec, _PREC_COMPOSE + 1))
+        return " o ".join(rendered), _PREC_COMPOSE
+    if op == "pair":
+        left, _ = _render(args[0])
+        right, _ = _render(args[1])
+        return f"<{left}, {right}>", _PREC_ATOM
+    if op == "cross":
+        left, lp = _render(args[0])
+        right, rp = _render(args[1])
+        return (f"({_parens(left, lp, _PREC_COMPOSE)} >< "
+                f"{_parens(right, rp, _PREC_COMPOSE)})"), _PREC_ATOM
+    if op == "const_f":
+        inner, _ = _render(args[0])
+        return f"Kf({inner})", _PREC_ATOM
+    if op == "curry_f":
+        f_text, _ = _render(args[0])
+        x_text, _ = _render(args[1])
+        return f"Cf({f_text}, {x_text})", _PREC_ATOM
+    if op == "cond":
+        p_text, _ = _render(args[0])
+        f_text, _ = _render(args[1])
+        g_text, _ = _render(args[2])
+        return f"con({p_text}, {f_text}, {g_text})", _PREC_ATOM
+
+    if op == "oplus":
+        p_text, pp = _render(args[0])
+        f_text, fp = _render(args[1])
+        return (f"{_parens(p_text, pp, _PREC_OPLUS + 1)} @ "
+                f"{_parens(f_text, fp, _PREC_OPLUS + 1)}"), _PREC_OPLUS
+    if op == "conj":
+        left, lp = _render(args[0])
+        right, rp = _render(args[1])
+        return (f"{_parens(left, lp, _PREC_AND)} & "
+                f"{_parens(right, rp, _PREC_AND + 1)}"), _PREC_AND
+    if op == "disj":
+        left, lp = _render(args[0])
+        right, rp = _render(args[1])
+        return (f"{_parens(left, lp, _PREC_OR)} | "
+                f"{_parens(right, rp, _PREC_OR + 1)}"), _PREC_OR
+    if op == "inv":
+        inner, _ = _render(args[0])
+        return f"inv({inner})", _PREC_ATOM
+    if op == "neg":
+        inner, ip = _render(args[0])
+        return f"~{_parens(inner, ip, _PREC_ATOM)}", _PREC_ATOM
+    if op == "const_p":
+        inner, _ = _render(args[0])
+        return f"Kp({inner})", _PREC_ATOM
+    if op == "curry_p":
+        p_text, _ = _render(args[0])
+        x_text, _ = _render(args[1])
+        return f"Cp({p_text}, {x_text})", _PREC_ATOM
+
+    if op == "listify":
+        inner, _ = _render(args[0])
+        return f"listify({inner})", _PREC_ATOM
+    if op in ("iterate", "iter", "join", "bag_iterate", "bag_join",
+              "list_iterate"):
+        p_text, _ = _render(args[0])
+        f_text, _ = _render(args[1])
+        return f"{op}({p_text}, {f_text})", _PREC_ATOM
+    if op in ("nest", "unnest"):
+        f_text, _ = _render(args[0])
+        g_text, _ = _render(args[1])
+        return f"{op}({f_text}, {g_text})", _PREC_ATOM
+
+    if op == "pairobj":
+        left, _ = _render(args[0])
+        right, _ = _render(args[1])
+        return f"[{left}, {right}]", _PREC_ATOM
+    if op == "invoke":
+        f_text, fp = _render(args[0])
+        x_text, xp = _render(args[1])
+        return (f"{_parens(f_text, fp, _PREC_APPLY + 1)} ! "
+                f"{_parens(x_text, xp, _PREC_APPLY + 1)}"), _PREC_APPLY
+    if op == "test":
+        p_text, pp = _render(args[0])
+        x_text, xp = _render(args[1])
+        return (f"{_parens(p_text, pp, _PREC_APPLY + 1)} ? "
+                f"{_parens(x_text, xp, _PREC_APPLY + 1)}"), _PREC_APPLY
+
+    # 0-ary builtins: id, pi1, pi2, flat, eq, lt, ...
+    return op if op != "isin" else "in", _PREC_ATOM
+
+
+def _render_literal(value: object) -> str:
+    from repro.core.values import KPair
+    if value is True:
+        return "T"
+    if value is False:
+        return "F"
+    if isinstance(value, KPair):
+        return (f"[{_render_literal(value.fst)}, "
+                f"{_render_literal(value.snd)}]")
+    if isinstance(value, frozenset):
+        if not value:
+            return "{}"
+        return "{" + ", ".join(sorted(_render_literal(v)
+                                      for v in value)) + "}"
+    if isinstance(value, str):
+        return f'"{value}"'
+    return repr(value)
+
+
+def _flatten_compose(term: Term) -> list[Term]:
+    """The factors of a composition chain, left to right."""
+    if term.op != "compose":
+        return [term]
+    return _flatten_compose(term.args[0]) + _flatten_compose(term.args[1])
+
+
+def pretty_multiline(term: Term, indent: int = 0) -> str:
+    """A layout closer to the paper's figures: one composition factor per
+    line, pair components stacked.  Used by derivation traces and the
+    examples."""
+    pad = "  " * indent
+    if term.op == "compose":
+        factors = _flatten_compose(term)
+        return (" o\n").join(pad + pretty(f) for f in factors)
+    if term.op == "invoke":
+        fn_text = pretty_multiline(term.args[0], indent)
+        arg_text, _ = _render(term.args[1])
+        return f"{fn_text}\n{pad}! {arg_text}"
+    return pad + pretty(term)

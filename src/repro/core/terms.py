@@ -1,0 +1,227 @@
+"""Immutable term representation for the KOLA combinator algebra.
+
+KOLA (Cherniack & Zdonik, SIGMOD 1996) is a *variable-free* query algebra:
+queries are trees of combinators, with no binders and no variables.  That
+property is what makes the algebra a good *internal* representation for a
+rule-based optimizer — rules are first-order patterns and rule application
+is plain structural matching.
+
+This module defines the single AST node type :class:`Term` used for every
+KOLA expression: functions, predicates, object expressions (including
+query invocations ``f ! x``), and the metavariables that appear in rule
+patterns.  Terms are immutable, hashable, and compared structurally, so
+they can be used as dictionary keys, cached, and shared freely.
+
+Terms are *sorted* (in the order-sorted-algebra sense): every term denotes
+either a function (``Sort.FUN``), a predicate (``Sort.PRED``), or an
+object/value expression (``Sort.OBJ``).  Construction goes through
+:func:`mk`, which checks operator arity and argument sorts against the
+signature registry in :mod:`repro.core.signature`; invalid combinations
+raise :class:`~repro.core.errors.TermError` at build time rather than
+surfacing as evaluator crashes later.
+
+Most callers should use the named constructors in
+:mod:`repro.core.constructors` (``compose``, ``pair``, ``iterate``...)
+rather than calling :func:`mk` directly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Hashable, Iterator
+
+from repro.core.errors import TermError, UnknownOperatorError
+
+
+class Sort(enum.Enum):
+    """Syntactic sort of a KOLA term.
+
+    ``FUN``  — denotes a function, invoked with ``!``.
+    ``PRED`` — denotes a predicate, tested with ``?``.
+    ``OBJ``  — denotes a value: literals, named database sets, object
+               pairs, and applications ``f ! x`` / ``p ? x``.
+    ``ANY``  — wildcard sort used only by metavariables that may stand
+               for a term of any sort (rare; most patterns are sorted).
+    """
+
+    FUN = "fun"
+    PRED = "pred"
+    OBJ = "obj"
+    ANY = "any"
+
+
+class Term:
+    """A node of a KOLA expression tree.
+
+    Attributes:
+        op: operator name (``"compose"``, ``"iterate"``, ``"lit"``, ...).
+        args: child terms, in operator-defined order.
+        label: payload carried by leaf operators — the primitive name for
+            ``prim``/``pprim``, the collection name for ``setname``, the
+            Python value for ``lit``, and a ``(name, Sort)`` tuple for
+            ``meta`` (pattern metavariables).
+
+    ``Term`` is deeply immutable: ``args`` is a tuple of ``Term`` and
+    ``label`` must be hashable.  Equality and hashing are structural and
+    the hash is computed once at construction.
+    """
+
+    __slots__ = ("op", "args", "label", "_hash")
+
+    op: str
+    args: tuple["Term", ...]
+    label: Hashable
+
+    def __init__(self, op: str, args: tuple["Term", ...] = (),
+                 label: Hashable = None) -> None:
+        object.__setattr__(self, "op", op)
+        object.__setattr__(self, "args", args)
+        object.__setattr__(self, "label", label)
+        object.__setattr__(self, "_hash", hash((op, args, label)))
+
+    def __setattr__(self, name: str, value: object) -> None:
+        raise AttributeError("Term is immutable")
+
+    def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
+        if not isinstance(other, Term):
+            return NotImplemented
+        return (self._hash == other._hash and self.op == other.op
+                and self.label == other.label and self.args == other.args)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        from repro.core.pretty import pretty
+        return f"Term({pretty(self)})"
+
+    # -- structure helpers -------------------------------------------------
+
+    def is_leaf(self) -> bool:
+        """True when the term has no child terms."""
+        return not self.args
+
+    @property
+    def sort(self) -> Sort:
+        """The sort of this term (delegates to the signature registry)."""
+        return sort_of(self)
+
+    def subterms(self) -> Iterator["Term"]:
+        """Yield this term and every descendant, pre-order."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.args))
+
+    def size(self) -> int:
+        """Number of nodes in the term tree (the paper's size measure)."""
+        return sum(1 for _ in self.subterms())
+
+    def depth(self) -> int:
+        """Height of the term tree (a leaf has depth 1)."""
+        if not self.args:
+            return 1
+        return 1 + max(child.depth() for child in self.args)
+
+    def with_args(self, args: tuple["Term", ...]) -> "Term":
+        """A copy of this term with ``args`` replaced (op/label preserved)."""
+        if args == self.args:
+            return self
+        return Term(self.op, args, self.label)
+
+    def contains(self, other: "Term") -> bool:
+        """True when ``other`` occurs as a subterm of this term."""
+        return any(node == other for node in self.subterms())
+
+    def metavars(self) -> frozenset[tuple[str, Sort]]:
+        """The ``(name, sort)`` pairs of all metavariables in the term."""
+        return frozenset(node.label for node in self.subterms()
+                         if node.op == "meta")
+
+    def is_ground(self) -> bool:
+        """True when the term contains no metavariables."""
+        return all(node.op != "meta" for node in self.subterms())
+
+
+def mk(op: str, *args: Term, label: Hashable = None) -> Term:
+    """Build a term, validating arity and argument sorts.
+
+    Raises:
+        UnknownOperatorError: ``op`` is not in the signature registry.
+        TermError: wrong number of arguments or an argument of the wrong
+            sort (metavariables of sort ``ANY`` are accepted anywhere).
+    """
+    from repro.core.signature import REGISTRY
+
+    sig = REGISTRY.get(op)
+    if sig is None:
+        raise UnknownOperatorError(f"unknown operator {op!r}")
+    if len(args) != len(sig.arg_sorts):
+        raise TermError(
+            f"operator {op!r} expects {len(sig.arg_sorts)} argument(s), "
+            f"got {len(args)}")
+    for index, (arg, want) in enumerate(zip(args, sig.arg_sorts)):
+        if not isinstance(arg, Term):
+            raise TermError(
+                f"argument {index} of {op!r} is not a Term: {arg!r}")
+        have = sort_of(arg)
+        if have is Sort.ANY or have is want:
+            continue
+        raise TermError(
+            f"argument {index} of {op!r} must have sort {want.value}, "
+            f"got {have.value} ({arg!r})")
+    if sig.needs_label and label is None:
+        raise TermError(f"operator {op!r} requires a label payload")
+    if not sig.needs_label and label is not None:
+        raise TermError(f"operator {op!r} does not take a label payload")
+    return Term(op, tuple(args), label)
+
+
+def sort_of(term: Term) -> Sort:
+    """The sort of ``term`` according to the signature registry.
+
+    Metavariables carry their sort in their label.
+    """
+    if term.op == "meta":
+        return term.label[1]
+    from repro.core.signature import REGISTRY
+    sig = REGISTRY.get(term.op)
+    if sig is None:
+        raise UnknownOperatorError(f"unknown operator {term.op!r}")
+    return sig.result_sort
+
+
+def meta(name: str, sort: Sort = Sort.ANY) -> Term:
+    """A pattern metavariable.
+
+    Metavariables only match terms of their sort (``ANY`` matches
+    everything).  They are the "unification variables" of the paper's
+    rule language and never appear in executable queries.
+    """
+    if not isinstance(name, str) or not name:
+        raise TermError("metavariable name must be a non-empty string")
+    return Term("meta", (), (name, sort))
+
+
+def fun_var(name: str) -> Term:
+    """A function-sorted metavariable (``f``, ``g``, ``h`` in the paper)."""
+    return meta(name, Sort.FUN)
+
+
+def pred_var(name: str) -> Term:
+    """A predicate-sorted metavariable (``p``, ``q`` in the paper)."""
+    return meta(name, Sort.PRED)
+
+
+def obj_var(name: str) -> Term:
+    """An object-sorted metavariable (``x``, ``k``, ``A``, ``B``...)."""
+    return meta(name, Sort.OBJ)

@@ -1,0 +1,569 @@
+"""Type language and Hindley-Milner-style inference for KOLA terms.
+
+KOLA's combinators are polymorphic (``id : a -> a``,
+``pi1 : (a x b) -> a``, ``iterate(p: Pred a, f: a -> b) : Set a -> Set b``
+...), and because KOLA terms are built without binders it is easy to
+assemble a tree that *looks* plausible but is semantically nonsense —
+e.g. composing ``age`` with ``city``.  The paper leaned on Larch
+specifications for this; in Python (dynamically typed — the known weak
+spot of this reproduction) we provide a standalone structural type
+checker instead.
+
+The type language:
+
+* base types — ``Int``, ``Float``, ``Str``, ``Bool``, and one constructor
+  per schema ADT (``Person``, ``Vehicle``...);
+* ``Pair(a, b)`` and ``Set(a)``;
+* ``Fun(a, b)`` for function-sorted terms and ``Pred(a)`` for
+  predicate-sorted terms;
+* type variables for polymorphism.
+
+:func:`infer` computes the principal type of a term (ground or pattern);
+metavariables are given one shared type variable per name, so inferring a
+*rule* under a common :class:`Inferencer` checks that its two sides are
+type-compatible — a cheap, effective sanity layer over the rule pool.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.errors import TypeInferenceError
+from repro.core.terms import Sort, Term
+from repro.schema.adt import Schema
+
+
+# -- type language -----------------------------------------------------------
+
+@dataclass(frozen=True)
+class Type:
+    """Base class for types (instances are immutable and hashable)."""
+
+
+@dataclass(frozen=True)
+class TVar(Type):
+    """A type variable, identified by an integer id."""
+
+    id: int
+
+    def __repr__(self) -> str:
+        return f"t{self.id}"
+
+
+@dataclass(frozen=True)
+class TCon(Type):
+    """A type constructor application: ``name(args...)``."""
+
+    name: str
+    args: tuple[Type, ...] = ()
+
+    def __repr__(self) -> str:
+        if not self.args:
+            return self.name
+        inner = ", ".join(repr(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+INT = TCon("Int")
+FLOAT = TCon("Float")
+STR = TCon("Str")
+BOOL = TCon("Bool")
+
+
+def pair_t(a: Type, b: Type) -> Type:
+    """The type of pairs ``[a, b]``."""
+    return TCon("Pair", (a, b))
+
+
+def set_t(a: Type) -> Type:
+    """The type of sets of ``a``."""
+    return TCon("Set", (a,))
+
+
+def bag_t(a: Type) -> Type:
+    """The type of bags (multisets) of ``a`` — the Section 6 extension."""
+    return TCon("Bag", (a,))
+
+
+def list_t(a: Type) -> Type:
+    """The type of lists of ``a`` — the Section 6 extension."""
+    return TCon("List", (a,))
+
+
+def fun_t(a: Type, b: Type) -> Type:
+    """The type of functions from ``a`` to ``b``."""
+    return TCon("Fun", (a, b))
+
+
+def pred_t(a: Type) -> Type:
+    """The type of predicates over ``a``."""
+    return TCon("Pred", (a,))
+
+
+_TYPE_TOKEN = re.compile(r"[A-Za-z_][A-Za-z0-9_]*|[(),]")
+
+
+def parse_type(text: str) -> Type:
+    """Parse a type expression like ``"Set(Pair(Person, Int))"``.
+
+    Used for schema attribute declarations.  Bare names become nullary
+    constructors; ``Pair``/``Set``/``Fun``/``Pred`` take arguments.
+    """
+    tokens = _TYPE_TOKEN.findall(text)
+    pos = 0
+
+    def parse() -> Type:
+        nonlocal pos
+        if pos >= len(tokens):
+            raise TypeInferenceError(f"truncated type expression: {text!r}")
+        name = tokens[pos]
+        if not name[0].isalpha() and name[0] != "_":
+            raise TypeInferenceError(f"bad type expression: {text!r}")
+        pos += 1
+        args: list[Type] = []
+        if pos < len(tokens) and tokens[pos] == "(":
+            pos += 1
+            while True:
+                args.append(parse())
+                if pos < len(tokens) and tokens[pos] == ",":
+                    pos += 1
+                    continue
+                break
+            if pos >= len(tokens) or tokens[pos] != ")":
+                raise TypeInferenceError(f"unbalanced parens in type: {text!r}")
+            pos += 1
+        return TCon(name, tuple(args))
+
+    result = parse()
+    if pos != len(tokens):
+        raise TypeInferenceError(f"trailing junk in type: {text!r}")
+    return result
+
+
+# -- unification ---------------------------------------------------------------
+
+class Inferencer:
+    """Type inference context: fresh-variable supply + substitution.
+
+    One ``Inferencer`` may be shared across several :meth:`infer` calls
+    to type-check terms *together* (the two sides of a rule, a function
+    and its argument, ...).
+    """
+
+    def __init__(self, schema: Schema | None = None) -> None:
+        self.schema = schema
+        self._counter = 0
+        self._subst: dict[int, Type] = {}
+        self._meta_types: dict[object, Type] = {}
+
+    # -- variable/substitution machinery --------------------------------------
+
+    def fresh(self) -> TVar:
+        """A fresh type variable."""
+        self._counter += 1
+        return TVar(self._counter)
+
+    def resolve(self, t: Type) -> Type:
+        """Apply the current substitution fully to ``t``."""
+        if isinstance(t, TVar):
+            bound = self._subst.get(t.id)
+            if bound is None:
+                return t
+            resolved = self.resolve(bound)
+            self._subst[t.id] = resolved  # path compression
+            return resolved
+        if isinstance(t, TCon) and t.args:
+            return TCon(t.name, tuple(self.resolve(a) for a in t.args))
+        return t
+
+    def unify(self, a: Type, b: Type, context: str = "") -> None:
+        """Make ``a`` and ``b`` equal, extending the substitution.
+
+        Raises:
+            TypeInferenceError: on constructor clash or occurs-check
+                failure; the message includes ``context``.
+        """
+        a = self.resolve(a)
+        b = self.resolve(b)
+        if a == b:
+            return
+        if isinstance(a, TVar):
+            if self._occurs(a, b):
+                raise TypeInferenceError(
+                    f"infinite type {a} = {b}" + (f" in {context}" if context else ""))
+            self._subst[a.id] = b
+            return
+        if isinstance(b, TVar):
+            self.unify(b, a, context)
+            return
+        assert isinstance(a, TCon) and isinstance(b, TCon)
+        if a.name != b.name or len(a.args) != len(b.args):
+            where = f" in {context}" if context else ""
+            raise TypeInferenceError(f"cannot unify {a} with {b}{where}")
+        for x, y in zip(a.args, b.args):
+            self.unify(x, y, context)
+
+    def _occurs(self, var: TVar, t: Type) -> bool:
+        t = self.resolve(t)
+        if t == var:
+            return True
+        if isinstance(t, TCon):
+            return any(self._occurs(var, a) for a in t.args)
+        return False
+
+    # -- inference ---------------------------------------------------------------
+
+    def infer(self, term: Term) -> Type:
+        """Principal type of ``term`` under the current substitution."""
+        return self.resolve(self._infer(term))
+
+    def meta_type(self, label: object) -> Type:
+        """The (shared) type assigned to metavariable ``label``."""
+        if label not in self._meta_types:
+            name, sort = label
+            if sort is Sort.FUN:
+                t: Type = fun_t(self.fresh(), self.fresh())
+            elif sort is Sort.PRED:
+                t = pred_t(self.fresh())
+            else:
+                t = self.fresh()
+            self._meta_types[label] = t
+        return self._meta_types[label]
+
+    def _infer(self, term: Term) -> Type:
+        op = term.op
+        args = term.args
+
+        if op == "meta":
+            return self.meta_type(term.label)
+
+        # -- object expressions -------------------------------------------------
+        if op == "lit":
+            return self._literal_type(term.label)
+        if op == "setname":
+            if self.schema is not None:
+                adt = self.schema.collection_adt(term.label)
+                return set_t(TCon(adt))
+            return set_t(self.fresh())
+        if op == "pairobj":
+            return pair_t(self._infer(args[0]), self._infer(args[1]))
+        if op == "invoke":
+            f_type = self._infer(args[0])
+            x_type = self._infer(args[1])
+            result = self.fresh()
+            self.unify(f_type, fun_t(x_type, result), "invocation (!)")
+            return result
+        if op == "test":
+            p_type = self._infer(args[0])
+            x_type = self._infer(args[1])
+            self.unify(p_type, pred_t(x_type), "test (?)")
+            return BOOL
+
+        # -- primitive functions --------------------------------------------------
+        if op == "id":
+            a = self.fresh()
+            return fun_t(a, a)
+        if op == "pi1":
+            a, b = self.fresh(), self.fresh()
+            return fun_t(pair_t(a, b), a)
+        if op == "pi2":
+            a, b = self.fresh(), self.fresh()
+            return fun_t(pair_t(a, b), b)
+        if op == "prim":
+            if self.schema is not None:
+                sig = self.schema.function_signature(term.label)
+                if sig is None:
+                    raise TypeInferenceError(
+                        f"unknown primitive {term.label!r} for this schema")
+                arg_text, result_text = sig
+                return fun_t(parse_type(arg_text), parse_type(result_text))
+            return fun_t(self.fresh(), self.fresh())
+        if op == "setop":
+            a = self.fresh()
+            return fun_t(pair_t(set_t(a), set_t(a)), set_t(a))
+
+        # -- primitive predicates ---------------------------------------------------
+        if op in ("eq", "neq", "lt", "leq", "gt", "geq"):
+            a = self.fresh()
+            return pred_t(pair_t(a, a))
+        if op == "isin":
+            a = self.fresh()
+            return pred_t(pair_t(a, set_t(a)))
+        if op == "subset":
+            a = self.fresh()
+            return pred_t(pair_t(set_t(a), set_t(a)))
+        if op == "pprim":
+            if self.schema is not None:
+                arg_text = self.schema.predicate_signature(term.label)
+                if arg_text is None:
+                    raise TypeInferenceError(
+                        f"unknown primitive predicate {term.label!r}")
+                return pred_t(parse_type(arg_text))
+            return pred_t(self.fresh())
+
+        # -- function formers ----------------------------------------------------------
+        if op == "compose":
+            a, b, c = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(b, c), "compose left")
+            self.unify(self._infer(args[1]), fun_t(a, b), "compose right")
+            return fun_t(a, c)
+        if op == "pair":
+            a, b, c = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(a, b), "pair left")
+            self.unify(self._infer(args[1]), fun_t(a, c), "pair right")
+            return fun_t(a, pair_t(b, c))
+        if op == "cross":
+            a, b, c, d = (self.fresh() for _ in range(4))
+            self.unify(self._infer(args[0]), fun_t(a, c), "cross left")
+            self.unify(self._infer(args[1]), fun_t(b, d), "cross right")
+            return fun_t(pair_t(a, b), pair_t(c, d))
+        if op == "const_f":
+            value_type = self._infer(args[0])
+            return fun_t(self.fresh(), value_type)
+        if op == "curry_f":
+            x_type = self._infer(args[1])
+            b, c = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(pair_t(x_type, b), c),
+                       "Cf function")
+            return fun_t(b, c)
+        if op == "cond":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a), "con predicate")
+            self.unify(self._infer(args[1]), fun_t(a, b), "con then")
+            self.unify(self._infer(args[2]), fun_t(a, b), "con else")
+            return fun_t(a, b)
+
+        # -- predicate formers ------------------------------------------------------------
+        if op == "oplus":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[1]), fun_t(a, b), "(+) function")
+            self.unify(self._infer(args[0]), pred_t(b), "(+) predicate")
+            return pred_t(a)
+        if op in ("conj", "disj"):
+            a = self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a), f"{op} left")
+            self.unify(self._infer(args[1]), pred_t(a), f"{op} right")
+            return pred_t(a)
+        if op == "inv":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(pair_t(a, b)), "inv")
+            return pred_t(pair_t(b, a))
+        if op == "neg":
+            a = self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a), "negation")
+            return pred_t(a)
+        if op == "const_p":
+            self.unify(self._infer(args[0]), BOOL, "Kp argument")
+            return pred_t(self.fresh())
+        if op == "curry_p":
+            x_type = self._infer(args[1])
+            b = self.fresh()
+            self.unify(self._infer(args[0]), pred_t(pair_t(x_type, b)),
+                       "Cp predicate")
+            return pred_t(b)
+
+        # -- query formers -------------------------------------------------------------------
+        if op == "flat":
+            a = self.fresh()
+            return fun_t(set_t(set_t(a)), set_t(a))
+        if op == "iterate":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a), "iterate predicate")
+            self.unify(self._infer(args[1]), fun_t(a, b), "iterate function")
+            return fun_t(set_t(a), set_t(b))
+        if op == "iter":
+            e, a, b = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(pair_t(e, a)),
+                       "iter predicate")
+            self.unify(self._infer(args[1]), fun_t(pair_t(e, a), b),
+                       "iter function")
+            return fun_t(pair_t(e, set_t(a)), set_t(b))
+        if op == "join":
+            a, b, c = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(pair_t(a, b)),
+                       "join predicate")
+            self.unify(self._infer(args[1]), fun_t(pair_t(a, b), c),
+                       "join function")
+            return fun_t(pair_t(set_t(a), set_t(b)), set_t(c))
+        if op == "nest":
+            a, k, v = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(a, k), "nest key")
+            self.unify(self._infer(args[1]), fun_t(a, v), "nest value")
+            return fun_t(pair_t(set_t(a), set_t(k)),
+                         set_t(pair_t(k, set_t(v))))
+        if op == "unnest":
+            a, k, v = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(a, k), "unnest key")
+            self.unify(self._infer(args[1]), fun_t(a, set_t(v)),
+                       "unnest set function")
+            return fun_t(set_t(a), set_t(pair_t(k, v)))
+
+        # -- bag formers ----------------------------------------------------
+        if op == "tobag":
+            a = self.fresh()
+            return fun_t(set_t(a), bag_t(a))
+        if op == "distinct":
+            a = self.fresh()
+            return fun_t(bag_t(a), set_t(a))
+        if op == "bag_iterate":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a),
+                       "bag_iterate predicate")
+            self.unify(self._infer(args[1]), fun_t(a, b),
+                       "bag_iterate function")
+            return fun_t(bag_t(a), bag_t(b))
+        if op == "bag_flat":
+            a = self.fresh()
+            return fun_t(bag_t(bag_t(a)), bag_t(a))
+        if op == "bag_union":
+            a = self.fresh()
+            return fun_t(pair_t(bag_t(a), bag_t(a)), bag_t(a))
+        if op == "bag_join":
+            a, b, c = self.fresh(), self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(pair_t(a, b)),
+                       "bag_join predicate")
+            self.unify(self._infer(args[1]), fun_t(pair_t(a, b), c),
+                       "bag_join function")
+            return fun_t(pair_t(bag_t(a), bag_t(b)), bag_t(c))
+
+        # -- aggregates and arithmetic ------------------------------------------
+        if op == "count":
+            return fun_t(set_t(self.fresh()), INT)
+        if op == "bag_count":
+            return fun_t(bag_t(self.fresh()), INT)
+        if op == "ssum":
+            return fun_t(set_t(INT), INT)
+        if op == "bag_sum":
+            return fun_t(bag_t(INT), INT)
+        if op == "plus":
+            return fun_t(pair_t(INT, INT), INT)
+
+        # -- list formers ------------------------------------------------------
+        if op == "listify":
+            a, k = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), fun_t(a, k), "listify key")
+            return fun_t(set_t(a), list_t(a))
+        if op == "list_iterate":
+            a, b = self.fresh(), self.fresh()
+            self.unify(self._infer(args[0]), pred_t(a),
+                       "list_iterate predicate")
+            self.unify(self._infer(args[1]), fun_t(a, b),
+                       "list_iterate function")
+            return fun_t(list_t(a), list_t(b))
+        if op == "list_flat":
+            a = self.fresh()
+            return fun_t(list_t(list_t(a)), list_t(a))
+        if op == "list_cat":
+            a = self.fresh()
+            return fun_t(pair_t(list_t(a), list_t(a)), list_t(a))
+        if op == "to_set":
+            a = self.fresh()
+            return fun_t(list_t(a), set_t(a))
+
+        raise TypeInferenceError(f"no typing rule for operator {op!r}")
+
+    def _literal_type(self, value: object) -> Type:
+        if isinstance(value, bool):
+            return BOOL
+        if isinstance(value, int):
+            return INT
+        if isinstance(value, float):
+            return FLOAT
+        if isinstance(value, str):
+            return STR
+        if isinstance(value, frozenset):
+            if not value:
+                return set_t(self.fresh())
+            element_types = {self._literal_type(v) for v in value}
+            if len(element_types) != 1:
+                raise TypeInferenceError(
+                    f"heterogeneous set literal: {value!r}")
+            return set_t(next(iter(element_types)))
+        from repro.core.bags import KBag
+        from repro.core.values import Instance, KPair
+        if isinstance(value, Instance):
+            return TCon(value.adt)
+        if isinstance(value, KPair):
+            return pair_t(self._literal_type(value.fst),
+                          self._literal_type(value.snd))
+        if isinstance(value, KBag):
+            support = value.support()
+            if not support:
+                return bag_t(self.fresh())
+            element_types = {self._literal_type(v) for v in support}
+            if len(element_types) != 1:
+                raise TypeInferenceError(
+                    f"heterogeneous bag literal: {value!r}")
+            return bag_t(next(iter(element_types)))
+        from repro.core.lists import KList
+        if isinstance(value, KList):
+            if not len(value):
+                return list_t(self.fresh())
+            element_types = {self._literal_type(v) for v in value}
+            if len(element_types) != 1:
+                raise TypeInferenceError(
+                    f"heterogeneous list literal: {value!r}")
+            return list_t(next(iter(element_types)))
+        raise TypeInferenceError(f"untypable literal: {value!r}")
+
+
+def infer(term: Term, schema: Schema | None = None) -> Type:
+    """Principal type of ``term`` (fresh inference context)."""
+    return Inferencer(schema).infer(term)
+
+
+def well_typed(term: Term, schema: Schema | None = None) -> bool:
+    """True when ``term`` admits a type."""
+    try:
+        infer(term, schema)
+        return True
+    except TypeInferenceError:
+        return False
+
+
+def subsumes(general: Type, specific: Type) -> bool:
+    """True when ``specific`` is an instance of ``general`` — i.e. some
+    substitution of ``general``'s type variables yields ``specific``.
+
+    Used to decide whether applying a rule (or its reverse) can *narrow*
+    the type at a rewrite position, which is unsafe under untyped
+    matching.
+    """
+    bindings: dict[int, Type] = {}
+
+    def walk(g: Type, s: Type) -> bool:
+        if isinstance(g, TVar):
+            bound = bindings.get(g.id)
+            if bound is None:
+                bindings[g.id] = s
+                return True
+            return bound == s
+        assert isinstance(g, TCon)
+        if not isinstance(s, TCon) or g.name != s.name \
+                or len(g.args) != len(s.args):
+            return False
+        return all(walk(ga, sa) for ga, sa in zip(g.args, s.args))
+
+    return walk(general, specific)
+
+
+def alpha_equivalent(a: Type, b: Type) -> bool:
+    """Equal up to renaming of type variables."""
+    return subsumes(a, b) and subsumes(b, a)
+
+
+def check_rule_types(lhs: Term, rhs: Term,
+                     schema: Schema | None = None) -> Type:
+    """Type-check a rewrite rule: both sides must admit a *common* type
+    under a shared typing of their metavariables.
+
+    Returns the unified type.  Raises :class:`TypeInferenceError` when the
+    sides are incompatible — which catches a large class of rule-authoring
+    mistakes before any semantic checking runs.
+    """
+    inferencer = Inferencer(schema)
+    lhs_type = inferencer.infer(lhs)
+    rhs_type = inferencer.infer(rhs)
+    inferencer.unify(lhs_type, rhs_type, "rule sides")
+    return inferencer.resolve(lhs_type)

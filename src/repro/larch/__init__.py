@@ -1,0 +1,10 @@
+"""Larch-prover substitute: randomized model-checking of rule soundness."""
+
+from repro.larch.gen import TermGenerator, ground_type
+from repro.larch.checker import RuleChecker, RuleReport, check_rule
+from repro.larch.report import pool_report, render_report
+
+__all__ = [
+    "TermGenerator", "ground_type", "RuleChecker", "RuleReport",
+    "check_rule", "pool_report", "render_report",
+]

@@ -1,0 +1,283 @@
+"""Random generation of well-typed KOLA terms and values.
+
+The authors proved their rules with the Larch Prover.  Our substitute
+(DESIGN.md section 5) *model-checks* each rule instead: metavariables are
+instantiated with random well-typed terms, a random input of the rule's
+domain type is generated, and both sides are evaluated.  This module is
+the generator half of that substitute.
+
+Generation is type-directed:
+
+* :func:`ground_type` replaces residual type variables in an inferred
+  type with concrete types from a small palette;
+* :meth:`TermGenerator.value` builds a random *value* of a ground type;
+* :meth:`TermGenerator.function` / :meth:`TermGenerator.predicate` build
+  random *terms* of a ground ``Fun``/``Pred`` type, recursing through the
+  combinator formers so that generated instantiations exercise the whole
+  algebra, with ``Kf``/``id``/``Kp`` as the depth-bounded base cases.
+
+All randomness flows from one ``random.Random`` owned by the generator,
+so checking runs are reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import constructors as C
+from repro.core.errors import KolaError
+from repro.core.terms import Term
+from repro.core.types import BOOL, INT, STR, TCon, TVar, Type, pair_t
+from repro.core.values import KPair, kset
+
+#: Concrete types used to ground residual type variables.  Weighted
+#: toward Int so that comparison predicates stay generable.
+_PALETTE: tuple[Type, ...] = (
+    INT, INT, INT, STR, BOOL,
+    TCon("Pair", (INT, INT)),
+    TCon("Set", (INT,)),
+)
+
+_MAX_SET = 4
+
+
+def ground_type(t: Type, rng: random.Random, depth: int = 2,
+                memo: dict[int, Type] | None = None) -> Type:
+    """Replace every type variable in ``t`` with a concrete type.
+
+    Repeated variables ground *consistently* (``Fun(a, a)`` becomes
+    ``Fun(X, X)``, never ``Fun(X, Y)``) via the shared ``memo``.
+    """
+    if memo is None:
+        memo = {}
+    if isinstance(t, TVar):
+        if t.id in memo:
+            return memo[t.id]
+        choice = INT if depth <= 0 else rng.choice(_PALETTE)
+        memo[t.id] = choice
+        return choice
+    assert isinstance(t, TCon)
+    if not t.args:
+        return t
+    return TCon(t.name, tuple(ground_type(a, rng, depth - 1, memo)
+                              for a in t.args))
+
+
+class GenerationError(KolaError):
+    """The generator cannot produce a term/value of the requested type."""
+
+
+class TermGenerator:
+    """Type-directed random generator of KOLA values and terms."""
+
+    def __init__(self, seed: int = 0, max_depth: int = 3) -> None:
+        self.rng = random.Random(seed)
+        self.max_depth = max_depth
+
+    # -- values -----------------------------------------------------------
+
+    def value(self, t: Type) -> object:
+        """A random value of ground type ``t``."""
+        assert isinstance(t, TCon), f"cannot generate value of {t!r}"
+        if t == INT:
+            return self.rng.randint(-3, 6)
+        if t == STR:
+            return self.rng.choice(("a", "b", "c", "dd"))
+        if t == BOOL:
+            return self.rng.random() < 0.5
+        if t.name == "Float":
+            return round(self.rng.uniform(-2, 2), 2)
+        if t.name == "Pair":
+            return KPair(self.value(t.args[0]), self.value(t.args[1]))
+        if t.name == "Set":
+            size = self.rng.randint(0, _MAX_SET)
+            return kset(self.value(t.args[0]) for _ in range(size))
+        if t.name == "Bag":
+            from repro.core.bags import KBag
+            size = self.rng.randint(0, _MAX_SET + 2)
+            return KBag.of(self.value(t.args[0]) for _ in range(size))
+        if t.name == "List":
+            from repro.core.lists import KList
+            size = self.rng.randint(0, _MAX_SET + 2)
+            return KList(self.value(t.args[0]) for _ in range(size))
+        raise GenerationError(f"no value generator for type {t!r}")
+
+    def literal(self, t: Type) -> Term:
+        """A random literal term of ground type ``t``.
+
+        Pairs are built structurally (``pairobj``) so generated terms
+        use the same spelling the parser and printer use.
+        """
+        assert isinstance(t, TCon)
+        if t.name == "Pair":
+            return C.pairobj(self.literal(t.args[0]), self.literal(t.args[1]))
+        return C.lit(self.value(t))
+
+    # -- functions -----------------------------------------------------------
+
+    def function(self, domain: Type, codomain: Type,
+                 depth: int | None = None) -> Term:
+        """A random function term of type ``Fun(domain, codomain)``."""
+        if depth is None:
+            depth = self.max_depth
+        options = self._function_options(domain, codomain, depth)
+        builder = self.rng.choice(options)
+        return builder()
+
+    def _function_options(self, domain: Type, codomain: Type, depth: int):
+        assert isinstance(domain, TCon) and isinstance(codomain, TCon)
+        options = [lambda: C.const_f(self.literal(codomain))]
+        if domain == codomain:
+            options.append(C.id_)
+            options.append(C.id_)  # weight identity up: it composes well
+        if domain.name == "Pair":
+            left, right = domain.args
+            if left == codomain:
+                options.append(C.pi1)
+            if right == codomain:
+                options.append(C.pi2)
+        if depth > 0:
+            mid = ground_type(TVar(-1), self.rng)
+            options.append(lambda: C.compose(
+                self.function(mid, codomain, depth - 1),
+                self.function(domain, mid, depth - 1)))
+            options.append(lambda: C.cond(
+                self.predicate(domain, depth - 1),
+                self.function(domain, codomain, depth - 1),
+                self.function(domain, codomain, depth - 1)))
+            if codomain.name == "Pair":
+                c_left, c_right = codomain.args
+                options.append(lambda: C.pair(
+                    self.function(domain, c_left, depth - 1),
+                    self.function(domain, c_right, depth - 1)))
+                if domain.name == "Pair":
+                    d_left, d_right = domain.args
+                    options.append(lambda: C.cross(
+                        self.function(d_left, c_left, depth - 1),
+                        self.function(d_right, c_right, depth - 1)))
+            if domain.name == "Set" and codomain.name == "Set":
+                element, result = domain.args[0], codomain.args[0]
+                options.append(lambda: C.iterate(
+                    self.predicate(element, depth - 1),
+                    self.function(element, result, depth - 1)))
+                if element == result:
+                    options.append(lambda: C.iterate(
+                        self.predicate(element, depth - 1), C.id_()))
+            if (domain.name == "Set" and domain.args[0].name == "Set"
+                    and codomain == domain.args[0]):
+                options.append(C.flat)
+            # -- bag formers -------------------------------------------------
+            if (domain.name == "Set" and codomain.name == "Bag"
+                    and domain.args[0] == codomain.args[0]):
+                options.append(C.tobag)
+            if (domain.name == "Bag" and codomain.name == "Set"
+                    and domain.args[0] == codomain.args[0]):
+                options.append(C.distinct)
+            if domain.name == "Bag" and codomain.name == "Bag":
+                element, result = domain.args[0], codomain.args[0]
+                options.append(lambda: C.bag_iterate(
+                    self.predicate(element, depth - 1),
+                    self.function(element, result, depth - 1)))
+            if (domain.name == "Bag" and domain.args[0].name == "Bag"
+                    and codomain == domain.args[0]):
+                options.append(C.bag_flat)
+            # -- list formers ----------------------------------------------
+            if (domain.name == "Set" and codomain.name == "List"
+                    and domain.args[0] == codomain.args[0]):
+                element = domain.args[0]
+                options.append(lambda: C.listify(
+                    self.function(element, INT, depth - 1)))
+            if (domain.name == "List" and codomain.name == "Set"
+                    and domain.args[0] == codomain.args[0]):
+                options.append(C.to_set)
+            if domain.name == "List" and codomain.name == "List":
+                element, result = domain.args[0], codomain.args[0]
+                options.append(lambda: C.list_iterate(
+                    self.predicate(element, depth - 1),
+                    self.function(element, result, depth - 1)))
+            if (domain.name == "List" and domain.args[0].name == "List"
+                    and codomain == domain.args[0]):
+                options.append(C.list_flat)
+            # -- aggregates ----------------------------------------------------
+            if codomain == INT:
+                if domain.name == "Set":
+                    options.append(C.count)
+                if domain.name == "Bag":
+                    options.append(C.bag_count)
+                if domain == TCon("Set", (INT,)):
+                    options.append(C.ssum)
+                if domain == TCon("Pair", (INT, INT)):
+                    options.append(C.plus)
+            options.append(lambda: self._curry_f(domain, codomain, depth))
+        return options
+
+    def _curry_f(self, domain: Type, codomain: Type, depth: int) -> Term:
+        """Cf(f, k) : domain -> codomain with f : Pair(K, domain) -> codomain."""
+        key_type = ground_type(TVar(-1), self.rng)
+        inner = self.function(pair_t(key_type, domain), codomain, depth - 1)
+        return C.curry_f(inner, self.literal(key_type))
+
+    # -- predicates ---------------------------------------------------------------
+
+    def predicate(self, domain: Type, depth: int | None = None) -> Term:
+        """A random predicate term of type ``Pred(domain)``."""
+        if depth is None:
+            depth = self.max_depth
+        assert isinstance(domain, TCon)
+        options = [
+            lambda: C.const_p(C.lit(self.rng.random() < 0.5)),
+        ]
+        if domain.name == "Pair":
+            left, right = domain.args
+            if left == right:
+                options.append(C.eq)
+                options.append(C.neq)
+                if left in (INT, STR):
+                    options.extend((C.lt, C.leq, C.gt, C.geq))
+            if right == TCon("Set", (left,)):
+                options.append(C.isin)
+            if (left.name == "Set" and left == right):
+                options.append(C.subset)
+            if depth > 0:
+                options.append(lambda: C.inv(
+                    self.predicate(pair_t(right, left), depth - 1)))
+        if depth > 0:
+            options.append(lambda: C.neg(self.predicate(domain, depth - 1)))
+            options.append(lambda: C.conj(
+                self.predicate(domain, depth - 1),
+                self.predicate(domain, depth - 1)))
+            options.append(lambda: C.disj(
+                self.predicate(domain, depth - 1),
+                self.predicate(domain, depth - 1)))
+            mid = ground_type(TVar(-1), self.rng)
+            options.append(lambda: C.oplus(
+                self.predicate(mid, depth - 1),
+                self.function(domain, mid, depth - 1)))
+            options.append(lambda: self._curry_p(domain, depth))
+        builder = self.rng.choice(options)
+        return builder()
+
+    def _curry_p(self, domain: Type, depth: int) -> Term:
+        key_type = ground_type(TVar(-1), self.rng)
+        inner = self.predicate(pair_t(key_type, domain), depth - 1)
+        return C.curry_p(inner, self.literal(key_type))
+
+    # -- injectivity-biased generation ------------------------------------------------
+
+    def injective_function(self, domain: Type, codomain: Type) -> Term:
+        """A function that is injective *by construction*.
+
+        Used to instantiate precondition-guarded rules: ``id`` when the
+        types allow, else a pairing that retains the whole input
+        (``<id, g>`` / ``<g, id>``), else a constant-free fallback.
+        """
+        if domain == codomain:
+            return C.id_()
+        if codomain.name == "Pair":
+            c_left, c_right = codomain.args
+            if c_left == domain:
+                return C.pair(C.id_(), self.function(domain, c_right))
+            if c_right == domain:
+                return C.pair(self.function(domain, c_left), C.id_())
+        raise GenerationError(
+            f"cannot build an injective Fun({domain!r}, {codomain!r})")

@@ -1,0 +1,38 @@
+"""Pool-level verification reports.
+
+:func:`pool_report` checks every rule of a rule base and returns the
+reports; :func:`render_report` formats them as the table printed by
+benchmark C3 and by ``examples/rule_authoring.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.larch.checker import RuleChecker, RuleReport
+from repro.rewrite.rule import Rule
+from repro.rewrite.rulebase import RuleBase
+
+
+def pool_report(rules: RuleBase | Iterable[Rule], trials: int = 60,
+                seed: int = 20260705) -> list[RuleReport]:
+    """Check every rule and return one report per rule."""
+    checker = RuleChecker(trials=trials, seed=seed)
+    rule_list = (rules.all_rules() if isinstance(rules, RuleBase)
+                 else list(rules))
+    return [checker.check(one_rule) for one_rule in rule_list]
+
+
+def render_report(reports: list[RuleReport]) -> str:
+    """A fixed-width table of verification outcomes."""
+    lines = [f"{'rule':<24} {'paper#':>6} {'trials':>6} {'skip':>5} status",
+             "-" * 52]
+    for report in reports:
+        number = report.rule.number if report.rule.number is not None else ""
+        lines.append(
+            f"{report.rule.name:<24} {number!s:>6} {report.trials:>6} "
+            f"{report.skipped_trials:>5} {report.status}")
+    passed = sum(1 for r in reports if r.passed)
+    lines.append("-" * 52)
+    lines.append(f"{passed}/{len(reports)} rules verified")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""End-to-end optimizer: normalize, untangle, cost, plan, execute."""
+
+from repro.optimizer.cost import CostModel, estimate_cost
+from repro.optimizer.physical import (InterpretPlan, JoinNestPlan,
+                                      PhysicalPlan, recognize_join_nest)
+from repro.optimizer.optimizer import Optimizer, OptimizedQuery
+from repro.optimizer.monolithic import MonolithicHiddenJoinRule
+
+__all__ = [
+    "CostModel", "estimate_cost", "PhysicalPlan", "InterpretPlan",
+    "JoinNestPlan", "recognize_join_nest", "Optimizer", "OptimizedQuery",
+    "MonolithicHiddenJoinRule",
+]

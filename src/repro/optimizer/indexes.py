@@ -1,0 +1,138 @@
+"""Hash indexes and index-scan plans.
+
+The paper motivates untangling with "the variety of implementation
+techniques known" for the resulting operator forms; indexes are the
+selection-side counterpart of that argument.  An index is declared over
+a named collection for a *key function* — any KOLA function term (an
+attribute read, a path like ``city o addr``...) — and equality
+selections whose predicate matches one of the two canonical spellings
+
+.. code-block:: text
+
+    eq @ <key, Kf(k)>          (the translator's output for  x.key == k)
+    Cp(eq, k) @ key            (the rule-13 normal form)
+
+execute as a hash probe instead of a scan.
+
+Everything stays declarative on the query side: recognition is pure
+structural matching against the catalog's key terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constructors as C
+from repro.core.eval import apply_fn, eval_obj
+from repro.core.pretty import pretty
+from repro.core.terms import Term
+from repro.core.values import kset
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical import PhysicalPlan
+from repro.schema.adt import Database
+
+
+class HashIndex:
+    """A hash index: key value -> the set of collection members with it."""
+
+    def __init__(self, collection: str, key_fn: Term, db: Database) -> None:
+        self.collection = collection
+        self.key_fn = key_fn
+        self._buckets: dict[object, set] = {}
+        for element in db.collection(collection):
+            key = apply_fn(key_fn, element, db)
+            self._buckets.setdefault(key, set()).add(element)
+
+    def lookup(self, key: object) -> frozenset:
+        return kset(self._buckets.get(key, ()))
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+    def describe(self) -> str:
+        return (f"HashIndex({self.collection} by {pretty(self.key_fn)}, "
+                f"{len(self)} keys)")
+
+
+class IndexCatalog:
+    """The indexes available to the optimizer, keyed by
+    (collection, key term)."""
+
+    def __init__(self) -> None:
+        self._indexes: dict[tuple[str, Term], HashIndex] = {}
+
+    def build(self, db: Database, collection: str, key_fn: Term) -> HashIndex:
+        """Build (or rebuild) an index and register it."""
+        index = HashIndex(collection, key_fn, db)
+        self._indexes[(collection, key_fn)] = index
+        return index
+
+    def find(self, collection: str, key_fn: Term) -> HashIndex | None:
+        return self._indexes.get((collection, key_fn))
+
+    def indexes(self) -> list[HashIndex]:
+        return list(self._indexes.values())
+
+
+@dataclass
+class IndexScanPlan(PhysicalPlan):
+    """Execute ``iterate(<eq-on-key>, f) ! Collection`` by hash probe."""
+
+    index: HashIndex
+    key_value: Term          # the literal being compared against
+    map_fn: Term             # the iterate's function part
+
+    def execute(self, db: Database) -> object:
+        key = eval_obj(self.key_value, db)
+        matches = self.index.lookup(key)
+        return kset(apply_fn(self.map_fn, element, db)
+                    for element in matches)
+
+    def explain(self) -> str:
+        return (f"IndexScan[{self.index.describe()} = "
+                f"{pretty(self.key_value)}] -> map {pretty(self.map_fn)}")
+
+    def cost_estimate(self, db: Database,
+                      model: CostModel | None = None) -> float:
+        model = model or CostModel()
+        collection_size = model.collection_size(db, self.index.collection)
+        # expected bucket size under uniform keys, + probe constant
+        return 1.0 + collection_size / max(1, len(self.index))
+
+
+def _eq_key_shape(pred: Term) -> tuple[Term, Term] | None:
+    """``eq @ <key, Kf(k)>`` or ``Cp(eq, k) @ key``  -->  (key, k)."""
+    if pred.op != "oplus":
+        return None
+    head, mapper = pred.args
+    # Cp(eq, k) @ key  — note Cp(eq,k) ? y  ==  eq ? [k, y]  ==  (k = y)
+    if (head.op == "curry_p" and head.args[0].op == "eq"):
+        return mapper, head.args[1]
+    # eq @ <key, Kf(k)>  and the mirrored  eq @ <Kf(k), key>
+    if head.op == "eq" and mapper.op == "pair":
+        left, right = mapper.args
+        if right.op == "const_f":
+            return left, right.args[0]
+        if left.op == "const_f":
+            return right, left.args[0]
+    return None
+
+
+def recognize_index_scan(query: Term,
+                         catalog: IndexCatalog) -> IndexScanPlan | None:
+    """Match ``iterate(p, f) ! C`` with an equality predicate on an
+    indexed key of collection ``C``."""
+    if query.op != "invoke":
+        return None
+    fn, arg = query.args
+    if arg.op != "setname" or fn.op != "iterate":
+        return None
+    pred, map_fn = fn.args
+    shape = _eq_key_shape(pred)
+    if shape is None:
+        return None
+    key_fn, key_value = shape
+    index = catalog.find(arg.label, key_fn)
+    if index is None:
+        return None
+    return IndexScanPlan(index=index, key_value=key_value, map_fn=map_fn)

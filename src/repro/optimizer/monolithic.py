@@ -1,0 +1,130 @@
+"""The monolithic hidden-join rule: one rule, with code (the anti-pattern).
+
+Section 4.2 discusses the alternative to the five-step strategy: "express
+the hidden join transformation in terms of a single complex monolithic
+rule", as in Cluet & Moerkotte [12].  Such a rule needs a **head routine**
+that "performs the 'dive' into the query tree, sinking as many levels as
+is required to decide whether or not the rule should be fired" — because
+the reference to the inner set B "can be arbitrarily deeply nested",
+structural unification cannot decide applicability.
+
+This module implements that rule faithfully so benchmark C2 can compare
+it against the gradual rule blocks:
+
+* :meth:`MonolithicHiddenJoinRule.head` — a recursive Python routine
+  that dives through the translated hidden-join shape of Figure 7,
+  counting every node it inspects (``nodes_inspected``);
+* :meth:`MonolithicHiddenJoinRule.body` — an action routine that builds
+  the untangled result.  True to the paper's observation that complex
+  body routines smuggle whole algorithms into "rules", the body is
+  itself a small optimizer (it runs the five-step pipeline internally).
+
+The two failure modes the paper predicts are both measurable here:
+the head's cost grows with nesting depth even when it ultimately says
+"no", and a "no" leaves the query *completely unchanged* — whereas the
+gradual blocks simplify it on the way to discovering inapplicability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constructors as C
+from repro.core.terms import Term
+from repro.coko.hidden_join import untangle
+from repro.rewrite.engine import Engine
+from repro.rewrite.rulebase import RuleBase
+
+
+@dataclass
+class MonolithicHiddenJoinRule:
+    """One big rule = head routine (dive) + body routine (transform)."""
+
+    rulebase: RuleBase
+    nodes_inspected: int = 0
+
+    def reset_stats(self) -> None:
+        self.nodes_inspected = 0
+
+    # -- head routine ---------------------------------------------------------
+
+    def head(self, query: Term) -> dict | None:
+        """Decide applicability by diving through the query tree.
+
+        Checks the translated Figure 7 shape::
+
+            iterate(Kp(T), <j, h1 o g1 o <id, h2 o g2 o ... <id, Kf(B)>>>) ! A
+
+        where each ``h_i`` is ``flat`` or absent and each ``g_i`` is an
+        ``iter``.  Returns evidence (the depth and the bottom set) or
+        ``None``.  The recursion depth — and hence the routine's cost —
+        is unbounded, exactly as the paper describes.
+        """
+        self.nodes_inspected += 1
+        if query.op != "invoke":
+            return None
+        fn, source = query.args
+        self.nodes_inspected += 2
+        if fn.op != "iterate":
+            return None
+        pred, body = fn.args
+        self.nodes_inspected += 2
+        if pred != C.const_p(C.true()):
+            return None
+        if body.op != "pair":
+            return None
+        self.nodes_inspected += 1
+        depth_info = self._dive(body.args[1], 1)
+        if depth_info is None:
+            return None
+        depth, bottom = depth_info
+        return {"depth": depth, "bottom": bottom, "source": source}
+
+    def _dive(self, term: Term, depth: int) -> tuple[int, Term] | None:
+        """Sink through one ``[h o] g o <id, rest>`` level after another."""
+        from repro.rewrite.pattern import flatten_compose
+        self.nodes_inspected += 1
+        factors = flatten_compose(term)
+        for factor in factors:
+            self.nodes_inspected += 1
+        index = 0
+        if index < len(factors) and factors[index].op == "flat":
+            index += 1
+        if index >= len(factors) or factors[index].op != "iter":
+            return None
+        self.nodes_inspected += factors[index].size()
+        index += 1
+        if index >= len(factors) or factors[index].op != "pair":
+            return None
+        closer = factors[index]
+        if closer.args[0].op != "id" or index != len(factors) - 1:
+            return None
+        inner = closer.args[1]
+        self.nodes_inspected += 1
+        if inner.op == "const_f":
+            bottom = inner.args[0]
+            self.nodes_inspected += 1
+            if bottom.op != "setname":
+                # The paper's example of inapplicability: "the query ...
+                # is invoked on a set derived from a rather than the
+                # globally named set B".
+                return None
+            return (depth, bottom)
+        return self._dive(inner, depth + 1)
+
+    # -- body routine -------------------------------------------------------------
+
+    def body(self, query: Term, evidence: dict) -> Term:
+        """Build the untangled form.  A body routine this complex is an
+        optimizer hiding inside a 'rule' — the paper's point."""
+        result, _ = untangle(query, self.rulebase, Engine())
+        return result
+
+    # -- rule interface --------------------------------------------------------------
+
+    def apply(self, query: Term) -> Term | None:
+        """Fire the rule if its head accepts; ``None`` otherwise."""
+        evidence = self.head(query)
+        if evidence is None:
+            return None
+        return self.body(query, evidence)

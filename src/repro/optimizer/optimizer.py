@@ -1,0 +1,135 @@
+"""The end-to-end rule-based optimizer.
+
+Pipeline (each stage is skippable and inspectable):
+
+1. **Parse** — OQL text -> AQUA (:mod:`repro.translate.oql`), or accept
+   an AQUA expression or a KOLA term directly.
+2. **Translate** — AQUA -> KOLA with explicit environments.
+3. **Simplify** — exhaustive application of the terminating rule group
+   (``simplify``): identity elimination, projection laws, constant
+   folding of predicates...
+4. **Untangle** — the five-step hidden-join strategy (COKO blocks); a
+   no-op for queries that are not hidden joins, but still a gradual
+   simplifier for ones that almost are.
+5. **Plan** — recognize the nest-of-join shape and build the
+   specialized :class:`JoinNestPlan`; otherwise interpret.  The cheaper
+   plan (by the cost model) wins.
+
+The result is an :class:`OptimizedQuery` holding every intermediate
+form, the full derivation (each step justified by a rule), and the
+chosen plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqua.terms import AquaExpr
+from repro.core.terms import Term
+from repro.coko.hidden_join import hidden_join_blocks
+from repro.coko.blocks import run_blocks
+from repro.optimizer.cost import CostModel
+from repro.optimizer.physical import (InterpretPlan, JoinNestPlan,
+                                      PhysicalPlan, recognize_join_nest)
+from repro.rewrite.engine import Engine
+from repro.rewrite.rulebase import RuleBase
+from repro.rewrite.trace import Derivation
+from repro.rules.registry import standard_rulebase
+from repro.schema.adt import Database
+from repro.translate.aqua_to_kola import translate_query
+from repro.translate.oql import parse_oql
+
+
+@dataclass
+class OptimizedQuery:
+    """Everything the optimizer produced for one input query."""
+
+    source: object                 # OQL text, AQUA expression, or KOLA term
+    aqua: AquaExpr | None
+    initial: Term                  # KOLA form before rewriting
+    simplified: Term
+    untangled: Term
+    plan: PhysicalPlan
+    derivation: Derivation
+    estimated_cost: float
+
+    def execute(self, db: Database) -> object:
+        return self.plan.execute(db)
+
+    def explain(self) -> str:
+        lines = [
+            "== optimized query ==",
+            f"initial:    {self.initial!r}",
+            f"simplified: {self.simplified!r}",
+            f"untangled:  {self.untangled!r}",
+            f"steps:      {' '.join(self.derivation.rules_used()) or '(none)'}",
+            f"est. cost:  {self.estimated_cost:.1f}",
+            "plan:",
+            self.plan.explain(),
+        ]
+        return "\n".join(lines)
+
+
+class Optimizer:
+    """The assembled rule-based optimizer."""
+
+    def __init__(self, rulebase: RuleBase | None = None,
+                 cost_model: CostModel | None = None,
+                 catalog: "IndexCatalog | None" = None) -> None:
+        from repro.optimizer.indexes import IndexCatalog
+        self.rulebase = rulebase or standard_rulebase()
+        self.cost_model = cost_model or CostModel()
+        self.catalog = catalog or IndexCatalog()
+
+    def optimize(self, query: object,
+                 db: Database | None = None) -> OptimizedQuery:
+        """Optimize OQL text, an AQUA expression, or a KOLA query term.
+
+        ``db`` provides cardinalities for plan choice; without it, the
+        untangled plan is preferred whenever it is recognizable.
+        """
+        aqua: AquaExpr | None = None
+        if isinstance(query, str):
+            aqua = parse_oql(query)
+            initial = translate_query(aqua)
+        elif isinstance(query, AquaExpr):
+            aqua = query
+            initial = translate_query(aqua)
+        elif isinstance(query, Term):
+            initial = query
+        else:
+            raise TypeError(f"cannot optimize {query!r}")
+
+        engine = Engine()
+        derivation = Derivation("optimization")
+
+        simplified = engine.normalize(
+            initial, self.rulebase.group("simplify"),
+            derivation=derivation)
+        untangled = run_blocks(hidden_join_blocks(), simplified,
+                               self.rulebase, engine, derivation)
+
+        plan: PhysicalPlan = InterpretPlan(untangled)
+        estimated = (plan.cost_estimate(db, self.cost_model)
+                     if db is not None else float("inf"))
+
+        join_plan = recognize_join_nest(untangled)
+        if join_plan is not None:
+            if db is None:
+                plan, estimated = join_plan, float("nan")
+            else:
+                join_cost = join_plan.cost_estimate(db, self.cost_model)
+                if join_cost <= estimated:
+                    plan, estimated = join_plan, join_cost
+
+        from repro.optimizer.indexes import recognize_index_scan
+        index_plan = recognize_index_scan(untangled, self.catalog)
+        if index_plan is not None and db is not None:
+            index_cost = index_plan.cost_estimate(db, self.cost_model)
+            if index_cost <= estimated:
+                plan, estimated = index_plan, index_cost
+
+        return OptimizedQuery(source=query, aqua=aqua, initial=initial,
+                              simplified=simplified, untangled=untangled,
+                              plan=plan, derivation=derivation,
+                              estimated_cost=estimated)

@@ -1,0 +1,14 @@
+"""The declarative rule language: patterns, matching, rules, strategies."""
+
+from repro.rewrite.pattern import canon, flatten_compose, instantiate
+from repro.rewrite.match import match
+from repro.rewrite.rule import Rule, rule
+from repro.rewrite.engine import Engine, EngineStats, RewriteResult
+from repro.rewrite.trace import Derivation, Step
+from repro.rewrite.rulebase import RuleBase
+
+__all__ = [
+    "canon", "flatten_compose", "instantiate", "match",
+    "Rule", "rule", "Engine", "EngineStats", "RewriteResult",
+    "Derivation", "Step", "RuleBase",
+]

@@ -1,0 +1,278 @@
+"""The rewrite engine: applying declarative rules to KOLA terms.
+
+The engine realizes the paper's model of rule-based optimization — pure
+structural matching, no head or body routines — with the two mechanisms
+that make the paper's *small* rules effective on *large* queries:
+
+* **Chain windows.**  A rule whose head is a composition (e.g. rule 11,
+  ``iterate(p,f) o iterate(q,g) => ...``) is tried against every
+  contiguous window of every composition chain, so it fires inside the
+  long pipelines produced by translation (Figure 7) without any rule
+  author effort.
+
+* **Invocation peeling.**  A rule whose head is an invocation (e.g.
+  rule 19, ``iterate(Kp(T), <id, Kf(B)>) ! A => ...``) is tried against
+  every suffix of an application ``(f1 o ... o fn) ! x`` — the engine
+  "peels" the chain at each split, matching the rule against
+  ``(fi o ... o fn) ! x`` and recomposing the prefix afterwards.  This is
+  exactly the Step-2 "bottom-out" move of the hidden-join strategy.
+
+Both mechanisms are *engine* features, not rule features: the rules stay
+declarative.  An :class:`EngineStats` counter records nodes visited and
+match attempts, which benchmark C2 uses to compare gradual small rules
+against a monolithic rule with a diving head routine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import TypeInferenceError
+from repro.core.terms import Term
+from repro.core.types import Inferencer, alpha_equivalent
+from repro.rewrite.match import match
+from repro.rewrite.pattern import (build_chain, canon, flatten_compose,
+                                   instantiate)
+from repro.rewrite.rule import NO_ORACLE, PropertyOracle, Rule
+from repro.rewrite.trace import Derivation
+
+
+def _typed_apply_ok(before: Term, after: Term) -> bool:
+    """For rules flagged ``needs_typed_apply``: the instantiated result
+    must type-check and have the same (schema-independent) principal
+    type as what it replaces — otherwise the rewrite would narrow or
+    break the type at this position."""
+    try:
+        before_inf, after_inf = Inferencer(), Inferencer()
+        before_type = before_inf.resolve(before_inf.infer(before))
+        after_type = after_inf.resolve(after_inf.infer(after))
+    except TypeInferenceError:
+        return False
+    return alpha_equivalent(before_type, after_type)
+
+
+@dataclass
+class EngineStats:
+    """Work counters for benchmark instrumentation."""
+
+    nodes_visited: int = 0
+    match_attempts: int = 0
+    rewrites: int = 0
+    per_rule: dict[str, int] = field(default_factory=dict)
+
+    def count_rule(self, name: str) -> None:
+        self.rewrites += 1
+        self.per_rule[name] = self.per_rule.get(name, 0) + 1
+
+    def reset(self) -> None:
+        self.nodes_visited = 0
+        self.match_attempts = 0
+        self.rewrites = 0
+        self.per_rule = {}
+
+    def report(self) -> str:
+        """Fire counts per rule, most-fired first."""
+        lines = [f"{count:>5}  {name}" for name, count in
+                 sorted(self.per_rule.items(), key=lambda kv: -kv[1])]
+        return "\n".join(lines) if lines else "(no rewrites)"
+
+
+@dataclass(frozen=True)
+class RewriteResult:
+    """Outcome of one successful rewrite step."""
+
+    term: Term
+    rule: Rule
+    bindings: dict[str, Term]
+    path: tuple[int, ...]
+
+
+class Engine:
+    """Applies rules to terms under a traversal strategy.
+
+    Args:
+        oracle: decides precondition goals for conditional rules
+            (defaults to an oracle that establishes nothing, so
+            conditional rules are inert).
+    """
+
+    def __init__(self, oracle: PropertyOracle = NO_ORACLE) -> None:
+        self.oracle = oracle
+        self.stats = EngineStats()
+
+    # -- single-node application ------------------------------------------------
+
+    def try_rule_at(self, node: Term, rule: Rule) -> tuple[Term, dict] | None:
+        """Try ``rule`` at ``node`` itself (direct, windowed, or peeled).
+
+        ``node`` must be canonical.  Returns the replacement term for the
+        node plus the bindings used, or ``None``.
+        """
+        self.stats.match_attempts += 1
+        bindings = match(rule.lhs, node)
+        if bindings is not None and rule.check_preconditions(
+                bindings, self.oracle):
+            replacement = canon(instantiate(rule.rhs, bindings))
+            if (not rule.needs_typed_apply
+                    or _typed_apply_ok(node, replacement)):
+                self.stats.count_rule(rule.name)
+                return replacement, bindings
+
+        if node.op == "compose" and rule.lhs.op == "compose":
+            result = self._try_windows(node, rule)
+            if result is not None:
+                return result
+        if node.op == "invoke" and rule.lhs.op == "invoke":
+            result = self._try_peels(node, rule)
+            if result is not None:
+                return result
+        return None
+
+    def _try_windows(self, node: Term, rule: Rule) -> tuple[Term, dict] | None:
+        factors = flatten_compose(node)
+        count = len(factors)
+        for start in range(count):
+            # length-1 windows are plain subterm matches, found by the
+            # traversal when it visits the factor itself; length == count
+            # at start 0 is the direct match already tried.
+            for end in range(start + 2, count + 1):
+                if start == 0 and end == count:
+                    continue
+                window = build_chain(factors[start:end])
+                self.stats.match_attempts += 1
+                bindings = match(rule.lhs, window)
+                if bindings is None or not rule.check_preconditions(
+                        bindings, self.oracle):
+                    continue
+                replacement = instantiate(rule.rhs, bindings)
+                if (rule.needs_typed_apply
+                        and not _typed_apply_ok(window, replacement)):
+                    continue
+                new_factors = (factors[:start]
+                               + flatten_compose(replacement)
+                               + factors[end:])
+                self.stats.count_rule(rule.name)
+                return canon(build_chain(new_factors)), bindings
+        return None
+
+    def _try_peels(self, node: Term, rule: Rule) -> tuple[Term, dict] | None:
+        fn, arg = node.args
+        factors = flatten_compose(fn)
+        for split in range(1, len(factors)):
+            view = Term("invoke", (build_chain(factors[split:]), arg))
+            self.stats.match_attempts += 1
+            bindings = match(rule.lhs, view)
+            if bindings is None or not rule.check_preconditions(
+                    bindings, self.oracle):
+                continue
+            inner = instantiate(rule.rhs, bindings)
+            if (rule.needs_typed_apply
+                    and not _typed_apply_ok(view, inner)):
+                continue
+            prefix = build_chain(factors[:split])
+            self.stats.count_rule(rule.name)
+            return canon(Term("invoke", (prefix, inner))), bindings
+        return None
+
+    # -- whole-term rewriting --------------------------------------------------------
+
+    def rewrite_once(self, term: Term, rules: list[Rule],
+                     strategy: str = "topdown") -> RewriteResult | None:
+        """Apply the first applicable rule at the first matching position.
+
+        ``strategy`` is ``"topdown"`` (outermost-first, the default) or
+        ``"bottomup"`` (innermost-first).  Rules are tried in list order
+        at each position, so list order is priority order.
+        """
+        term = canon(term)
+        found = self._rewrite_at(term, rules, strategy, ())
+        return found
+
+    def _rewrite_at(self, node: Term, rules: list[Rule], strategy: str,
+                    path: tuple[int, ...]) -> RewriteResult | None:
+        self.stats.nodes_visited += 1
+
+        if strategy == "topdown":
+            hit = self._try_rules(node, rules, path)
+            if hit is not None:
+                return hit
+        for index, child in enumerate(node.args):
+            result = self._rewrite_at(child, rules, strategy, path + (index,))
+            if result is not None:
+                new_args = (node.args[:index] + (result.term,)
+                            + node.args[index + 1:])
+                return RewriteResult(canon(node.with_args(new_args)),
+                                     result.rule, result.bindings,
+                                     result.path)
+        if strategy == "bottomup":
+            return self._try_rules(node, rules, path)
+        return None
+
+    def _try_rules(self, node: Term, rules: list[Rule],
+                   path: tuple[int, ...]) -> RewriteResult | None:
+        for one_rule in rules:
+            outcome = self.try_rule_at(node, one_rule)
+            if outcome is not None:
+                new_node, bindings = outcome
+                return RewriteResult(new_node, one_rule, bindings, path)
+        return None
+
+    def normalize(self, term: Term, rules: list[Rule],
+                  max_steps: int = 1000, strategy: str = "topdown",
+                  derivation: Derivation | None = None) -> Term:
+        """Rewrite with ``rules`` until no rule applies (a fixpoint).
+
+        Records each step into ``derivation`` when given.  Stops after
+        ``max_steps`` rewrites (non-terminating rule sets are a rule-
+        authoring bug; the cap makes it observable instead of hanging).
+        """
+        current = canon(term)
+        for _ in range(max_steps):
+            result = self.rewrite_once(current, rules, strategy)
+            if result is None:
+                return current
+            if derivation is not None:
+                derivation.record(result.rule, current, result.term,
+                                  result.path)
+            current = result.term
+        return current
+
+    def apply_rule(self, term: Term, one_rule: Rule) -> Term | None:
+        """Apply ``one_rule`` once anywhere in ``term`` (or ``None``).
+
+        Convenience for derivation replays of the paper's figures.
+        """
+        result = self.rewrite_once(term, [one_rule])
+        return result.term if result else None
+
+    def rewrite_everywhere(self, term: Term,
+                           one_rule: Rule) -> list[RewriteResult]:
+        """All single-step rewrites of ``term`` by ``one_rule`` — one
+        result per position where the rule matches (at most one per
+        node, including window/peel positions).  Used by the equational
+        prover's successor enumeration and by overlap analysis."""
+        term = canon(term)
+        results: list[RewriteResult] = []
+        self._rewrite_everywhere_at(term, one_rule, (), results)
+        return results
+
+    def _rewrite_everywhere_at(self, node: Term, one_rule: Rule,
+                               path: tuple[int, ...],
+                               results: list[RewriteResult]) -> None:
+        outcome = self.try_rule_at(node, one_rule)
+        if outcome is not None:
+            new_node, bindings = outcome
+            results.append(RewriteResult(new_node, one_rule, bindings,
+                                         path))
+        for index, child in enumerate(node.args):
+            before = len(results)
+            self._rewrite_everywhere_at(child, one_rule,
+                                        path + (index,), results)
+            # rebuild whole-term results for rewrites found in children
+            for position in range(before, len(results)):
+                inner = results[position]
+                new_args = (node.args[:index] + (inner.term,)
+                            + node.args[index + 1:])
+                results[position] = RewriteResult(
+                    canon(node.with_args(new_args)), inner.rule,
+                    inner.bindings, inner.path)

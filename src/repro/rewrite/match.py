@@ -1,0 +1,146 @@
+"""First-order matching of rule patterns against KOLA terms.
+
+This is the paper's "unification style" of rule application: a rule head
+is a term with metavariables; it matches a (ground) query subterm when
+there is a consistent assignment of metavariables to subterms.  Because
+KOLA is variable-free, matching is purely structural — no environments,
+no alpha-conversion, no freeness side conditions.  That simplicity is the
+paper's core argument.
+
+Two refinements beyond textbook first-order matching:
+
+* **Sorted metavariables** — ``$f`` (function) never matches a predicate
+  or an object expression, so rules cannot be instantiated to ill-formed
+  terms.
+
+* **Associative chain matching** — when both pattern and subject are
+  composition chains, the pattern's factor list is matched against the
+  subject's, and *bare function metavariables may absorb a whole
+  segment* (they bind to the right-associated composition of the
+  segment).  ``$f o id`` therefore matches ``a o b o id`` with
+  ``$f = a o b``.  Segment enumeration prefers the shortest segment, so
+  matching is deterministic.
+
+Both pattern and subject are expected in canonical form
+(:func:`repro.rewrite.pattern.canon`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.terms import Sort, Term, sort_of
+from repro.rewrite.pattern import (build_chain, flatten_compose,
+                                   is_bare_segment_var)
+
+Bindings = dict[str, Term]
+
+
+def match(pattern: Term, subject: Term,
+          bindings: Bindings | None = None) -> Optional[Bindings]:
+    """Match ``pattern`` against ``subject``.
+
+    Returns the (extended) binding of metavariable names to subterms, or
+    ``None`` when there is no match.  ``bindings`` seeds the match (used
+    for multi-part patterns); the input dict is never mutated.
+    """
+    result = dict(bindings) if bindings else {}
+    if _match(pattern, subject, result):
+        return result
+    return None
+
+
+def matches(pattern: Term, subject: Term) -> bool:
+    """Convenience boolean wrapper around :func:`match`."""
+    return match(pattern, subject) is not None
+
+
+def _sort_compatible(var_sort: Sort, subject: Term) -> bool:
+    if var_sort is Sort.ANY:
+        return True
+    subject_sort = sort_of(subject)
+    if subject_sort is Sort.ANY:  # subject is itself an ANY metavariable
+        return True
+    return subject_sort is var_sort
+
+
+def _bind(name: str, value: Term, bindings: Bindings) -> bool:
+    bound = bindings.get(name)
+    if bound is None:
+        bindings[name] = value
+        return True
+    return bound == value
+
+
+def _match(pattern: Term, subject: Term, bindings: Bindings) -> bool:
+    if pattern.op == "meta":
+        name, var_sort = pattern.label
+        if not _sort_compatible(var_sort, subject):
+            return False
+        return _bind(name, subject, bindings)
+
+    if pattern.op == "compose" or subject.op == "compose":
+        if pattern.op != "compose" or subject.op != "compose":
+            # A chain of >= 2 factors can never equal a single factor
+            # (every pattern factor consumes at least one subject factor),
+            # and a non-chain pattern that is not a metavariable cannot
+            # match a chain.
+            return False
+        return _match_chain(flatten_compose(pattern),
+                            flatten_compose(subject), bindings)
+
+    if pattern.op != subject.op or pattern.label != subject.label:
+        return False
+    if len(pattern.args) != len(subject.args):
+        return False
+    for p_arg, s_arg in zip(pattern.args, subject.args):
+        if not _match(p_arg, s_arg, bindings):
+            return False
+    return True
+
+
+def _match_chain(pattern_factors: list[Term], subject_factors: list[Term],
+                 bindings: Bindings) -> bool:
+    """Match factor lists, letting bare function metavariables absorb
+    segments.  Mutates ``bindings`` on success; restores nothing on
+    failure (callers pass throwaway copies at choice points)."""
+    if not pattern_factors:
+        return not subject_factors
+    head, rest = pattern_factors[0], pattern_factors[1:]
+
+    if is_bare_segment_var(head):
+        name, var_sort = head.label
+        # Each remaining pattern factor needs at least one subject factor.
+        max_len = len(subject_factors) - len(rest)
+        if max_len < 1:
+            return False
+        pre_bound = bindings.get(name)
+        if pre_bound is not None:
+            # Must consume exactly the factors of the existing binding.
+            bound_factors = flatten_compose(pre_bound)
+            size = len(bound_factors)
+            if (size <= max_len
+                    and subject_factors[:size] == bound_factors):
+                return _match_chain(rest, subject_factors[size:], bindings)
+            return False
+        for size in range(1, max_len + 1):
+            segment = build_chain(subject_factors[:size])
+            if not _sort_compatible(var_sort, segment):
+                break
+            trial = dict(bindings)
+            trial[name] = segment
+            if _match_chain(rest, subject_factors[size:], trial):
+                bindings.clear()
+                bindings.update(trial)
+                return True
+        return False
+
+    if not subject_factors:
+        return False
+    trial = dict(bindings)
+    if _match(head, subject_factors[0], trial):
+        if _match_chain(rest, subject_factors[1:], trial):
+            bindings.clear()
+            bindings.update(trial)
+            return True
+    return False

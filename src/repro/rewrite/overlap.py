@@ -1,0 +1,141 @@
+"""Rule interaction analysis: overlaps and critical pairs.
+
+With 100+ rules in the pool, two rules may be applicable at the same
+position — their heads *overlap*.  A classic question (Knuth–Bendix) is
+whether the two rewrites are *joinable*: do both results reduce to a
+common form under the simplification rules?  Non-joinable critical
+pairs mark places where rule order changes the outcome — exactly the
+kind of latent surprise the paper's "reason about rule sets" goal asks
+us to surface.
+
+:func:`find_overlaps` computes the overlaps between two rules (one head
+unifying with a non-variable subterm of the other); :func:`critical_pair`
+builds the two results; :class:`OverlapReport` checks joinability by
+normalizing both results with a designated terminating rule set.
+
+The analysis is syntactic (see :mod:`repro.rewrite.unify`) and therefore
+conservative about chain-window overlaps; it is a review aid, not a
+completeness proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.pretty import pretty
+from repro.core.terms import Term
+from repro.rewrite.engine import Engine
+from repro.rewrite.pattern import canon
+from repro.rewrite.rule import Rule
+from repro.rewrite.unify import rename_apart, resolve, unify
+
+
+@dataclass(frozen=True)
+class Overlap:
+    """Rule ``inner`` applies at position ``path`` inside ``outer``'s
+    head, under the unifier; ``peak`` is the overlapped term."""
+
+    outer: Rule
+    inner: Rule
+    path: tuple[int, ...]
+    peak: Term
+    left_result: Term    # rewrite the peak with `outer` at the root
+    right_result: Term   # rewrite the peak with `inner` at `path`
+
+    def describe(self) -> str:
+        return (f"{self.inner.name} overlaps {self.outer.name} at "
+                f"position {list(self.path)}:\n"
+                f"  peak : {pretty(self.peak)}\n"
+                f"  left : {pretty(self.left_result)}\n"
+                f"  right: {pretty(self.right_result)}")
+
+
+def _subterm_positions(term: Term):
+    yield (), term
+    for index, arg in enumerate(term.args):
+        for path, node in _subterm_positions(arg):
+            yield (index,) + path, node
+
+
+def _replace_at(term: Term, path: tuple[int, ...], new: Term) -> Term:
+    if not path:
+        return new
+    index = path[0]
+    args = list(term.args)
+    args[index] = _replace_at(args[index], path[1:], new)
+    return term.with_args(tuple(args))
+
+
+def find_overlaps(outer: Rule, inner: Rule,
+                  include_root: bool = False) -> list[Overlap]:
+    """Overlaps of ``inner``'s head with subterms of ``outer``'s head.
+
+    ``include_root`` controls whether the trivial root-with-root overlap
+    of a rule with itself is reported (it is never interesting).
+    """
+    inner_lhs = rename_apart(inner.lhs, "_2")
+    inner_rhs = rename_apart(inner.rhs, "_2")
+    overlaps: list[Overlap] = []
+    for path, node in _subterm_positions(outer.lhs):
+        if node.op == "meta":
+            continue  # variable positions give only trivial overlaps
+        if (not include_root and not path
+                and outer.name == inner.name):
+            continue
+        subst = unify(node, inner_lhs)
+        if subst is None:
+            continue
+        peak = canon(resolve(outer.lhs, subst))
+        left = canon(resolve(outer.rhs, subst))
+        right = canon(resolve(
+            _replace_at(outer.lhs, path, inner_rhs), subst))
+        if left == right:
+            continue  # trivially joinable
+        overlaps.append(Overlap(outer, inner, path, peak, left, right))
+    return overlaps
+
+
+@dataclass
+class OverlapReport:
+    """Joinability report for one overlap under a normalizing rule set."""
+
+    overlap: Overlap
+    left_normal: Term
+    right_normal: Term
+
+    @property
+    def joinable(self) -> bool:
+        return self.left_normal == self.right_normal
+
+    def describe(self) -> str:
+        status = "JOINABLE" if self.joinable else "NOT JOINED"
+        return (f"[{status}] {self.overlap.describe()}\n"
+                f"  left  ->* {pretty(self.left_normal)}\n"
+                f"  right ->* {pretty(self.right_normal)}")
+
+
+def check_joinability(overlap: Overlap, rules: list[Rule],
+                      max_steps: int = 200) -> OverlapReport:
+    """Normalize both sides of the critical pair with ``rules``."""
+    engine = Engine()
+    left = engine.normalize(overlap.left_result, rules, max_steps)
+    right = engine.normalize(overlap.right_result, rules, max_steps)
+    return OverlapReport(overlap, left, right)
+
+
+def analyze_pool(rules: list[Rule], normalizer: list[Rule],
+                 max_pairs: int | None = None) -> list[OverlapReport]:
+    """All pairwise overlap reports for a rule pool.
+
+    Ground terms only contain each rule's own variables, so the search
+    is quadratic in pool size but each check is cheap; ``max_pairs``
+    bounds the work for very large pools.
+    """
+    reports: list[OverlapReport] = []
+    for outer in rules:
+        for inner in rules:
+            for overlap in find_overlaps(outer, inner):
+                reports.append(check_joinability(overlap, normalizer))
+                if max_pairs is not None and len(reports) >= max_pairs:
+                    return reports
+    return reports

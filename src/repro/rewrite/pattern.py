@@ -1,0 +1,114 @@
+"""Pattern/term utilities: canonical forms and instantiation.
+
+The rewrite engine matches *modulo associativity of composition* and
+*modulo the currying of invocation* — the two structural equivalences the
+paper's rules rely on implicitly:
+
+* ``f o (g o h)  ==  (f o g) o h``      (composition associativity)
+* ``(f o g) ! x  ==  f ! (g ! x)``      (invocation decomposition)
+
+Rather than building a full AC-matching engine, we keep every subject
+term in a **canonical form** — composition chains right-associated and
+invocations fully composed (one ``!`` per chain) — and let the engine
+enumerate chain *windows* and invocation *peels* (see
+:mod:`repro.rewrite.engine`).  :func:`canon` computes the canonical form;
+it is idempotent and meaning-preserving (there are tests for both).
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import RewriteError
+from repro.core.terms import Sort, Term
+
+
+def flatten_compose(term: Term) -> list[Term]:
+    """The factors of a composition chain, left to right.
+
+    A non-composition term is its own single factor.
+    """
+    if term.op != "compose":
+        return [term]
+    result: list[Term] = []
+    stack = [term]
+    while stack:
+        node = stack.pop()
+        if node.op == "compose":
+            stack.append(node.args[1])
+            stack.append(node.args[0])
+        else:
+            result.append(node)
+    # The stack discipline above emits factors left-to-right already.
+    return result
+
+
+def build_chain(factors: list[Term]) -> Term:
+    """Right-associated composition of ``factors`` (len >= 1)."""
+    if not factors:
+        raise RewriteError("cannot build an empty composition chain")
+    result = factors[-1]
+    for factor in reversed(factors[:-1]):
+        result = Term("compose", (factor, result))
+    return result
+
+
+def canon(term: Term) -> Term:
+    """Canonical form: right-associated chains, composed invocations.
+
+    * every ``compose`` spine is re-associated to the right;
+    * ``invoke(f, invoke(g, x))`` becomes ``invoke(f o g, x)`` so each
+      application chain has exactly one ``!`` — the shape the paper's
+      figures use (one big function applied to a named set or pair).
+
+    Idempotent; preserves evaluation results.
+    """
+    args = tuple(canon(arg) for arg in term.args)
+
+    if term.op == "compose":
+        factors: list[Term] = []
+        for arg in args:
+            factors.extend(flatten_compose(arg))
+        return build_chain(factors)
+
+    if term.op == "invoke":
+        fn, arg = args
+        while arg.op == "invoke":
+            inner_fn, inner_arg = arg.args
+            fn = canon(Term("compose", (fn, inner_fn)))
+            arg = inner_arg
+        return Term("invoke", (fn, arg))
+
+    return term.with_args(args)
+
+
+def instantiate(pattern: Term, bindings: dict[str, Term]) -> Term:
+    """Replace every metavariable in ``pattern`` with its binding.
+
+    Raises:
+        RewriteError: a metavariable has no binding (rule RHS mentions a
+            variable absent from the LHS — rejected at rule build time,
+            so hitting this indicates engine misuse).
+    """
+    if pattern.op == "meta":
+        name = pattern.label[0]
+        try:
+            return bindings[name]
+        except KeyError:
+            raise RewriteError(
+                f"unbound metavariable ${name} during instantiation"
+            ) from None
+    if not pattern.args:
+        return pattern
+    return pattern.with_args(
+        tuple(instantiate(arg, bindings) for arg in pattern.args))
+
+
+def metavar_names(term: Term) -> frozenset[str]:
+    """Names of all metavariables occurring in ``term``."""
+    return frozenset(name for name, _ in term.metavars())
+
+
+def is_bare_segment_var(term: Term) -> bool:
+    """True when ``term`` is a metavariable allowed to match a chain
+    *segment* (a run of composition factors): function-sorted or
+    unsorted metavariables."""
+    return term.op == "meta" and term.label[1] in (Sort.FUN, Sort.ANY)

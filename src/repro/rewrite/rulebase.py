@@ -1,0 +1,91 @@
+"""Rule registry: named, queryable collections of rules.
+
+The optimizer's rule pool (the paper reports ~500 proved rules; Section
+4.2 notes "most of the rules introduced have general applicability") is
+managed as a :class:`RuleBase` — rules are registered once, looked up by
+name or paper number, and grouped into named subsets that COKO rule
+blocks reference.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.core.errors import RewriteError
+from repro.rewrite.rule import Rule
+
+
+class RuleBase:
+    """A registry of rules with named groups."""
+
+    def __init__(self) -> None:
+        self._rules: dict[str, Rule] = {}
+        self._groups: dict[str, list[str]] = {}
+
+    # -- registration -------------------------------------------------------
+
+    def add(self, one_rule: Rule, groups: Iterable[str] = ()) -> Rule:
+        """Register a rule, optionally into one or more groups."""
+        if one_rule.name in self._rules:
+            raise RewriteError(f"duplicate rule name {one_rule.name!r}")
+        self._rules[one_rule.name] = one_rule
+        for group in groups:
+            self._groups.setdefault(group, []).append(one_rule.name)
+        return one_rule
+
+    def add_all(self, some_rules: Iterable[Rule],
+                groups: Iterable[str] = ()) -> None:
+        group_list = list(groups)
+        for one_rule in some_rules:
+            self.add(one_rule, group_list)
+
+    def extend_group(self, group: str, names: Iterable[str]) -> None:
+        """Add already-registered rules (by name) to a group."""
+        bucket = self._groups.setdefault(group, [])
+        for name in names:
+            self.get(name)  # raises if unknown
+            if name not in bucket:
+                bucket.append(name)
+
+    # -- lookup --------------------------------------------------------------
+
+    def get(self, name: str) -> Rule:
+        """The rule registered under ``name`` (``"<name>-rev"`` resolves
+        to the reversed rule)."""
+        if name in self._rules:
+            return self._rules[name]
+        if name.endswith("-rev"):
+            base = self._rules.get(name[:-4])
+            if base is not None:
+                return base.reversed()
+        raise RewriteError(f"unknown rule {name!r}")
+
+    def by_number(self, number: int) -> Rule:
+        """The rule carrying the paper's rule ``number``."""
+        for one_rule in self._rules.values():
+            if one_rule.number == number:
+                return one_rule
+        raise RewriteError(f"no rule numbered {number}")
+
+    def group(self, name: str) -> list[Rule]:
+        """The rules of group ``name``, in registration order."""
+        try:
+            names = self._groups[name]
+        except KeyError:
+            raise RewriteError(f"unknown rule group {name!r}") from None
+        return [self._rules[rule_name] for rule_name in names]
+
+    def group_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._groups))
+
+    def all_rules(self) -> list[Rule]:
+        return list(self._rules.values())
+
+    def __len__(self) -> int:
+        return len(self._rules)
+
+    def __iter__(self) -> Iterator[Rule]:
+        return iter(self._rules.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rules

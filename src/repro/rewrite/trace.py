@@ -1,0 +1,116 @@
+"""Derivation traces: replayable, printable rewrite histories.
+
+The paper presents its transformations as step-by-step derivations —
+Figure 4 shows every intermediate form of T1K/T2K annotated with the rule
+that justifies the step, Figure 6 does the same for query K4.  A
+:class:`Derivation` captures exactly that: an ordered list of
+:class:`Step` records, renderable in the figures' layout, and
+*re-verifiable*: :meth:`Derivation.verify` re-checks every adjacent pair
+of forms for semantic equality on supplied databases, so a printed
+derivation is also a tested one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable
+
+from repro.core.eval import eval_obj
+from repro.core.pretty import pretty
+from repro.core.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.rewrite.rule import Rule
+    from repro.schema.adt import Database
+
+
+@dataclass(frozen=True)
+class Step:
+    """One rewrite step: ``before`` became ``after`` by ``rule``."""
+
+    rule: "Rule"
+    before: Term
+    after: Term
+    path: tuple[int, ...] = ()
+
+    @property
+    def justification(self) -> str:
+        """The figure-style step label, e.g. ``"[11]"`` or ``"[2^-1]"``."""
+        rule = self.rule
+        if rule.number is not None:
+            suffix = "^-1" if rule.name.endswith("-rev") else ""
+            return f"[{rule.number}{suffix}]"
+        return f"[{rule.name}]"
+
+
+class Derivation:
+    """An ordered record of rewrite steps over one term."""
+
+    def __init__(self, title: str = "") -> None:
+        self.title = title
+        self.steps: list[Step] = []
+
+    def record(self, rule: "Rule", before: Term, after: Term,
+               path: tuple[int, ...] = ()) -> None:
+        """Append a step (called by the engine during normalization)."""
+        self.steps.append(Step(rule, before, after, path))
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    @property
+    def initial(self) -> Term | None:
+        return self.steps[0].before if self.steps else None
+
+    @property
+    def final(self) -> Term | None:
+        return self.steps[-1].after if self.steps else None
+
+    def forms(self) -> list[Term]:
+        """Every form the term passed through, initial to final."""
+        if not self.steps:
+            return []
+        return [self.steps[0].before] + [step.after for step in self.steps]
+
+    def rules_used(self) -> list[str]:
+        """Justification labels in application order (``["[11]", ...]``)."""
+        return [step.justification for step in self.steps]
+
+    def render(self, max_width: int = 100) -> str:
+        """Figure-4-style rendering: form, arrow + rule label, form..."""
+        lines: list[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * min(len(self.title), max_width))
+        if not self.steps:
+            lines.append("(no steps)")
+            return "\n".join(lines)
+        lines.append(pretty(self.steps[0].before))
+        for step in self.steps:
+            lines.append(f"  => {step.justification}")
+            lines.append(pretty(step.after))
+        return "\n".join(lines)
+
+    def verify(self, databases: Iterable["Database"]) -> bool:
+        """Re-check the derivation semantically: every step's ``before``
+        and ``after`` must evaluate equal on every supplied database.
+
+        Only object-sorted forms (whole queries) can be checked directly;
+        function/predicate forms are checked by the rule verifier
+        instead.  Raises :class:`AssertionError` with the offending step
+        on failure; returns ``True`` otherwise.
+        """
+        for database in databases:
+            for index, step in enumerate(self.steps):
+                before_value = eval_obj(step.before, database)
+                after_value = eval_obj(step.after, database)
+                if before_value != after_value:
+                    raise AssertionError(
+                        f"derivation step {index} ({step.justification}) "
+                        f"changed the query's meaning:\n"
+                        f"  before: {pretty(step.before)}\n"
+                        f"  after:  {pretty(step.after)}")
+        return True

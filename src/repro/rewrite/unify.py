@@ -1,0 +1,132 @@
+"""First-order unification of KOLA patterns.
+
+Matching (:mod:`repro.rewrite.match`) handles rule application, where the
+subject is ground.  *Unification* — both sides may contain metavariables
+— is what rule-base maintenance needs: two rule heads that unify can fire
+on the same query subterm, so their interaction deserves attention
+(:mod:`repro.rewrite.overlap` builds critical pairs on top of this).
+
+Implementation notes:
+
+* sorted metavariables: a ``FUN`` variable never unifies with a
+  predicate, etc.; ``ANY`` unifies with anything;
+* occurs check included (no infinite terms);
+* unification here is **syntactic**: composition chains unify only when
+  their canonical (right-associated) spines align.  Overlap analysis is
+  therefore conservative — it may miss overlaps that exist only modulo
+  associativity — which is the safe direction for a review tool and is
+  documented in its report.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.terms import Sort, Term, meta
+
+Substitution = dict[str, Term]
+
+
+def rename_apart(term: Term, suffix: str) -> Term:
+    """Rename every metavariable ``$x`` to ``$x<suffix>``.
+
+    Used to make two rules' variable namespaces disjoint before
+    unification.
+    """
+    if term.op == "meta":
+        name, sort = term.label
+        return meta(name + suffix, sort)
+    if not term.args:
+        return term
+    return term.with_args(tuple(rename_apart(arg, suffix)
+                                for arg in term.args))
+
+
+def resolve(term: Term, subst: Substitution) -> Term:
+    """Apply ``subst`` to ``term``, fully (substitution is idempotent
+    after :func:`unify`)."""
+    if term.op == "meta":
+        bound = subst.get(term.label[0])
+        if bound is None:
+            return term
+        return resolve(bound, subst)
+    if not term.args:
+        return term
+    return term.with_args(tuple(resolve(arg, subst) for arg in term.args))
+
+
+def _occurs(name: str, term: Term, subst: Substitution) -> bool:
+    if term.op == "meta":
+        if term.label[0] == name:
+            return True
+        bound = subst.get(term.label[0])
+        return bound is not None and _occurs(name, bound, subst)
+    return any(_occurs(name, arg, subst) for arg in term.args)
+
+
+def _sorts_compatible(a: Sort, b: Sort) -> bool:
+    return a is Sort.ANY or b is Sort.ANY or a is b
+
+
+def _var_sort_ok(var_sort: Sort, term: Term) -> bool:
+    if var_sort is Sort.ANY:
+        return True
+    from repro.core.terms import sort_of
+    term_sort = sort_of(term)
+    return term_sort is Sort.ANY or term_sort is var_sort
+
+
+def unify(a: Term, b: Term,
+          subst: Substitution | None = None) -> Optional[Substitution]:
+    """Most general unifier of ``a`` and ``b``, or ``None``.
+
+    The caller is responsible for renaming apart when the two terms come
+    from different rules.  The returned substitution maps variable names
+    to terms (which may contain other variables).
+    """
+    result = dict(subst) if subst else {}
+    if _unify(a, b, result):
+        return result
+    return None
+
+
+def _unify(a: Term, b: Term, subst: Substitution) -> bool:
+    a = _walk(a, subst)
+    b = _walk(b, subst)
+
+    if a.op == "meta" and b.op == "meta" and a.label == b.label:
+        return True
+    if a.op == "meta":
+        return _bind(a, b, subst)
+    if b.op == "meta":
+        return _bind(b, a, subst)
+
+    if a.op != b.op or a.label != b.label or len(a.args) != len(b.args):
+        return False
+    for a_arg, b_arg in zip(a.args, b.args):
+        if not _unify(a_arg, b_arg, subst):
+            return False
+    return True
+
+
+def _walk(term: Term, subst: Substitution) -> Term:
+    while term.op == "meta":
+        bound = subst.get(term.label[0])
+        if bound is None:
+            return term
+        term = bound
+    return term
+
+
+def _bind(var: Term, value: Term, subst: Substitution) -> bool:
+    name, var_sort = var.label
+    if value.op == "meta":
+        value_sort = value.label[1]
+        if not _sorts_compatible(var_sort, value_sort):
+            return False
+    elif not _var_sort_ok(var_sort, value):
+        return False
+    if _occurs(name, value, subst):
+        return False
+    subst[name] = value
+    return True

@@ -1,0 +1,6 @@
+"""The rule pool: the paper's rules 1-24 plus an extended verified pool."""
+
+from repro.rules.registry import standard_rulebase
+from repro.rules.preconditions import AnnotationOracle
+
+__all__ = ["standard_rulebase", "AnnotationOracle"]

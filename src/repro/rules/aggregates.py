@@ -1,0 +1,104 @@
+"""Aggregates and the "count bug" (Kim [24], via the paper's Section 1.2).
+
+    "The famous 'count bug' of [24] illustrates how difficult it can be
+    to formulate correct transformations.  Rule-based optimization
+    simplifies correctness proofs of optimizations because rules are
+    simpler to prove correct than algorithms."
+
+The count bug: unnesting a correlated COUNT subquery into a
+join-then-group plan **loses the zero groups** — outer elements with no
+join partners silently disappear, so their count should be 0 but the row
+is gone.  Kim's original COUNT transformation had exactly this bug.
+
+KOLA makes both the bug and its fix *stateable as rules*, and the
+verifier decides them:
+
+* :data:`COUNT_UNNEST` — the correct transformation.  It works because
+  KOLA's ``nest`` takes the outer set as its second argument (the
+  paper's NULL-free design, Section 3): elements with no partners are
+  paired with the empty set, whose count is 0.
+
+* :data:`COUNT_BUG` — Kim's buggy version: the grouping keys are drawn
+  from the join result itself, so partnerless outer elements vanish.
+  The rule type-checks, *looks* plausible — and the checker refutes it
+  with a counterexample where some outer element has no partners.
+
+Also here: the verified algebra of ``count``/``ssum``/``plus`` and their
+bag counterparts, including the classic set/bag distinction
+(``ssum o distinct`` is **not** ``bag_sum`` — duplicates matter for SUM;
+shipped as a refutable rule).
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Sort
+from repro.rewrite.rule import Goal, Rule, rule
+
+AGG = "aggregates / count-bug study"
+
+#: Correlated-count query form and its correct unnesting.
+#:
+#:   { [x, |{ y in B : p(x, y) }|]  |  x in A }
+COUNT_UNNEST: Rule = rule(
+    "count-unnest",
+    "iterate(Kp(T), <id, count o iter($p, pi2) o <id, Kf($B)>>) ! $A",
+    "iterate(Kp(T), (id >< count)) o nest(pi1, pi2)"
+    " o <join($p, id), pi1> ! [$A, $B]",
+    sort=Sort.OBJ, bidirectional=False, citation=AGG,
+    note="correct because nest is relative to the outer set A: empty "
+         "groups survive with count 0")
+
+#: Kim's buggy unnesting: group the join by its own first components.
+#: Outer elements with no partners are lost (their count-0 rows vanish).
+COUNT_BUG: Rule = rule(
+    "count-bug",
+    "iterate(Kp(T), <id, count o iter($p, pi2) o <id, Kf($B)>>) ! $A",
+    "iterate(Kp(T), (id >< count)) o nest(pi1, pi2)"
+    " o <join($p, id), iterate(Kp(T), pi1) o join($p, id)> ! [$A, $B]",
+    sort=Sort.OBJ, bidirectional=False, citation=AGG,
+    note="REFUTABLE: grouping keys come from the join result, so "
+         "partnerless elements of A disappear — the count bug")
+
+AGGREGATE_RULES: list[Rule] = [
+    COUNT_UNNEST,
+    rule("count-tobag", "bag_count o tobag", "count", citation=AGG,
+         note="a set's bag has as many members as the set"),
+    rule("count-map-inj", "count o iterate(Kp(T), $f)", "count",
+         preconditions=(Goal("injective", "f"),), bidirectional=False,
+         citation=AGG,
+         note="mapping by a key preserves cardinality (guarded: a "
+              "non-injective map merges elements)"),
+    rule("bag-count-map", "bag_count o bag_iterate(Kp(T), $f)",
+         "bag_count", citation=AGG,
+         note="bag maps always preserve total multiplicity — no "
+              "injectivity needed; the reason SQL aggregates bags"),
+    rule("bag-count-union", "bag_count o bag_union",
+         "plus o (bag_count >< bag_count)", citation=AGG),
+    rule("bag-sum-union", "bag_sum o bag_union",
+         "plus o (bag_sum >< bag_sum)", citation=AGG),
+    rule("plus-comm", "plus o <pi2, pi1>", "plus", citation=AGG),
+    rule("plus-zero", "plus o <Kf(0), id>", "id", citation=AGG,
+         bidirectional=False,
+         note="left-unit specialized to the Int domain"),
+    rule("count-empty", "count o Kf({})", "Kf(0)", citation=AGG,
+         bidirectional=False),
+    rule("sum-singleton-free", "ssum o iterate(Kp(F), $f)",
+         "Kf(0) o iterate(Kp(F), $f)", citation=AGG,
+         bidirectional=False,
+         note="summing an emptied set is 0 (kept compositional so the "
+              "domain types still line up)"),
+]
+
+#: The classic set/bag SUM distinction, stated as a *refutable* rule:
+#: summing the support forgets multiplicities.
+UNSOUND_SUM_DISTINCT: Rule = rule(
+    "sum-distinct-unsound", "ssum o distinct", "bag_sum",
+    citation=AGG, bidirectional=False,
+    note="false: SUM over a bag counts duplicates, SUM over its support "
+         "does not (counterexample: the bag {3, 3})")
+
+#: Count over distinct vs bag count: same shape of mistake.
+UNSOUND_COUNT_DISTINCT: Rule = rule(
+    "count-distinct-unsound", "count o distinct", "bag_count",
+    citation=AGG, bidirectional=False,
+    note="false: COUNT DISTINCT is not COUNT")

@@ -1,0 +1,100 @@
+"""Bag rules: deferred duplicate elimination (the Section 6 extension).
+
+    "optimizations that defer duplicate elimination can be expressed as
+    transformations that produce bags as intermediate results"
+
+The key rewrite family relates set pipelines (which deduplicate at every
+intermediate step) to bag pipelines with a single final ``distinct``.
+All rules are machine-verified like the rest of the pool.
+
+Notable:
+
+* ``defer-dupelim-select`` / ``defer-dupelim-map`` — a set iterate is a
+  bag iterate bracketed by ``tobag``/``distinct``; composed along a
+  pipeline (the ``defer-duplicate-elimination`` COKO block) they push
+  ``distinct`` to the very end.
+* ``defer-dupelim-flat`` — the flatten case: a union of mapped sets is
+  one ``distinct`` over an additive bag union.
+* ``tobag o distinct == id`` is *deliberately shipped as unsound*
+  (:data:`UNSOUND_TOBAG_DISTINCT`) — it forgets multiplicities — and the
+  test suite checks that the verifier refutes it.  A plausible-looking
+  flattening rule refuted during this reproduction's development is kept
+  as a second negative example (:data:`UNSOUND_BAG_FLAT_TOBAG`): bags
+  count how many member sets an element occurs in, sets cannot.
+"""
+
+from __future__ import annotations
+
+from repro.core import constructors as C
+from repro.core.bags import KBag
+from repro.core.terms import fun_var
+from repro.rewrite.rule import Rule, rule
+
+BAGS = "bag extension (Section 6)"
+
+BAG_RULES: list[Rule] = [
+    rule("distinct-tobag", "distinct o tobag", "id", citation=BAGS,
+         note="a set, viewed as a bag, deduplicates to itself"),
+    rule("bag-fusion",
+         "bag_iterate($p, $f) o bag_iterate($q, $g)",
+         "bag_iterate($q & ($p @ $g), $f o $g)", citation=BAGS,
+         note="rule 11 for bags (multiplicities compose)"),
+    rule("bag-iterate-id", "bag_iterate(Kp(T), id)", "id", citation=BAGS),
+    rule("bag-iterate-empty",
+         C.bag_iterate(C.const_p(C.false()), fun_var("f")),
+         C.const_f(C.lit(KBag.empty())),
+         citation=BAGS, bidirectional=False,
+         note="a false filter empties any bag"),
+    rule("distinct-filter",
+         "distinct o bag_iterate($p, id)",
+         "iterate($p, id) o distinct", citation=BAGS,
+         note="filtering commutes with duplicate elimination"),
+    rule("defer-dupelim-map",
+         "iterate(Kp(T), $f) o distinct",
+         "distinct o bag_iterate(Kp(T), $f)", citation=BAGS,
+         note="map the bag, deduplicate once at the end"),
+    rule("defer-dupelim-select",
+         "iterate($p, $f)",
+         "distinct o bag_iterate($p, $f) o tobag", citation=BAGS,
+         note="entry point of the deferral block"),
+    rule("defer-dupelim-flat",
+         "flat o iterate(Kp(T), $f)",
+         "distinct o bag_flat o bag_iterate(Kp(T), tobag o $f) o tobag",
+         citation=BAGS,
+         note="the flatten case: one additive bag union, one distinct"),
+    rule("bag-union-comm", "bag_union o <pi2, pi1>", "bag_union",
+         citation=BAGS),
+    rule("distinct-bag-union",
+         "distinct o bag_union",
+         "union o (distinct >< distinct)", citation=BAGS,
+         note="dedup of an additive union is the set union of dedups"),
+    rule("bag-join-distinct",
+         "distinct o bag_join($p, $f)",
+         "join($p, $f) o (distinct >< distinct)", citation=BAGS,
+         note="a bag join deduplicates to the set join of the supports"),
+    rule("bag-iterate-tobag-filter",
+         "bag_iterate($p, id) o tobag",
+         "tobag o iterate($p, id)", citation=BAGS,
+         note="filtering a duplicate-free bag stays duplicate-free"),
+    rule("bag-fold-filter-map",
+         "bag_iterate(Kp(T), $f) o bag_iterate($p, id)",
+         "bag_iterate($p, $f)", citation=BAGS,
+         note="merge a filter stage into the following map"),
+]
+
+#: Unsound bag equation #1 (forgets multiplicities): negative test.
+UNSOUND_TOBAG_DISTINCT: Rule = rule(
+    "tobag-distinct-unsound", "tobag o distinct", "id",
+    citation=BAGS, bidirectional=False,
+    note="false: collapses multiplicities (counterexample: any bag with "
+         "a repeated element)")
+
+#: Unsound bag equation #2, found (and refuted) while developing this
+#: extension: flattening via bags counts how many member sets contain an
+#: element; flattening via sets cannot.
+UNSOUND_BAG_FLAT_TOBAG: Rule = rule(
+    "bag-flat-tobag-unsound",
+    "bag_flat o tobag o iterate(Kp(T), tobag)",
+    "tobag o flat",
+    citation=BAGS, bidirectional=False,
+    note="false when an element occurs in two different member sets")

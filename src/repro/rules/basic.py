@@ -1,0 +1,117 @@
+"""The paper's basic rule set: Figure 4's sidebar (rules 1-12) and
+Figure 5 (rules 13-16), plus the small companion rules the derivations
+use silently.
+
+Every rule here is written purely declaratively in the KOLA text syntax —
+no head routines, no body routines — and is verified by the
+Larch-substitute checker in the test suite.
+
+Fidelity notes
+--------------
+
+* **Rule 7.**  The paper prints ``gt^-1 == leq``.  With ``-1`` read as
+  the *converse* (the reading required for rule 13 and the Figure 6
+  derivation to be sound — see DESIGN.md), the converse of strict ``gt``
+  is strict ``lt``.  We ship ``inv(gt) == lt`` (and the whole converse
+  family); the paper's literal rule is kept in
+  :data:`PAPER_LITERAL_RULE_7` as a *deliberately refutable* rule used
+  to demonstrate the verifier.
+
+* **Companion rules.**  The derivations in Figures 4 and 6 use a few
+  identities without numbering them (e.g. ``p & Kp(T) == p`` as the
+  mirrored rule 5).  They are included here with ``number=None`` and
+  names tying them to their numbered relatives.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Sort
+from repro.rewrite.rule import Rule, rule
+
+FIG4 = "Figure 4"
+FIG5 = "Figure 5"
+
+#: Rules 1-12 (the sidebar of Figure 4).
+RULES_FIG4: list[Rule] = [
+    rule("r1", "$f o id", "$f", number=1, citation=FIG4),
+    rule("r2", "id o $f", "$f", number=2, citation=FIG4),
+    rule("r3", "$p @ id", "$p", sort=Sort.PRED, number=3, citation=FIG4),
+    rule("r4", "<pi1, pi2>", "id", number=4, citation=FIG4),
+    rule("r5", "Kp(T) & $p", "$p", sort=Sort.PRED, number=5, citation=FIG4),
+    rule("r6", "Kp($b) @ $f", "Kp($b)", sort=Sort.PRED, number=6,
+         citation=FIG4),
+    rule("r7", "inv(gt)", "lt", sort=Sort.PRED, number=7, citation=FIG4,
+         note="paper prints gt^-1 == leq; sound form under the converse "
+              "reading is inv(gt) == lt (see DESIGN.md)"),
+    rule("r8", "Kf($k) o $f", "Kf($k)", number=8, citation=FIG4),
+    rule("r9", "pi1 o <$f, $g>", "$f", number=9, citation=FIG4),
+    rule("r10", "pi2 o <$f, $g>", "$g", number=10, citation=FIG4),
+    rule("r11", "iterate($p, $f) o iterate($q, $g)",
+         "iterate($q & ($p @ $g), $f o $g)", number=11, citation=FIG4),
+    rule("r12", "iterate($p, id) o iterate(Kp(T), $f)",
+         "iterate($p @ $f, $f)", number=12, citation=FIG4),
+]
+
+#: Rules 13-16 (Figure 5).
+RULES_FIG5: list[Rule] = [
+    rule("r13", "$p @ <$f, Kf($k)>", "Cp(inv($p), $k) @ $f",
+         sort=Sort.PRED, number=13, citation=FIG5),
+    rule("r14", "$p @ ($f o $g)", "($p @ $f) @ $g",
+         sort=Sort.PRED, number=14, citation=FIG5),
+    rule("r15", "iter($p @ pi1, pi2)", "con($p @ pi1, pi2, Kf({}))",
+         number=15, citation=FIG5),
+    rule("r16", "con($p, $f, $g) o $h", "con($p @ $h, $f o $h, $g o $h)",
+         number=16, citation=FIG5),
+]
+
+#: Companion identities the paper's derivations use without numbering.
+COMPANIONS: list[Rule] = [
+    rule("r5b", "$p & Kp(T)", "$p", sort=Sort.PRED,
+         citation=FIG4, note="mirror of rule 5, used silently in T2K"),
+    rule("conj-false-left", "Kp(F) & $p", "Kp(F)", sort=Sort.PRED,
+         citation="companion"),
+    rule("conj-false-right", "$p & Kp(F)", "Kp(F)", sort=Sort.PRED,
+         citation="companion",
+         note="sound because KOLA predicates are total boolean tests"),
+    rule("disj-true-left", "Kp(T) | $p", "Kp(T)", sort=Sort.PRED,
+         citation="companion"),
+    rule("disj-true-right", "$p | Kp(T)", "Kp(T)", sort=Sort.PRED,
+         citation="companion"),
+    rule("disj-false-left", "Kp(F) | $p", "$p", sort=Sort.PRED,
+         citation="companion"),
+    rule("disj-false-right", "$p | Kp(F)", "$p", sort=Sort.PRED,
+         citation="companion"),
+    # The converse family completing rule 7.
+    rule("inv-lt", "inv(lt)", "gt", sort=Sort.PRED, citation="companion"),
+    rule("inv-leq", "inv(leq)", "geq", sort=Sort.PRED, citation="companion"),
+    rule("inv-geq", "inv(geq)", "leq", sort=Sort.PRED, citation="companion"),
+    rule("inv-eq", "inv(eq)", "eq", sort=Sort.PRED, citation="companion"),
+    rule("inv-neq", "inv(neq)", "neq", sort=Sort.PRED, citation="companion"),
+    rule("inv-inv", "inv(inv($p))", "$p", sort=Sort.PRED,
+         citation="companion"),
+]
+
+#: The paper's rule 7 *as printed* — unsound under the converse reading.
+#: Shipped only so tests and benchmarks can demonstrate that the
+#: Larch-substitute verifier refutes it (EXPERIMENTS.md, fidelity notes).
+PAPER_LITERAL_RULE_7: Rule = rule(
+    "r7-paper-literal", "inv(gt)", "leq", sort=Sort.PRED,
+    citation=FIG4, bidirectional=False,
+    note="as printed in the paper; refutable (take x = y)")
+
+#: Rules 18 and 2 are used as chain cleanup during the hidden-join steps;
+#: group them with the identities useful for normalizing after any step.
+CLEANUP: list[Rule] = [
+    RULES_FIG4[0],   # r1
+    RULES_FIG4[1],   # r2
+    RULES_FIG4[2],   # r3
+    RULES_FIG4[3],   # r4
+    RULES_FIG4[4],   # r5
+    COMPANIONS[0],   # r5b
+    RULES_FIG4[5],   # r6
+    RULES_FIG4[7],   # r8
+    RULES_FIG4[8],   # r9
+    RULES_FIG4[9],   # r10
+]
+
+ALL_BASIC: list[Rule] = RULES_FIG4 + RULES_FIG5 + COMPANIONS

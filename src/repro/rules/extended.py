@@ -1,0 +1,338 @@
+"""The extended rule pool.
+
+The paper reports a pool of over 500 rules proved with the Larch Prover,
+"from which a rule-based optimizer could draw" (Section 1.2).  The exact
+pool was never published; this module rebuilds the families that the
+paper's worked examples and the general KOLA laws imply.  Every rule is:
+
+* purely declarative (text-syntax patterns, no routines);
+* statically type-checked at construction (both sides must admit a
+  common type);
+* semantically verified by the Larch-substitute checker in the test
+  suite (randomized well-typed instantiation + evaluation).
+
+Families: pair/cross/projection laws, constant and currying laws,
+conditional laws, boolean-algebra laws over predicate formers, the
+converse family, iterate/flat fusion, join reordering and pushdown,
+``iter`` environment laws (including the code-motion-adjacent
+``iter-env-free``), nest/unnest, set-operation algebra, membership
+shortcuts, and the conditional (precondition-guarded) rules from the
+paper's injectivity example.
+
+Rules marked ``structural=True`` below (commutativity and the like) are
+sound but non-terminating under exhaustive application; they are
+excluded from the ``simplify`` group and available to strategies that
+apply them deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.terms import Sort
+from repro.rewrite.rule import Goal, Rule, rule
+
+POOL = "extended pool"
+
+
+@dataclass(frozen=True)
+class PoolEntry:
+    """A rule plus pool bookkeeping flags."""
+
+    rule: Rule
+    family: str
+    structural: bool = False  # sound but not safe for exhaustive rewriting
+
+
+def _entry(family: str, name: str, lhs: str, rhs: str, *,
+           sort: Sort = Sort.FUN, structural: bool = False,
+           preconditions: tuple[Goal, ...] = (),
+           bidirectional: bool = True, note: str = "") -> PoolEntry:
+    return PoolEntry(
+        rule(name, lhs, rhs, sort=sort, preconditions=preconditions,
+             bidirectional=bidirectional, citation=POOL, note=note),
+        family=family, structural=structural)
+
+
+ENTRIES: list[PoolEntry] = [
+    # -- pair / cross / projection ------------------------------------------
+    _entry("pair", "cross-intro", "<$f o pi1, $g o pi2>", "($f >< $g)"),
+    _entry("pair", "cross-intro-left", "<$f o pi1, pi2>", "($f >< id)"),
+    _entry("pair", "cross-intro-right", "<pi1, $g o pi2>", "(id >< $g)"),
+    _entry("pair", "cross-id", "(id >< id)", "id"),
+    _entry("pair", "cross-compose", "($f >< $g) o ($h >< $j)",
+           "(($f o $h) >< ($g o $j))"),
+    _entry("pair", "cross-pair", "($f >< $g) o <$h, $j>",
+           "<$f o $h, $g o $j>"),
+    _entry("pair", "pair-compose", "<$f, $g> o $h", "<$f o $h, $g o $h>",
+           structural=True,
+           note="expansionary: safe only under deliberate strategies"),
+    _entry("pair", "proj1-cross", "pi1 o ($f >< $g)", "$f o pi1"),
+    _entry("pair", "proj2-cross", "pi2 o ($f >< $g)", "$g o pi2"),
+
+    # -- constants and currying ------------------------------------------------
+    _entry("const", "kf-absorb", "$f o Kf($k)", "Kf($f ! $k)",
+           note="post-composition into a constant evaluates eagerly"),
+    _entry("const", "cf-def", "Cf($f, $k)", "$f o <Kf($k), id>"),
+    _entry("const", "cf-post", "Cf($f, $k) o $g", "Cf($f o (id >< $g), $k)"),
+    _entry("const", "cp-def", "Cp($p, $k)", "$p @ <Kf($k), id>",
+           sort=Sort.PRED),
+    _entry("const", "cp-inv-def", "Cp(inv($p), $k)", "$p @ <id, Kf($k)>",
+           sort=Sort.PRED,
+           note="rule 13 specialized to f = id"),
+
+    # -- conditionals -------------------------------------------------------------
+    _entry("cond", "con-same", "con($p, $f, $f)", "$f",
+           bidirectional=False),
+    _entry("cond", "con-true", "con(Kp(T), $f, $g)", "$f",
+           bidirectional=False),
+    _entry("cond", "con-false", "con(Kp(F), $f, $g)", "$g",
+           bidirectional=False),
+    _entry("cond", "con-post", "$h o con($p, $f, $g)",
+           "con($p, $h o $f, $h o $g)"),
+    _entry("cond", "con-neg", "con(~$p, $f, $g)", "con($p, $g, $f)"),
+
+    # -- boolean algebra of predicate formers ----------------------------------------
+    _entry("bool", "neg-neg", "~(~$p)", "$p", sort=Sort.PRED),
+    _entry("bool", "de-morgan-and", "~($p & $q)", "~$p | ~$q",
+           sort=Sort.PRED),
+    _entry("bool", "de-morgan-or", "~($p | $q)", "~$p & ~$q",
+           sort=Sort.PRED),
+    _entry("bool", "neg-true", "~Kp(T)", "Kp(F)", sort=Sort.PRED),
+    _entry("bool", "neg-false", "~Kp(F)", "Kp(T)", sort=Sort.PRED),
+    _entry("bool", "conj-idem", "$p & $p", "$p", sort=Sort.PRED),
+    _entry("bool", "disj-idem", "$p | $p", "$p", sort=Sort.PRED),
+    _entry("bool", "conj-assoc", "($p & $q) & $r", "$p & ($q & $r)",
+           sort=Sort.PRED),
+    _entry("bool", "disj-assoc", "($p | $q) | $r", "$p | ($q | $r)",
+           sort=Sort.PRED),
+    _entry("bool", "conj-comm", "$p & $q", "$q & $p", sort=Sort.PRED,
+           structural=True),
+    _entry("bool", "disj-comm", "$p | $q", "$q | $p", sort=Sort.PRED,
+           structural=True),
+    _entry("bool", "absorb-conj", "$p & ($p | $q)", "$p", sort=Sort.PRED,
+           bidirectional=False),
+    _entry("bool", "absorb-disj", "$p | ($p & $q)", "$p", sort=Sort.PRED,
+           bidirectional=False),
+    _entry("bool", "or-over-and-left", "$p | ($q & $r)",
+           "($p | $q) & ($p | $r)", sort=Sort.PRED,
+           note="CNF distribution"),
+    _entry("bool", "or-over-and-right", "($q & $r) | $p",
+           "($q | $p) & ($r | $p)", sort=Sort.PRED,
+           note="CNF distribution"),
+    _entry("bool", "oplus-conj", "($p & $q) @ $f", "($p @ $f) & ($q @ $f)",
+           sort=Sort.PRED),
+    _entry("bool", "oplus-disj", "($p | $q) @ $f", "($p @ $f) | ($q @ $f)",
+           sort=Sort.PRED),
+    _entry("bool", "oplus-neg", "(~$p) @ $f", "~($p @ $f)",
+           sort=Sort.PRED),
+
+    # -- negated comparisons (total orders on comparables) ---------------------------
+    _entry("order", "neg-lt", "~lt", "geq", sort=Sort.PRED),
+    _entry("order", "neg-leq", "~leq", "gt", sort=Sort.PRED),
+    _entry("order", "neg-gt", "~gt", "leq", sort=Sort.PRED),
+    _entry("order", "neg-geq", "~geq", "lt", sort=Sort.PRED),
+    _entry("order", "neg-eq", "~eq", "neq", sort=Sort.PRED),
+    _entry("order", "neg-neq", "~neq", "eq", sort=Sort.PRED),
+
+    # -- converse interactions --------------------------------------------------------
+    _entry("converse", "inv-oplus-cross", "inv($p @ ($f >< $g))",
+           "inv($p) @ ($g >< $f)", sort=Sort.PRED),
+    _entry("converse", "inv-conj", "inv($p & $q)", "inv($p) & inv($q)",
+           sort=Sort.PRED),
+    _entry("converse", "inv-disj", "inv($p | $q)", "inv($p) | inv($q)",
+           sort=Sort.PRED),
+    _entry("converse", "inv-neg", "inv(~$p)", "~inv($p)", sort=Sort.PRED),
+    _entry("converse", "inv-const", "inv(Kp($b))", "Kp($b)",
+           sort=Sort.PRED),
+
+    # -- iterate / flat fusion ------------------------------------------------------------
+    _entry("iterate", "iterate-empty-pred", "iterate(Kp(F), $f)", "Kf({})",
+           bidirectional=False),
+    _entry("iterate", "iterate-flat", "iterate($p, $f) o flat",
+           "flat o iterate(Kp(T), iterate($p, $f))"),
+    _entry("iterate", "iterate-union", "iterate($p, $f) o union",
+           "union o (iterate($p, $f) >< iterate($p, $f))"),
+    _entry("iterate", "select-intersect", "iterate($p, id) o intersect",
+           "intersect o (iterate($p, id) >< iterate($p, id))"),
+    _entry("iterate", "select-difference", "iterate($p, id) o difference",
+           "difference o (iterate($p, id) >< iterate($p, id))"),
+
+    # -- join reordering and pushdown ---------------------------------------------------------
+    _entry("join", "join-comm", "join($p, $f) o <pi2, pi1>",
+           "join(inv($p), $f o <pi2, pi1>)"),
+    _entry("join", "iterate-join-fuse", "iterate($p, $f) o join($q, $g)",
+           "join($q & ($p @ $g), $f o $g)"),
+    _entry("join", "join-pushdown-left",
+           "join($p, $f) o (iterate($q, id) >< id)",
+           "join($p & ($q @ pi1), $f)"),
+    _entry("join", "join-pushdown-right",
+           "join($p, $f) o (id >< iterate($q, id))",
+           "join($p & ($q @ pi2), $f)"),
+    _entry("join", "join-map-left",
+           "join($p, $f) o (iterate(Kp(T), $g) >< id)",
+           "join($p @ ($g >< id), $f o ($g >< id))"),
+    _entry("join", "join-map-right",
+           "join($p, $f) o (id >< iterate(Kp(T), $g))",
+           "join($p @ (id >< $g), $f o (id >< $g))"),
+
+    # -- iter environment laws -------------------------------------------------------------------
+    _entry("iter", "iter-trivial", "iter(Kp(T), pi2)", "pi2"),
+    _entry("iter", "iter-close", "iter($p, $f) o <Kf($k), id>",
+           "iterate(Cp($p, $k), Cf($f, $k))"),
+    _entry("iter", "iter-env-free", "iter($p @ pi2, pi2)",
+           "iterate($p, id) o pi2",
+           note="an iter whose predicate ignores its environment is a "
+                "plain selection — the structural fact behind the K3/K4 "
+                "code-motion distinction (Section 3.2)"),
+    _entry("iter", "iter-env-free-chain", "iter($p @ ($f o pi2), pi2)",
+           "iterate($p @ $f, id) o pi2",
+           note="iter-env-free when the predicate reaches the element "
+                "through a function (matches after rule 14 re-association)"),
+    _entry("iter", "iter-map-env-free", "iter(Kp(T), $f o pi2)",
+           "iterate(Kp(T), $f) o pi2"),
+
+    # -- nest / unnest ----------------------------------------------------------------------------
+    _entry("nest", "unnest-def", "unnest(pi1, pi2) o iterate(Kp(T), <$f, $g>)",
+           "unnest($f, $g)"),
+    _entry("nest", "unnest-map", "unnest($f, $g) o iterate(Kp(T), $h)",
+           "unnest($f o $h, $g o $h)"),
+
+    # -- set-operation algebra ---------------------------------------------------------------------
+    _entry("setop", "union-idem", "union o <$f, $f>", "$f",
+           bidirectional=False),
+    _entry("setop", "intersect-idem", "intersect o <$f, $f>", "$f",
+           bidirectional=False),
+    _entry("setop", "difference-self", "difference o <$f, $f>", "Kf({})",
+           bidirectional=False),
+    _entry("setop", "union-empty-right", "union o <$f, Kf({})>", "$f"),
+    _entry("setop", "union-empty-left", "union o <Kf({}), $f>", "$f"),
+    _entry("setop", "intersect-empty-right", "intersect o <$f, Kf({})>",
+           "Kf({})", bidirectional=False),
+    _entry("setop", "intersect-empty-left", "intersect o <Kf({}), $f>",
+           "Kf({})", bidirectional=False),
+    _entry("setop", "difference-empty-right", "difference o <$f, Kf({})>",
+           "$f"),
+    _entry("setop", "difference-empty-left", "difference o <Kf({}), $f>",
+           "Kf({})", bidirectional=False),
+    _entry("setop", "union-comm", "union o <pi2, pi1>", "union",
+           structural=True),
+    _entry("setop", "intersect-comm", "intersect o <pi2, pi1>", "intersect",
+           structural=True),
+
+    # -- membership shortcuts ------------------------------------------------------------------------
+    _entry("member", "in-empty", "in @ <$f, Kf({})>", "Kp(F)",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("member", "subset-empty", "subset @ <Kf({}), $g>", "Kp(T)",
+           sort=Sort.PRED, bidirectional=False,
+           note="the empty set is a subset of anything"),
+
+    # -- invocation/test laws (object-expression level) --------------------------------
+    _entry("invoke", "id-invoke", "id ! $x", "$x", sort=Sort.OBJ,
+           bidirectional=False),
+    _entry("invoke", "kf-invoke", "Kf($k) ! $x", "$k", sort=Sort.OBJ,
+           bidirectional=False,
+           note="with invocation peeling this merges F o Kf(c) ! x "
+                "into F ! c"),
+    _entry("invoke", "cf-invoke", "Cf($f, $k) ! $x", "$f ! [$k, $x]",
+           sort=Sort.OBJ),
+    _entry("invoke", "pair-invoke", "<$f, $g> ! $x",
+           "[$f ! $x, $g ! $x]", sort=Sort.OBJ),
+    _entry("invoke", "kp-test", "Kp($b) ? $x", "$b", sort=Sort.OBJ,
+           bidirectional=False),
+    _entry("invoke", "oplus-test", "($p @ $f) ? $x", "$p ? ($f ! $x)",
+           sort=Sort.OBJ),
+    _entry("invoke", "inv-test", "inv($p) ? [$x, $y]", "$p ? [$y, $x]",
+           sort=Sort.OBJ),
+
+    # -- the total order's algebra (comparison predicates) -------------------------------
+    _entry("order-algebra", "lt-and-gt", "lt & gt", "Kp(F)",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "lt-and-eq", "lt & eq", "Kp(F)",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "gt-and-eq", "gt & eq", "Kp(F)",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "eq-and-neq", "eq & neq", "Kp(F)",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "leq-and-geq", "leq & geq", "eq",
+           sort=Sort.PRED),
+    _entry("order-algebra", "leq-and-neq", "leq & neq", "lt",
+           sort=Sort.PRED),
+    _entry("order-algebra", "geq-and-neq", "geq & neq", "gt",
+           sort=Sort.PRED),
+    _entry("order-algebra", "eq-and-leq", "eq & leq", "eq",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "eq-and-geq", "eq & geq", "eq",
+           sort=Sort.PRED, bidirectional=False),
+    _entry("order-algebra", "lt-or-eq", "lt | eq", "leq", sort=Sort.PRED),
+    _entry("order-algebra", "gt-or-eq", "gt | eq", "geq", sort=Sort.PRED),
+    _entry("order-algebra", "lt-or-gt", "lt | gt", "neq", sort=Sort.PRED),
+
+    # -- membership through set operations ----------------------------------------------
+    _entry("member", "in-union",
+           "in @ (id >< union)",
+           "(in @ (id >< pi1)) | (in @ (id >< pi2))",
+           sort=Sort.PRED,
+           note="x in A|B  iff  x in A or x in B"),
+    _entry("member", "in-intersect",
+           "in @ (id >< intersect)",
+           "(in @ (id >< pi1)) & (in @ (id >< pi2))",
+           sort=Sort.PRED),
+
+    # -- more nest/unnest laws --------------------------------------------------------------
+    _entry("nest", "nest-map",
+           "nest($f, $g) o (iterate(Kp(T), $h) >< id)",
+           "nest($f o $h, $g o $h)",
+           note="grouping a mapped set groups by the composed key"),
+    _entry("nest", "unnest-map-key",
+           "iterate(Kp(T), ($h >< id)) o unnest($f, $g)",
+           "unnest($h o $f, $g)"),
+    _entry("nest", "unnest-map-value",
+           "iterate(Kp(T), (id >< $h)) o unnest($f, $g)",
+           "unnest($f, iterate(Kp(T), $h) o $g)"),
+    _entry("nest", "unnest-filter-key",
+           "iterate($p @ pi1, id) o unnest($f, $g)",
+           "unnest($f, $g) o iterate($p @ $f, id)",
+           note="a filter on the unnested key pushes below the unnest"),
+
+    # -- conditional-map splitting --------------------------------------------------------------
+    _entry("cond", "iterate-cond-split",
+           "iterate($p, con($q, $f, $g))",
+           "union o <iterate($p & $q, $f), iterate($p & ~$q, $g)>",
+           note="split a conditional map into a union of branches "
+                "(expansionary; used by strategies, not simplify)"),
+    _entry("iterate", "select-map-fuse",
+           "iterate(Kp(T), $f) o iterate($p, id)",
+           "iterate($p, $f)",
+           note="derivable from rule 11 + identities (see the prover "
+                "tests); included directly for one-step firing"),
+
+    # -- precondition-guarded rules (Section 4.2's injectivity example) -------------------------------
+    _entry("conditional", "map-intersect-inj",
+           "iterate(Kp(T), $f) o intersect",
+           "intersect o (iterate(Kp(T), $f) >< iterate(Kp(T), $f))",
+           preconditions=(Goal("injective", "f"),),
+           note="the paper's example: an injective function distributes "
+                "over set intersection"),
+    _entry("conditional", "map-difference-inj",
+           "iterate(Kp(T), $f) o difference",
+           "difference o (iterate(Kp(T), $f) >< iterate(Kp(T), $f))",
+           preconditions=(Goal("injective", "f"),)),
+    _entry("conditional", "eq-inj", "eq @ ($f >< $f)", "eq",
+           sort=Sort.PRED, preconditions=(Goal("injective", "f"),),
+           bidirectional=False),
+]
+
+
+def pool_rules(include_structural: bool = True) -> list[Rule]:
+    """All extended-pool rules (optionally excluding structural ones)."""
+    return [entry.rule for entry in ENTRIES
+            if include_structural or not entry.structural]
+
+
+def families() -> dict[str, list[Rule]]:
+    """Pool rules grouped by family name."""
+    result: dict[str, list[Rule]] = {}
+    for entry in ENTRIES:
+        result.setdefault(entry.family, []).append(entry.rule)
+    return result

@@ -1,0 +1,108 @@
+"""Figure 8: the rules used to optimize hidden-join queries.
+
+These eight rules (17-24), together with the cleanup identities of
+Figures 4/5, drive the paper's five-step untangling strategy
+(Section 4.1): Break-up, Bottom-out, Pull-up nest, Pull-up unnest,
+Absorb into join.  The strategy itself — which rules fire at which step
+— lives in :mod:`repro.coko.hidden_join`; this module only declares the
+rules.
+
+Fidelity notes
+--------------
+
+* **Rule 19.**  The scanned text prints ``nest(pi1, pi1)``; Figure 3's
+  KG2 and Table 2's semantics require ``nest(pi1, pi2)``, which is what
+  we implement (the checker refutes the ``pi1`` reading).
+
+* **Rule 17b.**  Figure 7 allows each level's ``h_i`` to be ``flat`` or
+  ``id``; when it is ``id`` the ``g``-factor of rule 17's head is absent
+  and the printed rule (which requires three chain factors) cannot
+  match.  The paper's footnote 5 handles this case informally ("drops
+  out by rules 18 and 2"); ``r17b`` is the corresponding explicit
+  instance of rule 17 with ``g = id`` pre-simplified.
+"""
+
+from __future__ import annotations
+
+from repro.core.terms import Sort
+from repro.rewrite.rule import Rule, rule
+
+FIG8 = "Figure 8"
+
+RULE_17 = rule(
+    "r17",
+    "iterate(Kp(T), <$j, $g o iter($p, $f) o <id, $h>>)",
+    "iterate(Kp(T), <$j o pi1, pi2>)"
+    " o iterate(Kp(T), <pi1, $g o pi2>)"
+    " o iterate(Kp(T), <pi1, iter($p, $f)>)"
+    " o iterate(Kp(T), <id, $h>)",
+    number=17, citation=FIG8, bidirectional=False,
+    note="break up a monolithic hidden-join level into a chain")
+
+RULE_17B = rule(
+    "r17b",
+    "iterate(Kp(T), <$j, iter($p, $f) o <id, $h>>)",
+    "iterate(Kp(T), <$j o pi1, pi2>)"
+    " o iterate(Kp(T), <pi1, iter($p, $f)>)"
+    " o iterate(Kp(T), <id, $h>)",
+    citation=FIG8, bidirectional=False,
+    note="rule 17 with g = id (Figure 7 levels whose h_i is id)")
+
+RULE_18 = rule(
+    "r18", "iterate(Kp(T), id)", "id", number=18, citation=FIG8)
+
+RULE_19 = rule(
+    "r19",
+    "iterate(Kp(T), <id, Kf($B)>) ! $A",
+    "nest(pi1, pi2) o <join(Kp(T), id), pi1> ! [$A, $B]",
+    sort=Sort.OBJ, number=19, citation=FIG8, bidirectional=False,
+    note="bottom-out: seed a nest-of-join at the bottom of the tree; "
+         "the text's nest(pi1, pi1) is a misprint for nest(pi1, pi2)")
+
+RULE_20 = rule(
+    "r20",
+    "iterate(Kp(T), <pi1, iter($p, $f)>) o nest(pi1, pi2)",
+    "nest(pi1, pi2) o (iterate($p, <pi1, $f>) >< id)",
+    number=20, citation=FIG8, bidirectional=False,
+    note="pull nest up through an iter level")
+
+RULE_21 = rule(
+    "r21",
+    "iterate(Kp(T), <pi1, flat o pi2>) o nest(pi1, pi2)",
+    "nest(pi1, pi2) o (unnest(pi1, pi2) >< id)",
+    number=21, citation=FIG8, bidirectional=False,
+    note="pull nest up through a flatten level")
+
+RULE_22 = rule(
+    "r22",
+    "(iterate($p, <pi1, $f>) >< id) o (unnest(pi1, pi2) >< id)",
+    "(unnest(pi1, pi2) >< id) o (iterate(Kp(T), <pi1, iter($p, $f)>) >< id)",
+    number=22, citation=FIG8, bidirectional=False,
+    note="pull unnest up past an iterate stage")
+
+RULE_22B = rule(
+    "r22b",
+    "(iterate($p, id) >< id) o (unnest(pi1, pi2) >< id)",
+    "(unnest(pi1, pi2) >< id) o (iterate(Kp(T), <pi1, iter($p, pi2)>) >< id)",
+    citation=FIG8, bidirectional=False,
+    note="rule 22 with f = pi2 after cleanup collapsed <pi1, pi2> to id "
+         "(selection stages produced by rule 20 + rule 4)")
+
+RULE_23 = rule(
+    "r23",
+    "(unnest(pi1, pi2) >< id) o (unnest(pi1, pi2) >< id)",
+    "(unnest(pi1, pi2) >< id) o (iterate(Kp(T), <pi1, flat o pi2>) >< id)",
+    number=23, citation=FIG8, bidirectional=False,
+    note="merge adjacent unnest stages (re-expressing one as a flatten)")
+
+RULE_24 = rule(
+    "r24",
+    "(iterate($p, $f) >< id) o <join($q, $g), pi1>",
+    "<join($q & ($p @ $g), $f o $g), pi1>",
+    number=24, citation=FIG8, bidirectional=False,
+    note="absorb an iterate stage into the join's predicate/function")
+
+ALL_HIDDEN_JOIN: list[Rule] = [
+    RULE_17, RULE_17B, RULE_18, RULE_19, RULE_20, RULE_21, RULE_22,
+    RULE_22B, RULE_23, RULE_24,
+]

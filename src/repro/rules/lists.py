@@ -1,0 +1,64 @@
+"""List rules (Section 6's second bulk type).
+
+Lists carry order, so fewer equations hold than for sets or bags — and
+the ones that *do* hold are exactly the ones an optimizer needs to move
+work across an ORDER BY:
+
+* ``filter-listify`` — filtering commutes with ordering (a selection can
+  be evaluated before or after the sort; before is usually cheaper);
+* ``to-set-*`` — once order is forgotten, list operators collapse to the
+  set operators, letting set rules fire downstream;
+* list fusion mirrors rule 11.
+
+The deliberately unsound :data:`UNSOUND_MAP_LISTIFY` documents why the
+pool has no map/listify commutation: mapping changes the sort keys.
+"""
+
+from __future__ import annotations
+
+from repro.rewrite.rule import Rule, rule
+
+LISTS = "list extension (Section 6)"
+
+LIST_RULES: list[Rule] = [
+    rule("to-set-listify", "to_set o listify($f)", "id", citation=LISTS,
+         note="ordering then forgetting the order is the identity on "
+              "sets"),
+    rule("list-fusion",
+         "list_iterate($p, $f) o list_iterate($q, $g)",
+         "list_iterate($q & ($p @ $g), $f o $g)", citation=LISTS,
+         note="rule 11 for lists (order preserved)"),
+    rule("list-iterate-id", "list_iterate(Kp(T), id)", "id",
+         citation=LISTS),
+    rule("to-set-map",
+         "to_set o list_iterate($p, $f)",
+         "iterate($p, $f) o to_set", citation=LISTS,
+         note="forgetting order turns an ordered map into a set map"),
+    rule("to-set-cat",
+         "to_set o list_cat",
+         "union o (to_set >< to_set)", citation=LISTS),
+    rule("to-set-flat",
+         "to_set o list_flat",
+         "flat o iterate(Kp(T), to_set) o to_set", citation=LISTS),
+    rule("filter-listify",
+         "list_iterate($p, id) o listify($f)",
+         "listify($f) o iterate($p, id)", citation=LISTS,
+         note="push a selection below the sort — the ordering of a "
+              "subset is the subsequence of the ordering"),
+    rule("list-fold-filter-map",
+         "list_iterate(Kp(T), $f) o list_iterate($p, id)",
+         "list_iterate($p, $f)", citation=LISTS),
+]
+
+#: Deliberately unsound: mapping before ordering sorts by the *image*'s
+#: keys, not the source's.  Negative test for the verifier.
+UNSOUND_MAP_LISTIFY: Rule = rule(
+    "map-listify-unsound",
+    "list_iterate(Kp(T), $f) o listify($g)",
+    "listify($g) o iterate(Kp(T), $f)",
+    citation=LISTS, bidirectional=False, allow_type_narrowing=True,
+    note="false: the RHS orders images by g-of-image, the LHS by "
+         "g-of-source; also the RHS deduplicates images.  This rule is "
+         "doubly broken — it also narrows the type (the forward guard "
+         "flags it; opted out here to let the semantic checker refute "
+         "it too)")

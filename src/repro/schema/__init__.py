@@ -1,0 +1,10 @@
+"""Object schema substrate: ADTs, the paper's example schema, and data generation."""
+
+from repro.schema.adt import ADT, Attribute, Database, Schema
+from repro.schema.paper_schema import paper_schema
+from repro.schema.generator import generate_database
+
+__all__ = [
+    "ADT", "Attribute", "Database", "Schema",
+    "paper_schema", "generate_database",
+]

@@ -1,0 +1,230 @@
+"""Abstract data types, schemas and databases.
+
+The paper assumes "a schema with an abstract data type (ADT) ``Person``,
+whose interface includes ``addr``, ``age``, ``child``, ``cars`` and
+``grgs``" (Section 2.1).  ADT interface functions are exactly KOLA's
+schema primitives: applying the ``prim("age")`` term to a ``Person``
+instance reads the ``age`` attribute.
+
+This module provides the generic machinery:
+
+* :class:`Attribute` — one interface function, with a declared result
+  type used by the KOLA type checker;
+* :class:`ADT` — a named collection of attributes;
+* :class:`Schema` — a set of ADTs plus declared top-level collections
+  (the paper's ``P`` and ``V``) and optional computed primitives;
+* :class:`Database` — a schema instantiated with actual objects, able to
+  resolve ``prim``/``pprim``/``setname`` leaves for the evaluator.
+
+The paper's concrete schema lives in
+:mod:`repro.schema.paper_schema`; synthetic data generation in
+:mod:`repro.schema.generator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping
+
+from repro.core.errors import EvalError, UnknownPrimitiveError
+from repro.core.values import Instance
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One ADT interface function.
+
+    Attributes:
+        name: the primitive's name (``age``).
+        type_expr: the result type, written in the small type language of
+            :mod:`repro.core.types` — e.g. ``"Int"``, ``"Address"``,
+            ``"Set(Person)"``.
+    """
+
+    name: str
+    type_expr: str
+
+
+@dataclass(frozen=True)
+class ADT:
+    """An abstract data type: a name and its interface attributes."""
+
+    name: str
+    attributes: tuple[Attribute, ...]
+
+    def attribute(self, name: str) -> Attribute:
+        for attr in self.attributes:
+            if attr.name == name:
+                return attr
+        raise UnknownPrimitiveError(
+            f"ADT {self.name} has no attribute {name!r}")
+
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(attr.name for attr in self.attributes)
+
+
+class Schema:
+    """A database schema: ADTs, named collections, computed primitives.
+
+    Computed primitives let a deployment expose extra functions or
+    predicates that are not stored attributes (e.g. an ``adult``
+    predicate); they participate in evaluation but, like stored
+    attributes, are opaque to the rule language — which is the point of
+    the paper's design.
+    """
+
+    def __init__(self) -> None:
+        self._adts: dict[str, ADT] = {}
+        self._collections: dict[str, str] = {}
+        self._computed_fns: dict[str, tuple[Callable[[object], object], str, str]] = {}
+        self._computed_preds: dict[str, tuple[Callable[[object], bool], str]] = {}
+
+    # -- declaration ---------------------------------------------------------
+
+    def add_adt(self, adt: ADT) -> None:
+        if adt.name in self._adts:
+            raise ValueError(f"duplicate ADT {adt.name!r}")
+        self._adts[adt.name] = adt
+
+    def declare_collection(self, name: str, element_adt: str) -> None:
+        """Declare a top-level named set of ``element_adt`` objects."""
+        if name in self._collections:
+            raise ValueError(f"duplicate collection {name!r}")
+        self._collections[name] = element_adt
+
+    def register_function(self, name: str, fn: Callable[[object], object],
+                          arg_type: str, result_type: str) -> None:
+        """Register a computed unary function primitive."""
+        self._computed_fns[name] = (fn, arg_type, result_type)
+
+    def register_predicate(self, name: str, fn: Callable[[object], bool],
+                           arg_type: str) -> None:
+        """Register a computed unary predicate primitive."""
+        self._computed_preds[name] = (fn, arg_type)
+
+    # -- lookup ----------------------------------------------------------------
+
+    def adts(self) -> tuple[ADT, ...]:
+        return tuple(self._adts.values())
+
+    def adt(self, name: str) -> ADT:
+        try:
+            return self._adts[name]
+        except KeyError:
+            raise UnknownPrimitiveError(f"unknown ADT {name!r}") from None
+
+    def collections(self) -> Mapping[str, str]:
+        return dict(self._collections)
+
+    def collection_adt(self, name: str) -> str:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise EvalError(f"unknown collection {name!r}") from None
+
+    def attribute_type(self, adt_name: str, attr: str) -> str:
+        return self.adt(adt_name).attribute(attr).type_expr
+
+    def function_signature(self, name: str) -> tuple[str, str] | None:
+        """``(arg_type, result_type)`` for a primitive function name.
+
+        Searches stored attributes across all ADTs, then computed
+        functions.  Returns ``None`` when the name is unknown.  A name
+        defined on several ADTs would be ambiguous and is rejected at
+        declaration time by :func:`validate`.
+        """
+        for adt in self._adts.values():
+            for attr in adt.attributes:
+                if attr.name == name:
+                    return (adt.name, attr.type_expr)
+        if name in self._computed_fns:
+            _, arg_type, result_type = self._computed_fns[name]
+            return (arg_type, result_type)
+        return None
+
+    def predicate_signature(self, name: str) -> str | None:
+        """Argument type for a primitive predicate name, or ``None``."""
+        if name in self._computed_preds:
+            return self._computed_preds[name][1]
+        return None
+
+    def computed_function(self, name: str) -> Callable[[object], object] | None:
+        entry = self._computed_fns.get(name)
+        return entry[0] if entry else None
+
+    def computed_predicate(self, name: str) -> Callable[[object], bool] | None:
+        entry = self._computed_preds.get(name)
+        return entry[0] if entry else None
+
+    def validate(self) -> None:
+        """Check the schema is coherent (unique primitive names)."""
+        seen: set[str] = set()
+        for adt in self._adts.values():
+            for attr in adt.attributes:
+                if attr.name in seen:
+                    raise ValueError(
+                        f"primitive name {attr.name!r} declared twice; "
+                        "KOLA primitives are resolved by name alone")
+                seen.add(attr.name)
+        for name in self._computed_fns:
+            if name in seen:
+                raise ValueError(f"computed function {name!r} shadows an attribute")
+            seen.add(name)
+
+
+class Database:
+    """A schema populated with objects: the evaluator's world.
+
+    Resolves the three schema-dependent leaves of KOLA terms:
+
+    * ``prim(name)``  — stored attribute read or computed function;
+    * ``pprim(name)`` — computed predicate;
+    * ``setname(name)`` — a named top-level collection.
+    """
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        self._collections: dict[str, frozenset] = {}
+
+    def set_collection(self, name: str, items: Iterable[object]) -> None:
+        """Populate a declared collection."""
+        self.schema.collection_adt(name)  # raises if undeclared
+        self._collections[name] = frozenset(items)
+
+    def collection(self, name: str) -> frozenset:
+        try:
+            return self._collections[name]
+        except KeyError:
+            raise EvalError(
+                f"collection {name!r} is declared but not populated"
+            ) from None
+
+    def collection_names(self) -> tuple[str, ...]:
+        return tuple(sorted(self._collections))
+
+    def apply_prim(self, name: str, value: object) -> object:
+        """Apply primitive function ``name`` to ``value``."""
+        if isinstance(value, Instance):
+            adt = self.schema.adt(value.adt)
+            if name in adt.attribute_names():
+                return value.get(name)
+        fn = self.schema.computed_function(name)
+        if fn is not None:
+            return fn(value)
+        raise UnknownPrimitiveError(
+            f"primitive function {name!r} is not applicable to {value!r}")
+
+    def test_pprim(self, name: str, value: object) -> bool:
+        """Test primitive predicate ``name`` on ``value``."""
+        pred = self.schema.computed_predicate(name)
+        if pred is None:
+            raise UnknownPrimitiveError(f"unknown primitive predicate {name!r}")
+        result = pred(value)
+        if not isinstance(result, bool):
+            raise EvalError(
+                f"primitive predicate {name!r} returned non-boolean {result!r}")
+        return result
+
+    def stats(self) -> dict[str, int]:
+        """Collection cardinalities (used by the cost model)."""
+        return {name: len(items) for name, items in self._collections.items()}

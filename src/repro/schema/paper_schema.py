@@ -1,0 +1,46 @@
+"""The paper's example schema (Section 2.1).
+
+    Person:  addr  -> Address
+             age   -> Int
+             child -> Set(Person)   (children of the person)
+             cars  -> Set(Vehicle)  (cars owned by the person)
+             grgs  -> Set(Address)  (garages kept by the person)
+             name  -> Str           (added for readable examples)
+    Address: city  -> Str
+             street -> Str          (added for readable examples)
+    Vehicle: make  -> Str
+             year  -> Int
+
+    Collections:  P : Set(Person),  V : Set(Vehicle),
+                  A : Set(Address)  (added; handy in tests)
+"""
+
+from __future__ import annotations
+
+from repro.schema.adt import ADT, Attribute, Schema
+
+
+def paper_schema() -> Schema:
+    """Build the Person/Address/Vehicle schema used throughout the paper."""
+    schema = Schema()
+    schema.add_adt(ADT("Person", (
+        Attribute("addr", "Address"),
+        Attribute("age", "Int"),
+        Attribute("child", "Set(Person)"),
+        Attribute("cars", "Set(Vehicle)"),
+        Attribute("grgs", "Set(Address)"),
+        Attribute("name", "Str"),
+    )))
+    schema.add_adt(ADT("Address", (
+        Attribute("city", "Str"),
+        Attribute("street", "Str"),
+    )))
+    schema.add_adt(ADT("Vehicle", (
+        Attribute("make", "Str"),
+        Attribute("year", "Int"),
+    )))
+    schema.declare_collection("P", "Person")
+    schema.declare_collection("V", "Vehicle")
+    schema.declare_collection("A", "Address")
+    schema.validate()
+    return schema

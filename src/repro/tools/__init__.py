@@ -1,0 +1,1 @@
+"""Developer tools: rule catalog generation, pool reports."""

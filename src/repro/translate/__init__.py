@@ -1,0 +1,13 @@
+"""Translators: OQL-subset -> AQUA -> KOLA, plus size metrics."""
+
+from repro.translate.environment import Environment
+from repro.translate.aqua_to_kola import translate_query, translate_expr
+from repro.translate.kola_to_aqua import decompile, decompile_fn
+from repro.translate.oql import parse_oql
+from repro.translate.metrics import TranslationMetrics, measure_translation
+
+__all__ = [
+    "Environment", "translate_query", "translate_expr", "parse_oql",
+    "decompile", "decompile_fn",
+    "TranslationMetrics", "measure_translation",
+]

@@ -1,0 +1,86 @@
+"""Explicit environments for the AQUA -> KOLA translation.
+
+The paper (Section 4.2, "Expressibility"): *"Translation ... relies on
+combinators that permit generation of explicit environments (id and
+( )), and access to those environments (pi1, pi2 and o)."*
+
+An :class:`Environment` is an ordered list of the lambda variables in
+scope.  Its *runtime value* is a left-nested pair:
+
+====================  ===========================
+variables in scope    environment value
+====================  ===========================
+``[]``                (none — closed expression)
+``[x]``               ``x``
+``[x, y]``            ``[x, y]``
+``[x, y, z]``         ``[[x, y], z]``
+====================  ===========================
+
+Entering a lambda binder extends the environment by pairing on the right
+(``new = [old, bound]``), which is exactly what the translation's
+``<id, h>`` combinators build at run time — compare the reduction of the
+Garage Query in Section 3 of the paper, where ``(id, Kf(P))`` creates the
+environment ``[v, P]``.
+
+Variable access compiles to a projection path: the most recent variable
+is ``pi2``, one step out is ``pi2 o pi1``, etc.; with a single variable
+in scope access is ``id``.  The length of these paths is what makes
+translated queries ``O(m n)`` in the worst case (m = maximum number of
+variables simultaneously in scope).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import constructors as C
+from repro.core.errors import TranslationError
+from repro.core.terms import Term
+
+
+@dataclass(frozen=True)
+class Environment:
+    """The ordered variables in scope, oldest first."""
+
+    variables: tuple[str, ...] = ()
+
+    def extend(self, var: str) -> "Environment":
+        """The environment inside a lambda binding ``var``."""
+        return Environment(self.variables + (var,))
+
+    def __len__(self) -> int:
+        return len(self.variables)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.variables
+
+    def access(self, name: str) -> Term:
+        """The KOLA access path for variable ``name``.
+
+        With scope ``[x1 .. xn]`` (value ``[[..[x1, x2]..], xn]``):
+
+        * ``xn`` compiles to ``pi2`` (or ``id`` when n == 1);
+        * ``xi`` (i < n) compiles to ``<xi's path in [x1..x_{n-1}]> o pi1``.
+        """
+        if name not in self.variables:
+            raise TranslationError(f"unbound variable {name!r}; in scope: "
+                                   f"{list(self.variables)}")
+        index = len(self.variables) - 1 - self.variables[::-1].index(name)
+        steps_out = len(self.variables) - 1 - index
+        if len(self.variables) == 1:
+            return C.id_()
+        # n >= 2: innermost is pi2, each step out prepends a pi1 hop.
+        if steps_out == 0:
+            return C.pi2()
+        path = C.pi1()
+        for _ in range(steps_out - 1):
+            path = C.compose(path, C.pi1())
+        if index == 0 and steps_out == len(self.variables) - 1:
+            # Reached the leftmost slot: after descending through all the
+            # pi1s we are at x1 itself (the spine is left-nested).
+            return path
+        return C.compose(C.pi2(), path)
+
+    def depth(self) -> int:
+        """m, the paper's 'degree of nesting' for this point of the query."""
+        return len(self.variables)

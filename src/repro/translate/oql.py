@@ -1,0 +1,299 @@
+"""A small OQL-style surface language, parsed into AQUA.
+
+The paper's group implemented OQL -> KOLA translation [11]; the surface
+subset here covers what the paper's examples need:
+
+.. code-block:: sql
+
+   select p.addr.city from p in P
+   select p.age from p in P where p.age > 25
+   select [v, (select a from p2 in P, a in p2.grgs where v in p2.cars)]
+     from v in V
+   select [x, y] from x in P, y in x.child where x.age > 25 and y.age > 10
+
+Grammar (case-insensitive keywords)::
+
+   query    := 'select' expr 'from' binding (',' binding)* ['where' pred]
+   binding  := IDENT 'in' expr
+   expr     := '[' expr ',' expr ']' | '(' query ')' | path | literal
+   path     := IDENT ('.' IDENT)*
+   pred     := conj ('or' conj)*
+   conj     := atom ('and' atom)*
+   atom     := 'not' atom | expr CMP expr | expr 'in' expr | '(' pred ')'
+   CMP      := '==' | '!=' | '<' | '<=' | '>' | '>='
+
+Multiple ``from`` bindings nest: later bindings may reference earlier
+variables, and the result is the flattened nested iteration — i.e.
+hidden-join queries fall out naturally, which is what the benchmark
+workloads use.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, BoolOp, Const,
+                              Flatten, In, Lam, Not, PairE, Sel, SetRef,
+                              Var)
+from repro.core.errors import ParseError
+
+_TOKEN = re.compile(
+    r"""\s*(?:
+        (?P<num>\d+)
+      | (?P<string>'[^']*'|"[^"]*")
+      | (?P<cmp><=|>=|==|!=|<|>)
+      | (?P<sym>[\[\](),.])
+      | (?P<ident>[A-Za-z_][A-Za-z0-9_]*)
+    )""",
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"select", "from", "where", "in", "and", "or", "not",
+             "order", "by"}
+
+
+class _OqlParser:
+    def __init__(self, text: str) -> None:
+        self.tokens: list[tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN.match(text, pos)
+            if match is None or match.end() == pos:
+                rest = text[pos:].strip()
+                if not rest:
+                    break
+                raise ParseError(f"bad OQL character {rest[0]!r}", pos)
+            kind = match.lastgroup
+            assert kind is not None
+            value = match.group(kind)
+            if kind == "ident" and value.lower() in _KEYWORDS:
+                self.tokens.append(("kw", value.lower()))
+            else:
+                self.tokens.append((kind, value))
+            pos = match.end()
+        self.index = 0
+        self.scope: list[str] = []
+
+    def peek(self) -> tuple[str, str] | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> tuple[str, str]:
+        token = self.peek()
+        if token is None:
+            raise ParseError("unexpected end of OQL input")
+        self.index += 1
+        return token
+
+    def expect_kw(self, word: str) -> None:
+        token = self.next()
+        if token != ("kw", word):
+            raise ParseError(f"expected {word!r}, got {token[1]!r}")
+
+    def expect_sym(self, sym: str) -> None:
+        token = self.next()
+        if token[1] != sym:
+            raise ParseError(f"expected {sym!r}, got {token[1]!r}")
+
+    def at(self, kind: str, value: str) -> bool:
+        token = self.peek()
+        return token is not None and token == (kind, value)
+
+    # -- productions --------------------------------------------------------
+
+    def query(self) -> AquaExpr:
+        self.expect_kw("select")
+        projection_start = self.index
+        # Parse bindings first (we need the scope to resolve variables),
+        # so remember the projection tokens and come back.
+        depth = 0
+        while True:
+            token = self.peek()
+            if token is None:
+                raise ParseError("OQL query missing 'from'")
+            if token == ("kw", "from") and depth == 0:
+                break
+            if token[1] in "([":
+                depth += 1
+            if token[1] in ")]":
+                depth -= 1
+            self.index += 1
+        projection_end = self.index
+        self.expect_kw("from")
+
+        bindings: list[tuple[str, AquaExpr]] = []
+        outer_scope_size = len(self.scope)
+        while True:
+            kind, var = self.next()
+            if kind != "ident":
+                raise ParseError(f"expected a variable name, got {var!r}")
+            self.expect_kw("in")
+            source = self.expr()
+            bindings.append((var, source))
+            self.scope.append(var)
+            if self.at("sym", ","):
+                self.next()
+                continue
+            break
+
+        where: AquaExpr | None = None
+        if self.at("kw", "where"):
+            self.next()
+            where = self.pred()
+
+        order_key: AquaExpr | None = None
+        if self.at("kw", "order"):
+            self.next()
+            self.expect_kw("by")
+            order_key = self.expr()
+
+        # Re-parse the projection now that the scope is known.
+        saved = self.index
+        self.index = projection_start
+        projection = self.expr()
+        if self.index != projection_end:
+            raise ParseError("trailing tokens in select projection")
+        self.index = saved
+        del self.scope[outer_scope_size:]
+
+        return _assemble(projection, bindings, where, order_key)
+
+    def expr(self) -> AquaExpr:
+        token = self.peek()
+        if token is None:
+            raise ParseError("expected an OQL expression")
+        kind, value = token
+        if value == "[":
+            self.next()
+            left = self.expr()
+            self.expect_sym(",")
+            right = self.expr()
+            self.expect_sym("]")
+            return PairE(left, right)
+        if value == "(":
+            self.next()
+            if self.at("kw", "select"):
+                inner = self.query()
+                self.expect_sym(")")
+                return inner
+            inner = self.expr()
+            self.expect_sym(")")
+            return inner
+        if kind == "num":
+            self.next()
+            return Const(int(value))
+        if kind == "string":
+            self.next()
+            return Const(value[1:-1])
+        if kind == "ident":
+            self.next()
+            base: AquaExpr
+            if value == "count" and self.at("sym", "("):
+                from repro.aqua.terms import CountE
+                self.next()
+                if self.at("kw", "select"):
+                    inner = self.query()
+                else:
+                    inner = self.expr()
+                self.expect_sym(")")
+                return CountE(inner)
+            if value in self.scope:
+                base = Var(value)
+            else:
+                base = SetRef(value)
+            while self.at("sym", "."):
+                self.next()
+                attr_kind, attr_name = self.next()
+                if attr_kind != "ident":
+                    raise ParseError(f"expected attribute, got {attr_name!r}")
+                base = Attr(base, attr_name)
+            return base
+        raise ParseError(f"unexpected OQL token {value!r}")
+
+    def pred(self) -> AquaExpr:
+        left = self.conj()
+        while self.at("kw", "or"):
+            self.next()
+            left = BoolOp("or", left, self.conj())
+        return left
+
+    def conj(self) -> AquaExpr:
+        left = self.atom()
+        while self.at("kw", "and"):
+            self.next()
+            left = BoolOp("and", left, self.atom())
+        return left
+
+    def atom(self) -> AquaExpr:
+        if self.at("kw", "not"):
+            self.next()
+            return Not(self.atom())
+        if self.at("sym", "("):
+            mark = self.index
+            self.next()
+            if not self.at("kw", "select"):
+                # Could be a parenthesized predicate or expression;
+                # try predicate first.
+                try:
+                    inner = self.pred()
+                    self.expect_sym(")")
+                    token = self.peek()
+                    if token is None or token[0] == "kw" or token[1] in ")],":
+                        return inner
+                except ParseError:
+                    pass
+                self.index = mark
+        left = self.expr()
+        token = self.peek()
+        if token is not None and token[0] == "cmp":
+            self.next()
+            return BinCmp(token[1], left, self.expr())
+        if token == ("kw", "in"):
+            self.next()
+            return In(left, self.expr())
+        raise ParseError("expected a comparison or membership test")
+
+
+def _assemble(projection: AquaExpr, bindings: list[tuple[str, AquaExpr]],
+              where: AquaExpr | None,
+              order_key: AquaExpr | None = None) -> AquaExpr:
+    """Build the nested app/sel/flatten pipeline for a select query.
+
+    The ``where`` clause attaches to the innermost binding (all bound
+    variables are in scope there).  ``order by`` requires the projection
+    to be a bare variable that the key references (the key runs on the
+    result elements).
+    """
+    from repro.aqua.terms import OrderBy
+    from repro.aqua.analysis import free_vars
+
+    var, source = bindings[-1]
+    inner_source: AquaExpr = source
+    if where is not None:
+        inner_source = Sel(Lam(var, where), inner_source)
+    result = App(Lam(var, projection), inner_source)
+    for var, source in reversed(bindings[:-1]):
+        result = Flatten(App(Lam(var, result), source))
+
+    if order_key is not None:
+        if not isinstance(projection, Var):
+            raise ParseError(
+                "order by requires the projection to be a bare variable "
+                "(the key runs on result elements)")
+        key_vars = free_vars(order_key)
+        if not key_vars <= {projection.name}:
+            raise ParseError(
+                f"order by key may only reference the projected variable "
+                f"{projection.name!r}")
+        result = OrderBy(Lam(projection.name, order_key), result)
+    return result
+
+
+def parse_oql(text: str) -> AquaExpr:
+    """Parse an OQL query string into an AQUA expression."""
+    parser = _OqlParser(text)
+    result = parser.query()
+    if parser.peek() is not None:
+        raise ParseError(f"trailing OQL input: {parser.peek()[1]!r}")
+    return result

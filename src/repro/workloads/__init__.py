@@ -1,0 +1,7 @@
+"""Workload generators: the paper's queries and parametric families."""
+
+from repro.workloads.queries import PaperQueries, paper_queries
+from repro.workloads.hidden_join import hidden_join_family, HiddenJoinSpec
+
+__all__ = ["PaperQueries", "paper_queries", "hidden_join_family",
+           "HiddenJoinSpec"]

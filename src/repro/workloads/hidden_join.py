@@ -1,0 +1,93 @@
+"""Parametric hidden-join query families (the Figure 7 shape).
+
+Figure 7 fixes the translated form of AQUA hidden joins:
+
+.. code-block:: text
+
+   app(\\(a) [f(a), g1(g2(...(gn(B))...))])(A)
+
+where each ``g_i`` invokes a query — ``app``, ``sel``, or
+``flatten(app(...))`` — and predicates/functions may reference the outer
+variable ``a``.  "Nesting can occur to any degree (the value of n above
+is unbounded)", which is exactly why the monolithic rule needs a diving
+head routine.
+
+:func:`hidden_join_family` builds the family over the paper's schema:
+the outer collection is ``P`` (persons), the hidden inner collection is
+``P`` again, the innermost level correlates with the outer person
+(``q.age > a.age``), and each additional level alternates
+
+* a ``flatten(app(\\(q) q.child))`` hop (``h_i = flat``), and
+* a ``sel(\\(q) q.age > 10)`` filter (``h_i = id``),
+
+so generated queries exercise both shapes of Figure 7's levels.  A
+variant with the bottom set *derived from the outer variable* (``a.child``
+instead of ``P``) is provided for the inapplicability experiments — the
+paper's own example of a query the hidden-join rule must reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, Const, Flatten,
+                              In, Lam, PairE, Sel, SetRef, Var)
+
+
+@dataclass(frozen=True)
+class HiddenJoinSpec:
+    """Parameters of one generated hidden-join query."""
+
+    depth: int                 # n: number of nested query levels (>= 1)
+    applicable: bool = True    # False: bottom set derived from the outer var
+    outer: str = "P"
+    inner: str = "P"
+    predicate: str = "gt"      # correlation: "gt" (theta) or "eq" (equi)
+
+
+def hidden_join_family(spec: HiddenJoinSpec) -> AquaExpr:
+    """Build the AQUA hidden-join query for ``spec``.
+
+    ``depth = 1`` is the minimal hidden join
+    ``app(\\(a)[a, sel(\\(q) q.age > a.age)(B)])(A)``; each extra level
+    wraps the current inner query in a child-hop or a filter.
+    """
+    if spec.depth < 1:
+        raise ValueError("hidden-join depth must be >= 1")
+
+    bottom: AquaExpr
+    if spec.applicable:
+        bottom = SetRef(spec.inner)
+    else:
+        bottom = Attr(Var("a"), "child")  # derived from the outer variable
+
+    # Innermost level: a correlated selection (references the outer 'a').
+    operator = {"gt": ">", "eq": "=="}[spec.predicate]
+    inner: AquaExpr = Sel(
+        Lam("q0", BinCmp(operator, Attr(Var("q0"), "age"),
+                         Attr(Var("a"), "age"))),
+        bottom)
+
+    for level in range(1, spec.depth):
+        var = f"q{level}"
+        if level % 2 == 1:
+            # h = flat level: hop through children.
+            inner = Flatten(App(Lam(var, Attr(Var(var), "child")), inner))
+        else:
+            # h = id level: an uncorrelated filter.
+            inner = Sel(Lam(var, BinCmp(">", Attr(Var(var), "age"),
+                                        Const(10))), inner)
+
+    return App(Lam("a", PairE(Var("a"), inner)), SetRef(spec.outer))
+
+
+def garage_shape(outer: str = "V", inner: str = "P") -> AquaExpr:
+    """The Garage Query as a member of the family (depth 2, membership
+    predicate): associate each vehicle with its possible locations."""
+    return App(
+        Lam("v", PairE(Var("v"),
+                       Flatten(App(Lam("p", Attr(Var("p"), "grgs")),
+                                   Sel(Lam("p", In(Var("v"),
+                                                   Attr(Var("p"), "cars"))),
+                                       SetRef(inner)))))),
+        SetRef(outer))

@@ -1,0 +1,114 @@
+"""Every query the paper uses, as a ready-made library.
+
+AQUA forms follow Figures 1 and 2 and Section 4.1; KOLA forms are the
+paper's printed terms (Figures 3, 4, 6).  Tests assert that translating
+each AQUA form yields the corresponding KOLA form, so these constants
+are cross-checked rather than merely transcribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.aqua.terms import (App, AquaExpr, Attr, BinCmp, Const, Flatten,
+                              In, Lam, PairE, Sel, SetRef, Var)
+from repro.core.parser import parse_obj
+from repro.core.terms import Term
+from repro.rewrite.pattern import canon
+
+
+@dataclass(frozen=True)
+class PaperQueries:
+    """The paper's running examples."""
+
+    # Figure 1, T1: the cities inhabited by people in P.
+    t1_source_aqua: AquaExpr
+    t1_target_aqua: AquaExpr
+    # Figure 1, T2: the ages of people in P older than 25.
+    t2_source_aqua: AquaExpr
+    t2_target_aqua: AquaExpr
+    # Figure 2: structurally identical nested queries.
+    a3_aqua: AquaExpr
+    a4_aqua: AquaExpr
+    # Figure 3: the Garage Query, both forms.
+    garage_aqua: AquaExpr
+    kg1: Term
+    kg2: Term
+    # Figure 4 inputs (KOLA).
+    t1k_source: Term
+    t1k_target: Term
+    t2k_source: Term
+    t2k_target: Term
+    # Section 3.2 / Figure 6 (KOLA).
+    k3: Term
+    k4: Term
+    k4_code_moved: Term
+
+
+def paper_queries() -> PaperQueries:
+    """Build all of the paper's example queries."""
+    person = Var("p")
+
+    t1_source = App(Lam("a", Attr(Var("a"), "city")),
+                    App(Lam("p", Attr(person, "addr")), SetRef("P")))
+    t1_target = App(Lam("p", Attr(Attr(person, "addr"), "city")),
+                    SetRef("P"))
+
+    t2_source = App(Lam("x", Attr(Var("x"), "age")),
+                    Sel(Lam("p", BinCmp(">", Attr(person, "age"),
+                                        Const(25))), SetRef("P")))
+    t2_target = Sel(Lam("a", BinCmp(">", Var("a"), Const(25))),
+                    App(Lam("p", Attr(person, "age")), SetRef("P")))
+
+    a3 = App(Lam("p", PairE(person,
+                            Sel(Lam("c", BinCmp(">", Attr(Var("c"), "age"),
+                                                Const(25))),
+                                Attr(person, "child")))), SetRef("P"))
+    a4 = App(Lam("p", PairE(person,
+                            Sel(Lam("c", BinCmp(">", Attr(person, "age"),
+                                                Const(25))),
+                                Attr(person, "child")))), SetRef("P"))
+
+    garage = App(
+        Lam("v", PairE(Var("v"),
+                       Flatten(App(Lam("p", Attr(person, "grgs")),
+                                   Sel(Lam("p", In(Var("v"),
+                                                   Attr(person, "cars"))),
+                                       SetRef("P")))))),
+        SetRef("V"))
+
+    kg1 = canon(parse_obj(
+        "iterate(Kp(T), <id, flat"
+        " o iter(Kp(T), grgs o pi2)"
+        " o <id, iter(in @ <pi1, cars o pi2>, pi2) o <id, Kf(P)>>>) ! V"))
+    kg2 = canon(parse_obj(
+        "nest(pi1, pi2) o (unnest(pi1, pi2) >< id)"
+        " o <join(in @ (id >< cars), (id >< grgs)), pi1> ! [V, P]"))
+
+    t1k_source = canon(parse_obj(
+        "iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"))
+    t1k_target = canon(parse_obj("iterate(Kp(T), city o addr) ! P"))
+    t2k_source = canon(parse_obj(
+        "iterate(Kp(T), age) o iterate(gt @ <age, Kf(25)>, id) ! P"))
+    # The paper prints Cp(leq, 25); the sound converse of strict gt is lt
+    # (see DESIGN.md / the rule 7 fidelity note).
+    t2k_target = canon(parse_obj(
+        "iterate(Cp(lt, 25), id) o iterate(Kp(T), age) ! P"))
+
+    k3 = canon(parse_obj(
+        "iterate(Kp(T), <id, iter(gt @ <age o pi2, Kf(25)>, pi2)"
+        " o <id, child>>) ! P"))
+    k4 = canon(parse_obj(
+        "iterate(Kp(T), <id, iter(gt @ <age o pi1, Kf(25)>, pi2)"
+        " o <id, child>>) ! P"))
+    k4_code_moved = canon(parse_obj(
+        "iterate(Kp(T), <id, con(Cp(lt, 25) @ age, child, Kf({}))>) ! P"))
+
+    return PaperQueries(
+        t1_source_aqua=t1_source, t1_target_aqua=t1_target,
+        t2_source_aqua=t2_source, t2_target_aqua=t2_target,
+        a3_aqua=a3, a4_aqua=a4, garage_aqua=garage,
+        kg1=kg1, kg2=kg2,
+        t1k_source=t1k_source, t1k_target=t1k_target,
+        t2k_source=t2k_source, t2k_target=t2k_target,
+        k3=k3, k4=k4, k4_code_moved=k4_code_moved)

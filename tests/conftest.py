@@ -1,0 +1,46 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.rewrite.engine import Engine
+from repro.rules.registry import standard_rulebase
+from repro.schema.generator import GeneratorConfig, generate_database
+from repro.workloads.queries import paper_queries
+
+
+@pytest.fixture(scope="session")
+def rulebase():
+    """The standard rule base (expensive to build: type-checks ~120 rules)."""
+    return standard_rulebase()
+
+
+@pytest.fixture()
+def engine():
+    return Engine()
+
+
+@pytest.fixture(scope="session")
+def db():
+    """A mid-sized deterministic database."""
+    return generate_database(GeneratorConfig(seed=2026))
+
+
+@pytest.fixture(scope="session")
+def tiny_db():
+    """A small database for per-test evaluation."""
+    return generate_database(GeneratorConfig(
+        n_persons=8, n_vehicles=5, n_addresses=4, seed=7))
+
+
+@pytest.fixture(scope="session")
+def db_pair(db, tiny_db):
+    """Two differently-shaped databases (equivalences should hold on both)."""
+    return (tiny_db, db)
+
+
+@pytest.fixture(scope="session")
+def queries():
+    """The paper's example queries."""
+    return paper_queries()

@@ -1,0 +1,203 @@
+"""Unit tests for the AQUA substrate: evaluation, variable machinery,
+and the head/body-routine rule engine (the paper's Section 2)."""
+
+import pytest
+
+from repro.aqua.analysis import (alpha_equal, alpha_rename, bound_vars,
+                                 compose_lambdas, free_vars, fresh_name,
+                                 substitute)
+from repro.aqua.eval import aqua_eval
+from repro.aqua.rules import (AquaRuleEngine, CODE_MOTION, STANDARD_AQUA_RULES,
+                              T1_COMPOSE_APP, T2_SPLIT_SEL)
+from repro.aqua.terms import (App, Attr, BinCmp, BoolOp, Const, Flatten,
+                              IfE, In, Join, Lam, Not, PairE, Sel, SetRef,
+                              Var, aqua_pretty)
+from repro.core.errors import AquaError
+from repro.core.values import KPair, kset
+
+
+class TestEvaluation:
+    def test_app(self, tiny_db):
+        query = App(Lam("p", Attr(Var("p"), "age")), SetRef("P"))
+        expected = kset(p.get("age") for p in tiny_db.collection("P"))
+        assert aqua_eval(query, tiny_db) == expected
+
+    def test_sel(self, tiny_db):
+        query = Sel(Lam("p", BinCmp(">", Attr(Var("p"), "age"), Const(25))),
+                    SetRef("P"))
+        expected = kset(p for p in tiny_db.collection("P")
+                        if p.get("age") > 25)
+        assert aqua_eval(query, tiny_db) == expected
+
+    def test_flatten(self, tiny_db):
+        query = Flatten(App(Lam("p", Attr(Var("p"), "child")), SetRef("P")))
+        expected = set()
+        for person in tiny_db.collection("P"):
+            expected.update(person.get("child"))
+        assert aqua_eval(query, tiny_db) == kset(expected)
+
+    def test_join(self, tiny_db):
+        query = Join(Lam("x", Lam("y", BinCmp("==", Attr(Var("x"), "age"),
+                                              Attr(Var("y"), "age")))),
+                     Lam("x", Lam("y", PairE(Var("x"), Var("y")))),
+                     SetRef("P"), SetRef("P"))
+        result = aqua_eval(query, tiny_db)
+        for pair in result:
+            assert pair.fst.get("age") == pair.snd.get("age")
+
+    def test_boolean_operators(self):
+        expr = BoolOp("and", Const(True), Not(Const(False)))
+        assert aqua_eval(expr) is True
+        assert aqua_eval(BoolOp("or", Const(False), Const(False))) is False
+
+    def test_conditional(self):
+        expr = IfE(Const(True), Const(1), Const(2))
+        assert aqua_eval(expr) == 1
+
+    def test_membership(self):
+        expr = In(Const(1), Const(kset([1, 2])))
+        assert aqua_eval(expr) is True
+
+    def test_unbound_variable(self):
+        with pytest.raises(AquaError, match="unbound"):
+            aqua_eval(Var("x"))
+
+    def test_lambda_not_a_value(self):
+        with pytest.raises(AquaError):
+            aqua_eval(Lam("x", Var("x")))
+
+    def test_attr_on_non_object(self):
+        with pytest.raises(AquaError, match="non-object"):
+            aqua_eval(Attr(Const(3), "age"))
+
+
+class TestVariableMachinery:
+    def test_free_vars(self):
+        expr = Sel(Lam("c", BinCmp(">", Attr(Var("p"), "age"), Const(25))),
+                   Attr(Var("p"), "child"))
+        assert free_vars(expr) == {"p"}
+
+    def test_lambda_binds(self):
+        expr = Lam("p", Attr(Var("p"), "age"))
+        assert free_vars(expr) == frozenset()
+
+    def test_bound_vars(self):
+        expr = App(Lam("p", Sel(Lam("c", Const(True)), SetRef("P"))),
+                   SetRef("P"))
+        assert bound_vars(expr) == {"p", "c"}
+
+    def test_substitute(self):
+        expr = BinCmp(">", Attr(Var("x"), "age"), Const(25))
+        result = substitute(expr, "x", Var("p"))
+        assert result == BinCmp(">", Attr(Var("p"), "age"), Const(25))
+
+    def test_substitute_respects_shadowing(self):
+        expr = Lam("x", Var("x"))
+        assert substitute(expr, "x", Const(1)) == expr
+
+    def test_substitute_capture_avoiding(self):
+        # (\(y) x)[x := y]  must NOT become (\(y) y)
+        expr = Lam("y", Var("x"))
+        result = substitute(expr, "x", Var("y"))
+        assert isinstance(result, Lam)
+        assert result.var != "y"
+        assert result.body == Var("y")
+
+    def test_alpha_rename(self):
+        lam = Lam("x", Attr(Var("x"), "age"))
+        renamed = alpha_rename(lam, "p")
+        assert renamed == Lam("p", Attr(Var("p"), "age"))
+
+    def test_alpha_rename_capture_rejected(self):
+        lam = Lam("x", PairE(Var("x"), Var("p")))
+        with pytest.raises(ValueError, match="capture"):
+            alpha_rename(lam, "p")
+
+    def test_alpha_equal(self):
+        a = Lam("x", Attr(Var("x"), "age"))
+        b = Lam("p", Attr(Var("p"), "age"))
+        assert alpha_equal(a, b)
+        assert not alpha_equal(a, Lam("p", Attr(Var("p"), "addr")))
+
+    def test_fresh_name(self):
+        assert fresh_name("x", frozenset()) == "x"
+        assert fresh_name("x", frozenset({"x", "x_1"})) == "x_2"
+
+    def test_compose_lambdas(self):
+        """T1's body routine: \\(a)a.city composed with \\(p)p.addr
+        gives \\(p)p.addr.city."""
+        outer = Lam("a", Attr(Var("a"), "city"))
+        inner = Lam("p", Attr(Var("p"), "addr"))
+        composed = compose_lambdas(outer, inner)
+        assert composed == Lam("p", Attr(Attr(Var("p"), "addr"), "city"))
+
+
+class TestAquaRules:
+    def test_t1_fires(self, queries, db_pair):
+        engine = AquaRuleEngine()
+        result = engine.rewrite_once(queries.t1_source_aqua,
+                                     [T1_COMPOSE_APP])
+        assert result is not None
+        transformed, rule = result
+        assert alpha_equal(transformed, queries.t1_target_aqua)
+        for database in db_pair:
+            assert (aqua_eval(transformed, database)
+                    == aqua_eval(queries.t1_source_aqua, database))
+
+    def test_t2_fires_with_alpha_renaming(self, queries, db_pair):
+        """T2's head routine must rename \\(x)x.age to \\(p)p.age to see
+        the subfunction relationship."""
+        engine = AquaRuleEngine()
+        result = engine.rewrite_once(queries.t2_source_aqua, [T2_SPLIT_SEL])
+        assert result is not None
+        transformed, _ = result
+        assert alpha_equal(transformed, queries.t2_target_aqua)
+        for database in db_pair:
+            assert (aqua_eval(transformed, database)
+                    == aqua_eval(queries.t2_source_aqua, database))
+
+    def test_t2_rejects_non_matching_predicate(self):
+        query = App(Lam("x", Attr(Var("x"), "age")),
+                    Sel(Lam("p", BinCmp(">", Attr(Var("p"), "year"),
+                                        Const(25))), SetRef("P")))
+        assert T2_SPLIT_SEL.head(query) is None
+
+    def test_code_motion_fires_on_a4(self, queries, db_pair):
+        """Figure 2: A4's inner predicate tests p (free in the inner
+        lambda) so code motion applies."""
+        evidence = CODE_MOTION.head(queries.a4_aqua)
+        assert evidence is not None
+        transformed = CODE_MOTION.body(queries.a4_aqua, evidence)
+        assert isinstance(transformed.fn.body, IfE)
+        for database in db_pair:
+            assert (aqua_eval(transformed, database)
+                    == aqua_eval(queries.a4_aqua, database))
+
+    def test_code_motion_rejects_a3(self, queries):
+        """A3 is structurally identical but its predicate tests c — the
+        head routine's environmental analysis must reject it."""
+        assert CODE_MOTION.head(queries.a3_aqua) is None
+
+    def test_engine_counts_head_invocations(self, queries):
+        engine = AquaRuleEngine()
+        engine.normalize(queries.a3_aqua, STANDARD_AQUA_RULES)
+        assert engine.stats.head_invocations > 0
+
+    def test_normalize_applies_rule_names(self, queries):
+        engine = AquaRuleEngine()
+        _, applied = engine.normalize(queries.t1_source_aqua,
+                                      [T1_COMPOSE_APP])
+        assert applied == ["T1-compose-app"]
+
+
+class TestPrettyPrinting:
+    def test_lambda_notation(self):
+        expr = App(Lam("p", Attr(Var("p"), "age")), SetRef("P"))
+        assert aqua_pretty(expr) == "app(\\(p)p.age)(P)"
+
+    def test_figure2_form(self, queries):
+        text = aqua_pretty(queries.a4_aqua)
+        assert "sel(" in text and "child" in text
+
+    def test_size(self, queries):
+        assert queries.garage_aqua.size() == 17

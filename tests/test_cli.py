@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestEval:
+    def test_simple_query(self, capsys):
+        assert main(["eval", "iterate(Kp(T), age) ! P"]) == 0
+        out = capsys.readouterr().out
+        assert "query :" in out and "result:" in out
+
+    def test_sized_database(self, capsys):
+        assert main(["eval", "iterate(Kp(T), id) ! V",
+                     "--vehicles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("Vehicle#") == 3
+
+    def test_parse_error_reported(self, capsys):
+        assert main(["eval", "iterate(("]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestOptimize:
+    def test_oql(self, capsys):
+        code = main(["optimize",
+                     "select p.age from p in P where p.age > 25",
+                     "--execute"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan:" in out and "result:" in out
+
+    def test_kola_input(self, capsys):
+        code = main(["optimize", "--kola",
+                     "iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"])
+        assert code == 0
+        assert "simplified" in capsys.readouterr().out
+
+
+class TestUntangle:
+    def test_paper_garage(self, capsys):
+        assert main(["untangle", "--paper-garage"]) == 0
+        out = capsys.readouterr().out
+        assert "[19]" in out
+        assert "join(in @ (id >< cars)" in out
+
+    def test_custom_query(self, capsys):
+        query = ("iterate(Kp(T), <id, iter(gt @ <age o pi2, age o pi1>,"
+                 " pi2) o <id, Kf(P)>>) ! P")
+        assert main(["untangle", query]) == 0
+        assert "final form" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_sound_rule_passes(self, capsys):
+        code = main(["verify", "id o $f", "$f"])
+        assert code == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_unsound_rule_refuted(self, capsys):
+        code = main(["verify", "inv(gt)", "leq", "--sort", "pred"])
+        assert code == 1
+        assert "REFUTED" in capsys.readouterr().out
+
+
+class TestProve:
+    def test_rule12_instance(self, capsys):
+        code = main(["prove", "iterate($p, id) o iterate(Kp(T), $f)",
+                     "iterate($p @ $f, $f)"])
+        assert code == 0
+        assert "=" in capsys.readouterr().out
+
+    def test_unprovable(self, capsys):
+        code = main(["prove", "age", "city", "--depth", "1"])
+        assert code == 1
+        assert "no proof" in capsys.readouterr().out
+
+
+class TestRules:
+    def test_list_group(self, capsys):
+        assert main(["rules", "--group", "fig8"]) == 0
+        out = capsys.readouterr().out
+        assert "r19" in out and "rules)" in out
+
+    def test_list_all(self, capsys):
+        assert main(["rules"]) == 0
+        out = capsys.readouterr().out
+        assert "r11" in out

@@ -1,0 +1,90 @@
+"""Tests for the COKO DSL extensions: traversal modes and conditionals."""
+
+import pytest
+
+from repro.coko.parser import parse_coko
+from repro.coko.strategy import Context, Exhaust, IfFires, Once
+from repro.core.parser import parse_fun, parse_obj
+from repro.core.pretty import pretty
+from repro.rewrite.engine import Engine
+
+
+class TestTraversalModes:
+    def test_bottomup_exhaust(self, rulebase, engine):
+        ctx = Context(engine, rulebase)
+        term = parse_fun("iterate(Kp(T), id o (id o age))")
+        result = Exhaust("r2", traversal="bottomup").run(term, ctx)
+        assert result == parse_fun("iterate(Kp(T), age)")
+
+    def test_dsl_bu_mode(self, rulebase):
+        [block] = parse_coko("""
+            TRANSFORMATION clean-bu
+            USES r2
+            BEGIN exhaust bu { r2 } END
+        """)
+        result = block.transform(parse_fun("id o id o age"), rulebase)
+        assert result == parse_fun("age")
+
+    def test_dsl_td_mode_explicit(self, rulebase):
+        [block] = parse_coko("""
+            TRANSFORMATION clean-td
+            USES r1
+            BEGIN exhaust td { r1 } END
+        """)
+        result = block.transform(parse_fun("age o id"), rulebase)
+        assert result == parse_fun("age")
+
+
+class TestIfFires:
+    def test_then_branch_on_fire(self, rulebase, engine):
+        ctx = Context(engine, rulebase)
+        strategy = IfFires("r11", Exhaust("group:cleanup"),
+                           Once("r18"))
+        term = parse_obj(
+            "iterate(Kp(T), city) o iterate(Kp(T), addr) ! P")
+        result = strategy.run(term, ctx)
+        assert result == parse_obj("iterate(Kp(T), city o addr) ! P")
+
+    def test_else_branch_on_no_fire(self, rulebase, engine):
+        ctx = Context(engine, rulebase)
+        strategy = IfFires("r11", Exhaust("group:cleanup"),
+                           Exhaust("r18"))
+        term = parse_fun("iterate(Kp(T), id)")
+        result = strategy.run(term, ctx)
+        assert result == parse_fun("id")  # else ran rule 18
+
+    def test_no_else_keeps_term(self, rulebase, engine):
+        ctx = Context(engine, rulebase)
+        strategy = IfFires("r11", Exhaust("group:cleanup"))
+        term = parse_fun("age")
+        assert strategy.run(term, ctx) == term
+
+    def test_dsl_if_then_else(self, rulebase):
+        [block] = parse_coko("""
+            TRANSFORMATION fuse-or-strip
+            USES r11, r18, group:cleanup
+            BEGIN
+              if r11 then { exhaust { group:cleanup } }
+              else { exhaust { r18 } }
+            END
+        """)
+        fused = block.transform(
+            parse_obj("iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"),
+            rulebase)
+        assert fused == parse_obj("iterate(Kp(T), city o addr) ! P")
+        stripped = block.transform(parse_fun("iterate(Kp(T), id)"),
+                                   rulebase)
+        assert stripped == parse_fun("id")
+
+    def test_dsl_if_records_derivation(self, rulebase):
+        from repro.rewrite.trace import Derivation
+        [block] = parse_coko("""
+            TRANSFORMATION demo
+            USES r11, group:cleanup
+            BEGIN if r11 then { exhaust { group:cleanup } } END
+        """)
+        derivation = Derivation()
+        block.transform(
+            parse_obj("iterate(Kp(T), city) o iterate(Kp(T), addr) ! P"),
+            rulebase, derivation=derivation)
+        assert derivation.rules_used()[0] == "[11]"

@@ -1,0 +1,127 @@
+"""Tests for the closure compiler: compiled evaluation must agree with
+the tree-walking evaluator everywhere."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constructors as C
+from repro.core.compile import compile_fn, compile_pred, compile_query
+from repro.core.errors import EvalError
+from repro.core.eval import apply_fn, eval_obj
+from repro.core.eval import test_pred as check_pred
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.types import INT, pair_t, set_t
+from repro.core.values import KPair, kset
+from repro.larch.gen import TermGenerator
+
+
+class TestBasicAgreement:
+    def test_simple_function(self):
+        term = parse_fun("pi1")
+        assert compile_fn(term)(KPair(1, 2)) == 1
+
+    def test_composition(self):
+        term = parse_fun("pi1 o pi2")
+        value = KPair(0, KPair(7, 8))
+        assert compile_fn(term)(value) == apply_fn(term, value)
+
+    def test_predicate(self):
+        term = parse_pred("Cp(lt, 3) | eq @ <id, Kf(0)>")
+        for value in (-1, 0, 3, 5):
+            assert compile_pred(term)(value) == check_pred(term, value)
+
+    def test_query(self, tiny_db):
+        query = parse_obj("iterate(gt @ <age, Kf(25)>, age) ! P")
+        compiled = compile_query(query, tiny_db)
+        assert compiled() == eval_obj(query, tiny_db)
+
+    def test_garage_query(self, tiny_db, queries):
+        for query in (queries.kg1, queries.kg2):
+            assert compile_query(query, tiny_db)() == eval_obj(query,
+                                                               tiny_db)
+
+    def test_bag_pipeline(self, tiny_db):
+        query = parse_obj(
+            "distinct o bag_iterate(Kp(T), city) o bag_flat"
+            " o bag_iterate(Kp(T), tobag o grgs) o tobag ! P")
+        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+
+    def test_list_pipeline(self, tiny_db):
+        query = parse_obj(
+            "to_set o list_iterate(Cp(lt, 40) @ age, id)"
+            " o listify(age) ! P")
+        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+
+    def test_aggregates(self, tiny_db):
+        query = parse_obj("count o iterate(Kp(T), id) ! P")
+        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+        assert compile_fn(parse_fun("plus"))(KPair(3, 4)) == 7
+
+    def test_test_expression(self):
+        query = parse_obj("eq ? [1, 1]")
+        assert compile_query(query)() is True
+
+    def test_pairobj_query(self, tiny_db):
+        query = parse_obj("join(Kp(T), pi1) ! [P, V]")
+        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+
+
+class TestErrors:
+    def test_domain_error_preserved(self):
+        with pytest.raises(EvalError, match="pair"):
+            compile_fn(parse_fun("pi1"))(3)
+
+    def test_needs_database(self):
+        with pytest.raises(EvalError, match="database"):
+            compile_fn(parse_fun("age"))
+        with pytest.raises(EvalError, match="database"):
+            compile_query(parse_obj("iterate(Kp(T), id) ! P"))
+
+    def test_metavariable_rejected(self):
+        from repro.core.terms import fun_var
+        with pytest.raises(EvalError):
+            compile_fn(fun_var("f"))
+
+    def test_incomparable_values(self):
+        with pytest.raises(EvalError, match="incomparable"):
+            compile_pred(parse_pred("lt"))(KPair(1, "a"))
+
+
+_SETTINGS = settings(max_examples=50, deadline=None)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_compiled_fn_agrees_with_evaluator(seed):
+    """The core contract, property-tested over random well-typed terms."""
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.function(set_t(INT), set_t(INT))
+    value = generator.value(set_t(INT))
+    assert compile_fn(term)(value) == apply_fn(term, value)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_compiled_pred_agrees_with_evaluator(seed):
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.predicate(pair_t(INT, set_t(INT)))
+    value = generator.value(pair_t(INT, set_t(INT)))
+    assert compile_pred(term)(value) == check_pred(term, value)
+
+
+def test_compiled_is_faster_on_iteration(db, queries):
+    """Not asserted as a strict bound in CI-like runs, but the compiled
+    form must at least not be slower by 2x on the garage query."""
+    import time
+    compiled = compile_query(queries.kg1, db)
+    compiled()  # warm
+    start = time.perf_counter()
+    for _ in range(3):
+        compiled()
+    compiled_time = time.perf_counter() - start
+    start = time.perf_counter()
+    for _ in range(3):
+        eval_obj(queries.kg1, db)
+    interpreted_time = time.perf_counter() - start
+    assert compiled_time < interpreted_time * 2

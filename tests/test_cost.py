@@ -1,0 +1,73 @@
+"""Unit tests for the cost model."""
+
+import pytest
+
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.optimizer.cost import (CostModel, conjunction_order_cost,
+                                  estimate_cost, predicate_rank)
+
+
+class TestEstimates:
+    def test_scan_scales_with_collection(self, db):
+        small = estimate_cost(parse_obj("iterate(Kp(T), id) ! A"), db)
+        large = estimate_cost(parse_obj("iterate(Kp(T), id) ! P"), db)
+        assert large > small
+
+    def test_selection_reduces_output(self, db):
+        model = CostModel(selectivity=0.1)
+        query = parse_obj("iterate(Kp(T), id) o "
+                          "iterate(Cp(lt, 30) @ age, id) ! P")
+        unselective = CostModel(selectivity=0.9)
+        assert model.estimate(query, db) < unselective.estimate(query, db)
+
+    def test_nested_query_quadratic(self, db, queries):
+        nested = estimate_cost(queries.kg1, db)
+        flat = estimate_cost(parse_obj("iterate(Kp(T), id) ! V"), db)
+        stats = db.stats()
+        assert nested > flat * stats["P"] * 0.1  # clearly superlinear
+
+    def test_unknown_collection_defaults(self, db):
+        cost = estimate_cost(parse_obj("iterate(Kp(T), id) ! Z"), db)
+        assert cost > 0
+
+    def test_non_invoke_is_unit(self, db):
+        assert estimate_cost(parse_obj("[1, 2]"), db) == 1.0
+
+    def test_join_quadratic(self, db):
+        join_cost = estimate_cost(parse_obj("join(Kp(T), id) ! [P, P]"),
+                                  db)
+        scan_cost = estimate_cost(parse_obj("iterate(Kp(T), id) ! P"), db)
+        assert join_cost > scan_cost * 10
+
+    def test_cond_takes_max_branch(self, db):
+        cheap = parse_obj("iterate(Kp(T), con(Cp(lt, 3) @ age, id, id))"
+                          " ! P")
+        pricey = parse_obj(
+            "iterate(Kp(T), con(Cp(lt, 3) @ age, id,"
+            " iterate(Kp(T), id) o Kf(P))) ! P")
+        assert estimate_cost(pricey, db) > estimate_cost(cheap, db)
+
+    def test_fanout_configurable(self, db, queries):
+        low = CostModel(fanout=1.0).estimate(queries.kg1, db)
+        high = CostModel(fanout=8.0).estimate(queries.kg1, db)
+        assert high > low
+
+
+class TestPredicateRanking:
+    def test_rank_monotone_in_structure(self):
+        small = parse_pred("Cp(lt, 3)")
+        bigger = parse_pred("Cp(lt, 3) & Cp(lt, 5)")
+        assert predicate_rank(bigger) > predicate_rank(small)
+
+    def test_order_cost_discounts_later_conjuncts(self):
+        heavy = parse_pred("subset @ <id, id>")
+        light = parse_pred("Kp(T)")
+        from repro.core import constructors as C
+        heavy_first = C.conj(heavy, light)
+        light_first = C.conj(light, heavy)
+        assert (conjunction_order_cost(light_first)
+                < conjunction_order_cost(heavy_first))
+
+    def test_single_conjunct_cost_is_rank(self):
+        pred = parse_pred("Cp(lt, 3)")
+        assert conjunction_order_cost(pred) == predicate_rank(pred)

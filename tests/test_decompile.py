@@ -1,0 +1,104 @@
+"""Tests for the KOLA -> AQUA decompiler (the readable view of the
+internal algebra)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aqua.analysis import alpha_equal
+from repro.aqua.eval import aqua_eval
+from repro.aqua.terms import aqua_pretty
+from repro.core.errors import TranslationError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from repro.translate.aqua_to_kola import translate_query
+from repro.translate.kola_to_aqua import decompile, decompile_fn
+
+
+class TestDecompileFidelity:
+    def test_kg1_decompiles_to_garage_source(self, queries):
+        """The flagship round trip: Figure 3's KG1 decompiles to the
+        original AQUA garage query (up to variable names)."""
+        recovered = decompile(queries.kg1)
+        assert alpha_equal(recovered, queries.garage_aqua)
+
+    def test_k3_k4_round_trip(self, queries):
+        assert alpha_equal(decompile(queries.k3), queries.a3_aqua)
+        assert alpha_equal(decompile(queries.k4), queries.a4_aqua)
+
+    def test_t1_source_round_trip(self, queries):
+        assert alpha_equal(decompile(queries.t1k_source),
+                           queries.t1_source_aqua)
+
+    @pytest.mark.parametrize("text", [
+        "iterate(Kp(T), city o addr) ! P",
+        "iterate(gt @ <age, Kf(25)>, age) ! P",
+        "iterate(Cp(lt, 25), id) o iterate(Kp(T), age) ! P",
+        "flat o iterate(Kp(T), grgs) ! P",
+        "join(eq @ (age >< age), id) ! [P, P]",
+        "count o iterate(Kp(T), id) ! P",
+        "iterate(Kp(T), con(Cp(lt, 25) @ age, child, Kf({}))) ! P",
+        "iterate(~(Cp(lt, 30) @ age) | in @ <id, child>, id) ! P",
+    ])
+    def test_semantics_preserved(self, text, tiny_db):
+        query = parse_obj(text)
+        recovered = decompile(query)
+        assert aqua_eval(recovered, tiny_db) == eval_obj(query, tiny_db)
+
+    def test_translate_decompile_inverse(self, queries, tiny_db):
+        """translate o decompile is the identity on translator output."""
+        for query in (queries.kg1, queries.k3, queries.k4):
+            assert translate_query(decompile(query)) == query
+
+    def test_decompile_fn(self):
+        lam = decompile_fn(parse_obj("city o addr ! p").args[0], "p")
+        assert aqua_pretty(lam) == "\\(p)p.addr.city"
+
+
+class TestDecompileLimits:
+    def test_untangled_form_not_decompilable(self, queries):
+        """nest/unnest have no counterpart in the paper's AQUA fragment —
+        the internal form is genuinely internal."""
+        with pytest.raises(TranslationError, match="no AQUA counterpart"):
+            decompile(queries.kg2)
+
+    def test_bag_forms_not_decompilable(self):
+        query = parse_obj("distinct o bag_iterate(Kp(T), id) o tobag ! P")
+        with pytest.raises(TranslationError):
+            decompile(query)
+
+    def test_metavariables_rejected(self):
+        from repro.core import constructors as C
+        from repro.core.terms import obj_var
+        with pytest.raises(TranslationError):
+            decompile(C.invoke(C.id_(), obj_var("x")))
+
+
+@given(seed=st.integers(0, 5000))
+@settings(max_examples=30, deadline=None)
+def test_decompile_random_translator_output(seed):
+    """Anything the forward translator emits decompiles, and the
+    decompiled query means the same thing."""
+    import random
+    from repro.workloads.hidden_join import (HiddenJoinSpec,
+                                             hidden_join_family)
+    from repro.schema.generator import tiny_database
+    rng = random.Random(seed)
+    spec = HiddenJoinSpec(depth=rng.randint(1, 4),
+                          applicable=rng.random() < 0.8,
+                          predicate=rng.choice(("gt", "eq")))
+    source = hidden_join_family(spec)
+    kola = translate_query(source)
+    recovered = decompile(kola)
+    db = tiny_database()
+    assert aqua_eval(recovered, db) == eval_obj(kola, db)
+    assert alpha_equal(recovered, source)
+
+
+class TestCliDecompile:
+    def test_cli(self, capsys):
+        from repro.cli import main
+        assert main(["decompile",
+                     "iterate(Kp(T), city o addr) ! P"]) == 0
+        out = capsys.readouterr().out
+        assert "app(" in out and "addr.city" in out

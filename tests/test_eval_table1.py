@@ -1,0 +1,181 @@
+"""Conformance tests for Table 1: basic KOLA combinator semantics.
+
+Each test implements one semantic equation from the paper's Table 1 and
+checks the evaluator against it on concrete values.
+"""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.errors import EvalError
+from repro.core.eval import apply_fn, eval_obj
+from repro.core.eval import test_pred as check_pred
+from repro.core.values import KPair, kset
+
+
+class TestPrimitiveFunctions:
+    def test_id(self):
+        # id ! x = x
+        assert apply_fn(C.id_(), 42) == 42
+
+    def test_pi1(self):
+        # pi1 ! [x, y] = x
+        assert apply_fn(C.pi1(), KPair(1, 2)) == 1
+
+    def test_pi2(self):
+        assert apply_fn(C.pi2(), KPair(1, 2)) == 2
+
+    def test_pi1_non_pair_error(self):
+        with pytest.raises(EvalError, match="pair"):
+            apply_fn(C.pi1(), 3)
+
+    def test_schema_prim(self, tiny_db):
+        person = next(iter(tiny_db.collection("P")))
+        assert apply_fn(C.prim("age"), person, tiny_db) == person.get("age")
+
+    def test_prim_needs_db(self):
+        with pytest.raises(EvalError, match="database"):
+            apply_fn(C.prim("age"), 3)
+
+    def test_setops(self):
+        a, b = kset([1, 2]), kset([2, 3])
+        assert apply_fn(C.union(), KPair(a, b)) == kset([1, 2, 3])
+        assert apply_fn(C.intersect(), KPair(a, b)) == kset([2])
+        assert apply_fn(C.difference(), KPair(a, b)) == kset([1])
+
+
+class TestPrimitivePredicates:
+    def test_eq(self):
+        # eq ? [x, y] = (x = y)
+        assert check_pred(C.eq(), KPair(3, 3))
+        assert not check_pred(C.eq(), KPair(3, 4))
+
+    def test_neq(self):
+        assert check_pred(C.neq(), KPair(3, 4))
+
+    def test_comparisons(self):
+        assert check_pred(C.lt(), KPair(1, 2))
+        assert check_pred(C.leq(), KPair(2, 2))
+        assert check_pred(C.gt(), KPair(3, 2))
+        assert check_pred(C.geq(), KPair(2, 2))
+        assert not check_pred(C.gt(), KPair(2, 2))
+
+    def test_comparison_incomparable(self):
+        with pytest.raises(EvalError, match="incomparable"):
+            check_pred(C.lt(), KPair(1, "a"))
+
+    def test_in(self):
+        # in ? [x, A] = x in A
+        assert check_pred(C.isin(), KPair(2, kset([1, 2])))
+        assert not check_pred(C.isin(), KPair(5, kset([1, 2])))
+
+    def test_subset(self):
+        assert check_pred(C.subset(), KPair(kset([1]), kset([1, 2])))
+        assert not check_pred(C.subset(), KPair(kset([3]), kset([1, 2])))
+
+
+class TestFunctionFormers:
+    def test_compose(self):
+        # (f o g) ! x = f ! (g ! x)
+        term = C.compose(C.pi1(), C.pi2())
+        assert apply_fn(term, KPair(0, KPair(7, 8))) == 7
+
+    def test_pair(self):
+        # <f, g> ! x = [f ! x, g ! x]
+        term = C.pair(C.id_(), C.id_())
+        assert apply_fn(term, 5) == KPair(5, 5)
+
+    def test_cross(self):
+        # (f x g) ! [x, y] = [f ! x, g ! y]
+        term = C.cross(C.const_f(C.lit(1)), C.id_())
+        assert apply_fn(term, KPair(9, 8)) == KPair(1, 8)
+
+    def test_const_f(self):
+        # Kf(c) ! y = c
+        assert apply_fn(C.const_f(C.lit("k")), 123) == "k"
+
+    def test_curry_f(self):
+        # Cf(f, x) ! y = f ! [x, y]
+        term = C.curry_f(C.pi1(), C.lit(10))
+        assert apply_fn(term, 99) == 10
+        term2 = C.curry_f(C.pi2(), C.lit(10))
+        assert apply_fn(term2, 99) == 99
+
+    def test_cond(self):
+        # con(p, f, g) ! x = f!x if p?x else g!x
+        term = C.cond(C.const_p(C.true()), C.const_f(C.lit("then")),
+                      C.const_f(C.lit("else")))
+        assert apply_fn(term, 0) == "then"
+        term2 = C.cond(C.const_p(C.false()), C.const_f(C.lit("then")),
+                       C.const_f(C.lit("else")))
+        assert apply_fn(term2, 0) == "else"
+
+
+class TestPredicateFormers:
+    def test_oplus(self):
+        # (p (+) f) ? x = p ? (f ! x)
+        term = C.oplus(C.eq(), C.pair(C.id_(), C.const_f(C.lit(3))))
+        assert check_pred(term, 3)
+        assert not check_pred(term, 4)
+
+    def test_conj_disj(self):
+        true_p, false_p = C.const_p(C.true()), C.const_p(C.false())
+        assert check_pred(C.conj(true_p, true_p), 0)
+        assert not check_pred(C.conj(true_p, false_p), 0)
+        assert check_pred(C.disj(false_p, true_p), 0)
+        assert not check_pred(C.disj(false_p, false_p), 0)
+
+    def test_inv_is_converse(self):
+        # inv(p) ? [x, y] = p ? [y, x]  (the converse reading; DESIGN.md)
+        assert check_pred(C.inv(C.gt()), KPair(1, 2))      # 2 > 1
+        assert not check_pred(C.inv(C.gt()), KPair(2, 1))
+
+    def test_neg(self):
+        assert check_pred(C.neg(C.const_p(C.false())), 0)
+
+    def test_const_p(self):
+        # Kp(b) ? y = b
+        assert check_pred(C.const_p(C.true()), "anything")
+        assert not check_pred(C.const_p(C.false()), "anything")
+
+    def test_curry_p(self):
+        # Cp(p, x) ? y = p ? [x, y]
+        term = C.curry_p(C.lt(), C.lit(10))
+        assert check_pred(term, 20)        # 10 < 20
+        assert not check_pred(term, 5)
+
+
+class TestObjectExpressions:
+    def test_lit(self):
+        assert eval_obj(C.lit(42)) == 42
+
+    def test_pairobj(self):
+        assert eval_obj(C.pairobj(C.lit(1), C.lit(2))) == KPair(1, 2)
+
+    def test_invoke(self):
+        assert eval_obj(C.invoke(C.id_(), C.lit(3))) == 3
+
+    def test_test(self):
+        assert eval_obj(C.test(C.eq(), C.pairobj(C.lit(1), C.lit(1)))) is True
+
+    def test_setname(self, tiny_db):
+        assert eval_obj(C.setname("P"), tiny_db) == tiny_db.collection("P")
+
+    def test_setname_needs_db(self):
+        with pytest.raises(EvalError, match="database"):
+            eval_obj(C.setname("P"))
+
+    def test_metavar_not_executable(self):
+        from repro.core.terms import fun_var, obj_var, pred_var
+        with pytest.raises(EvalError, match="metavariable"):
+            eval_obj(obj_var("x"))
+        with pytest.raises(EvalError, match="metavariable"):
+            apply_fn(fun_var("f"), 1)
+        with pytest.raises(EvalError, match="metavariable"):
+            check_pred(pred_var("p"), 1)
+
+    def test_sort_confusion_rejected(self):
+        with pytest.raises(EvalError, match="not a function"):
+            apply_fn(C.eq(), KPair(1, 1))
+        with pytest.raises(EvalError, match="not a predicate"):
+            check_pred(C.id_(), 1)

@@ -1,0 +1,163 @@
+"""Conformance tests for Table 2: KOLA query combinator semantics,
+plus the paper's Section 3 reductions (the iterate example and the
+Garage Query trace)."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.errors import EvalError
+from repro.core.eval import apply_fn, eval_obj
+from repro.core.parser import parse_obj
+from repro.core.values import KPair, kset
+
+
+def pairs(*items):
+    return kset(KPair(a, b) for a, b in items)
+
+
+class TestFlat:
+    def test_flat(self):
+        # flat ! A = {x | x in B, B in A}
+        value = kset([kset([1, 2]), kset([2, 3])])
+        assert apply_fn(C.flat(), value) == kset([1, 2, 3])
+
+    def test_flat_empty(self):
+        assert apply_fn(C.flat(), kset([])) == kset([])
+        assert apply_fn(C.flat(), kset([kset([])])) == kset([])
+
+    def test_flat_non_set_element(self):
+        with pytest.raises(EvalError):
+            apply_fn(C.flat(), kset([1]))
+
+
+class TestIterate:
+    def test_iterate(self):
+        # iterate(p, f) ! A = {f!x | x in A, p?x}
+        term = C.iterate(C.curry_p(C.lt(), C.lit(2)),
+                         C.pair(C.id_(), C.id_()))
+        result = apply_fn(term, kset([1, 2, 3, 4]))
+        assert result == pairs((3, 3), (4, 4))
+
+    def test_iterate_captures_app(self):
+        # app(f) == iterate(Kp(T), f)
+        term = C.iterate(C.const_p(C.true()), C.const_f(C.lit(9)))
+        assert apply_fn(term, kset([1, 2, 3])) == kset([9])
+
+    def test_iterate_captures_sel(self):
+        # sel(p) == iterate(p, id)
+        term = C.iterate(C.curry_p(C.leq(), C.lit(3)), C.id_())
+        assert apply_fn(term, kset([1, 3, 5])) == kset([3, 5])
+
+    def test_iterate_needs_set(self):
+        with pytest.raises(EvalError, match="set"):
+            apply_fn(C.iterate(C.const_p(C.true()), C.id_()), 3)
+
+
+class TestIter:
+    def test_iter(self):
+        # iter(p, f) ! [x, B] = {f![x,y] | y in B, p?[x,y]}
+        term = C.iter_(C.lt(), C.pi2())
+        value = KPair(2, kset([1, 2, 3, 4]))
+        assert apply_fn(term, value) == kset([3, 4])
+
+    def test_iter_environment_visible(self):
+        # the environment (first component) is passed to the function
+        term = C.iter_(C.const_p(C.true()), C.pi1())
+        value = KPair("env", kset([1, 2]))
+        assert apply_fn(term, value) == kset(["env"])
+
+    def test_iter_needs_pair(self):
+        with pytest.raises(EvalError, match="pair"):
+            apply_fn(C.iter_(C.const_p(C.true()), C.id_()), kset([1]))
+
+
+class TestJoin:
+    def test_join(self):
+        # join(p, f) ! [A, B] = {f![x,y] | x in A, y in B, p?[x,y]}
+        term = C.join(C.eq(), C.pi1())
+        value = KPair(kset([1, 2, 3]), kset([2, 3, 4]))
+        assert apply_fn(term, value) == kset([2, 3])
+
+    def test_cartesian_product(self):
+        term = C.join(C.const_p(C.true()), C.id_())
+        value = KPair(kset([1, 2]), kset(["a"]))
+        assert apply_fn(term, value) == pairs((1, "a"), (2, "a"))
+
+
+class TestNest:
+    def test_nest_groups(self):
+        # nest(f, g) ! [A, B] = {[y, {g!x | x in A, f!x = y}] | y in B}
+        source = pairs((1, "a"), (1, "b"), (2, "c"))
+        keys = kset([1, 2])
+        term = C.nest(C.pi1(), C.pi2())
+        result = apply_fn(term, KPair(source, keys))
+        assert result == kset([KPair(1, kset(["a", "b"])),
+                               KPair(2, kset(["c"]))])
+
+    def test_nest_null_free(self):
+        """The paper's NULL-avoiding design: keys with no partners get
+        the empty set, and every element of B is represented."""
+        source = pairs((1, "a"))
+        keys = kset([1, 2, 3])
+        result = apply_fn(C.nest(C.pi1(), C.pi2()), KPair(source, keys))
+        assert KPair(2, kset([])) in result
+        assert KPair(3, kset([])) in result
+        assert len(result) == len(keys)
+
+    def test_nest_cardinality_preservation(self):
+        """'The reader can verify ... that every element of A is
+        represented in the result' — the nest-of-join identity from
+        Section 3."""
+        a = kset([1, 2, 3, 4])
+        b = kset([10])
+        joined = apply_fn(C.join(C.const_p(C.false()), C.id_()),
+                          KPair(a, b))
+        result = apply_fn(C.nest(C.pi1(), C.pi2()), KPair(joined, a))
+        assert {pair.fst for pair in result} == set(a)
+
+
+class TestUnnest:
+    def test_unnest(self):
+        # unnest(f, g) ! A = {[f!x, y] | x in A, y in g!x}
+        source = kset([KPair(1, kset(["a", "b"])), KPair(2, kset([]))])
+        term = C.unnest(C.pi1(), C.pi2())
+        assert apply_fn(term, source) == pairs((1, "a"), (1, "b"))
+
+    def test_unnest_then_nest_loses_empties(self):
+        """unnest drops empty groups; nest restores them relative to the
+        key set — the asymmetry that motivates nest's second argument."""
+        source = kset([KPair(1, kset(["a"])), KPair(2, kset([]))])
+        keys = kset([1, 2])
+        flat_pairs = apply_fn(C.unnest(C.pi1(), C.pi2()), source)
+        rebuilt = apply_fn(C.nest(C.pi1(), C.pi2()),
+                           KPair(flat_pairs, keys))
+        assert rebuilt == source
+
+
+class TestPaperReductions:
+    def test_section3_iterate_reduction(self, tiny_db):
+        """iterate(Kp(T), city o addr) ! P = {city!(addr!e) | e in P}."""
+        query = parse_obj("iterate(Kp(T), city o addr) ! P")
+        expected = kset(
+            tiny_db.apply_prim("city", person.get("addr"))
+            for person in tiny_db.collection("P"))
+        assert eval_obj(query, tiny_db) == expected
+
+    def test_garage_query_reduction(self, tiny_db, queries):
+        """KG1's meaning per the Section 3 trace:
+        {[v, {z | z in p.grgs, p in Pv}] | v in V} where
+        Pv = {p | p in P, v in p.cars}."""
+        expected = set()
+        for vehicle in tiny_db.collection("V"):
+            garages = set()
+            for person in tiny_db.collection("P"):
+                if vehicle in person.get("cars"):
+                    garages.update(person.get("grgs"))
+            expected.add(KPair(vehicle, kset(garages)))
+        assert eval_obj(queries.kg1, tiny_db) == kset(expected)
+
+    def test_kg1_equals_kg2(self, db_pair, queries):
+        """Figure 3: the two Garage Query forms are equivalent."""
+        for database in db_pair:
+            assert (eval_obj(queries.kg1, database)
+                    == eval_obj(queries.kg2, database))

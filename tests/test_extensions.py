@@ -1,0 +1,214 @@
+"""Tests for the Section 6 extension features: the Ranked strategy and
+predicate ordering, the semantic-optimization block, the hash equi-join,
+and the COKO optimizer-module compiler."""
+
+import pytest
+
+from repro.aqua.eval import aqua_eval
+from repro.coko.compiler import (HIDDEN_JOIN_COKO, OptimizerModule,
+                                 compile_blocks, compile_coko)
+from repro.coko.hidden_join import hidden_join_blocks
+from repro.coko.stdblocks import (block_predicate_ordering,
+                                  block_semantic_optimization)
+from repro.core import constructors as C
+from repro.core.errors import RewriteError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.pretty import pretty
+from repro.optimizer.cost import conjunction_order_cost, predicate_rank
+from repro.optimizer.physical import JoinNestPlan, recognize_join_nest
+from repro.rewrite.engine import Engine
+from repro.rules.preconditions import AnnotationOracle
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+
+
+class TestPredicateRank:
+    def test_constants_cheapest(self):
+        assert (predicate_rank(C.const_p(C.true()))
+                < predicate_rank(parse_pred("lt @ age")))
+
+    def test_membership_expensive(self):
+        assert (predicate_rank(parse_pred("in @ <id, Kf({1})>"))
+                > predicate_rank(parse_pred("Cp(lt, 3)")))
+
+    def test_loops_worst(self):
+        looping = parse_pred("in @ <pi1, iterate(Kp(T), id) o pi2>")
+        assert predicate_rank(looping) > predicate_rank(
+            parse_pred("in @ <pi1, pi2>"))
+
+    def test_order_cost_prefers_cheap_first(self):
+        cheap_first = parse_pred("Cp(lt, 3) & in @ <id, Kf({1})>")
+        costly_first = parse_pred("in @ <id, Kf({1})> & Cp(lt, 3)")
+        assert (conjunction_order_cost(cheap_first)
+                < conjunction_order_cost(costly_first))
+
+
+class TestPredicateOrderingBlock:
+    def test_swaps_expensive_conjunct_back(self, rulebase):
+        pred = parse_pred("in @ <pi1, cars o pi2> & Cp(lt, 25) @ age o pi1")
+        result = block_predicate_ordering().transform(pred, rulebase)
+        assert result == parse_pred(
+            "Cp(lt, 25) @ age o pi1 & in @ <pi1, cars o pi2>")
+
+    def test_already_ordered_untouched(self, rulebase):
+        pred = parse_pred("Cp(lt, 25) @ age & in @ <id, Kf({1})>")
+        assert block_predicate_ordering().transform(pred, rulebase) == pred
+
+    def test_ordering_preserves_meaning(self, rulebase, tiny_db):
+        query = parse_obj(
+            "iterate(in @ <id, child> & Cp(lt, 40) @ age, id) ! P")
+        result = block_predicate_ordering().transform(query, rulebase)
+        assert eval_obj(result, tiny_db) == eval_obj(query, tiny_db)
+
+    def test_three_conjuncts_sorted(self, rulebase):
+        pred = parse_pred(
+            "in @ <id, Kf({1, 2})> & (Kp(T) & Cp(lt, 3))")
+        result = block_predicate_ordering().transform(pred, rulebase)
+        from repro.optimizer.cost import _flatten_conj
+        order = [predicate_rank(p) for p in _flatten_conj(result)]
+        assert order == sorted(order)
+
+
+class TestSemanticBlock:
+    def test_inert_without_oracle(self, rulebase):
+        term = parse_fun("iterate(Kp(T), oid) o intersect")
+        result = block_semantic_optimization().transform(term, rulebase)
+        assert result == term
+
+    def test_fires_with_annotation(self, rulebase):
+        oracle = AnnotationOracle()
+        oracle.declare("injective", C.prim("oid"))
+        term = parse_fun("iterate(Kp(T), oid) o intersect")
+        result = block_semantic_optimization().transform(
+            term, rulebase, Engine(oracle))
+        assert result == parse_fun(
+            "intersect o (iterate(Kp(T), oid) >< iterate(Kp(T), oid))")
+
+    def test_inference_through_composition(self, rulebase):
+        """injective(oid) ==> injective(oid o id) via the inference
+        table; the rule still fires."""
+        oracle = AnnotationOracle()
+        oracle.declare("injective", C.prim("oid"))
+        term = C.compose(C.iterate(C.const_p(C.true()),
+                                   C.compose(C.prim("oid"), C.id_())),
+                         C.intersect())
+        result = block_semantic_optimization().transform(
+            term, rulebase, Engine(oracle))
+        assert result.op == "compose"
+        assert result.args[0].op == "setop"
+
+    def test_semantically_correct_on_data(self, rulebase, tiny_db):
+        """The guarded rewrite is actually sound for an injective
+        primitive on real data."""
+        tiny_db.schema.register_function(
+            "oid2", lambda p: p.oid, "Person", "Int")
+        oracle = AnnotationOracle()
+        oracle.declare("injective", C.prim("oid2"))
+        term = parse_fun("iterate(Kp(T), oid2) o intersect")
+        rewritten = block_semantic_optimization().transform(
+            term, rulebase, Engine(oracle))
+        persons = list(tiny_db.collection("P"))
+        from repro.core.values import KPair, kset
+        value = KPair(kset(persons[:5]), kset(persons[3:]))
+        from repro.core.eval import apply_fn
+        assert (apply_fn(term, value, tiny_db)
+                == apply_fn(rewritten, value, tiny_db))
+
+
+class TestHashEquiJoin:
+    def test_recognized(self, rulebase, tiny_db):
+        from repro.coko.hidden_join import untangle
+        aqua = hidden_join_family(HiddenJoinSpec(depth=1, predicate="eq"))
+        final, _ = untangle(translate_query(aqua), rulebase)
+        plan = recognize_join_nest(final)
+        assert plan is not None
+        assert plan.eq_keys is not None
+        assert plan.membership_fn is None
+        assert "HashEquiJoin" in plan.explain()
+
+    def test_executes_correctly(self, rulebase, tiny_db):
+        from repro.coko.hidden_join import untangle
+        aqua = hidden_join_family(HiddenJoinSpec(depth=1, predicate="eq"))
+        final, _ = untangle(translate_query(aqua), rulebase)
+        plan = recognize_join_nest(final)
+        assert plan.execute(tiny_db) == aqua_eval(aqua, tiny_db)
+
+    def test_cross_shape_recognized(self):
+        query = parse_obj(
+            "nest(pi1, pi2) o <join(eq @ (age >< age), id), pi1> ! [P, P]")
+        plan = recognize_join_nest(query)
+        assert plan is not None and plan.eq_keys is not None
+
+    def test_same_side_keys_rejected(self):
+        # eq @ <age o pi1, year o pi1> reads only the left input: not an
+        # equi-join between the two inputs
+        query = parse_obj(
+            "nest(pi1, pi2) o <join(eq @ <age o pi1, year o pi1>, id),"
+            " pi1> ! [P, P]")
+        plan = recognize_join_nest(query)
+        assert plan is not None and plan.eq_keys is None
+
+    def test_theta_join_stays_nested_loop(self, rulebase):
+        from repro.coko.hidden_join import untangle
+        aqua = hidden_join_family(HiddenJoinSpec(depth=1, predicate="gt"))
+        final, _ = untangle(translate_query(aqua), rulebase)
+        plan = recognize_join_nest(final)
+        assert plan.eq_keys is None and plan.membership_fn is None
+
+    def test_cheaper_estimate_than_nested(self, rulebase, db):
+        from repro.coko.hidden_join import untangle
+        aqua = hidden_join_family(HiddenJoinSpec(depth=1, predicate="eq"))
+        final, _ = untangle(translate_query(aqua), rulebase)
+        plan = recognize_join_nest(final)
+        nested = JoinNestPlan(**{**plan.__dict__, "eq_keys": None})
+        assert plan.cost_estimate(db) < nested.cost_estimate(db)
+
+
+class TestCokoCompiler:
+    def test_compile_hidden_join_program(self, rulebase, queries):
+        module = compile_coko(HIDDEN_JOIN_COKO, rulebase, "hidden-join")
+        assert module.block_names() == (
+            "break-up", "bottom-out", "pull-up-nest", "pull-up-unnest",
+            "absorb-join")
+        result = module.apply(queries.kg1)
+        assert result == queries.kg2
+
+    def test_compiled_equals_builtin_pipeline(self, rulebase, queries):
+        module = compile_coko(HIDDEN_JOIN_COKO, rulebase)
+        from repro.coko.blocks import run_blocks
+        builtin = run_blocks(hidden_join_blocks(), queries.kg1, rulebase)
+        assert module.apply(queries.kg1) == builtin
+
+    def test_unknown_rule_fails_at_compile_time(self, rulebase):
+        source = """
+            TRANSFORMATION broken
+            USES no-such-rule
+            BEGIN exhaust { no-such-rule } END
+        """
+        with pytest.raises(RewriteError, match="unknown rule"):
+            compile_coko(source, rulebase)
+
+    def test_empty_program_rejected(self, rulebase):
+        with pytest.raises(RewriteError, match="no transformations"):
+            compile_coko("   ", rulebase)
+
+    def test_stats_accumulate(self, rulebase, queries):
+        module = compile_coko(HIDDEN_JOIN_COKO, rulebase)
+        module.apply(queries.kg1)
+        module.apply(queries.kg1)
+        assert module.stats.queries == 2
+        assert module.stats.rewrites > 0
+
+    def test_describe(self, rulebase):
+        module = compile_blocks("std", hidden_join_blocks(), rulebase)
+        text = module.describe()
+        assert "break-up" in text and "r17" in text
+
+    def test_oracle_threaded(self, rulebase):
+        oracle = AnnotationOracle()
+        oracle.declare("injective", C.prim("oid"))
+        module = compile_blocks(
+            "semantic", [block_semantic_optimization()], rulebase, oracle)
+        term = parse_fun("iterate(Kp(T), oid) o intersect")
+        assert module.apply(term) != term

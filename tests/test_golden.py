@@ -1,0 +1,65 @@
+"""Golden-file regression pins for the paper's derivations.
+
+The rendered derivations of Figures 4, 6 and the Section 4.1 pipeline
+are committed under ``tests/golden/`` and compared verbatim: any change
+to rule order, matching behavior, canonical forms or the pretty printer
+that alters a paper derivation fails loudly here.  Regenerate the
+files only after confirming the new behavior against the paper
+(the generation snippet lives in this file's ``regenerate`` helper).
+"""
+
+import pathlib
+
+import pytest
+
+from repro.coko.hidden_join import untangle
+from repro.coko.stdblocks import block_code_motion, block_t1k, block_t2k
+from repro.rewrite.trace import Derivation
+from repro.workloads.queries import paper_queries
+
+GOLDEN = pathlib.Path(__file__).parent / "golden"
+
+
+def _current_renderings(rulebase):
+    queries = paper_queries()
+    outputs = {}
+
+    derivation = Derivation("T1K (Figure 4)")
+    block_t1k().transform(queries.t1k_source, rulebase,
+                          derivation=derivation)
+    outputs["t1k.txt"] = derivation.render()
+
+    derivation = Derivation("T2K (Figure 4)")
+    block_t2k().transform(queries.t2k_source, rulebase,
+                          derivation=derivation)
+    outputs["t2k.txt"] = derivation.render()
+
+    derivation = Derivation("K4 code motion (Figure 6)")
+    block_code_motion().transform(queries.k4, rulebase,
+                                  derivation=derivation)
+    outputs["fig6_k4.txt"] = derivation.render()
+
+    _, derivation = untangle(queries.kg1, rulebase,
+                             title="Garage query untangling (Section 4.1)")
+    outputs["garage_untangle.txt"] = derivation.render()
+    return outputs
+
+
+@pytest.mark.parametrize("name", ["t1k.txt", "t2k.txt", "fig6_k4.txt",
+                                  "garage_untangle.txt"])
+def test_derivation_matches_golden(rulebase, name):
+    current = _current_renderings(rulebase)[name]
+    committed = (GOLDEN / name).read_text().rstrip("\n")
+    assert current == committed, (
+        f"derivation {name} changed; diff against tests/golden/{name} "
+        "and regenerate only if the new form is still faithful to the "
+        "paper")
+
+
+def test_golden_files_contain_paper_landmarks():
+    t2k = (GOLDEN / "t2k.txt").read_text()
+    assert "[12^-1]" in t2k           # the paper's right-to-left rule 12
+    garage = (GOLDEN / "garage_untangle.txt").read_text()
+    for landmark in ("[17]", "[19]", "[20]", "[21]", "[24]"):
+        assert landmark in garage
+    assert "join(in @ (id >< cars)" in garage  # the KG2 join predicate

@@ -1,0 +1,128 @@
+"""Tests for the Larch-substitute generator and checker themselves."""
+
+import pytest
+
+from repro.core.eval import apply_fn
+from repro.core.eval import test_pred as check_pred
+from repro.core.terms import Sort
+from repro.core.types import (BOOL, INT, STR, TCon, TVar, fun_t, pair_t,
+                              set_t)
+from repro.larch.checker import RuleChecker
+from repro.larch.gen import GenerationError, TermGenerator, ground_type
+from repro.rewrite.rule import rule
+
+
+class TestGroundType:
+    def test_concrete_unchanged(self):
+        import random
+        rng = random.Random(0)
+        assert ground_type(INT, rng) == INT
+        assert ground_type(set_t(STR), rng) == set_t(STR)
+
+    def test_variables_filled(self):
+        import random
+        rng = random.Random(0)
+        t = ground_type(fun_t(TVar(1), TVar(2)), rng)
+        assert isinstance(t, TCon)
+        for arg in t.args:
+            assert isinstance(arg, TCon)
+
+    def test_deterministic_per_rng_state(self):
+        import random
+        a = ground_type(TVar(1), random.Random(42))
+        b = ground_type(TVar(1), random.Random(42))
+        assert a == b
+
+
+class TestTermGenerator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_functions_are_well_typed_and_runnable(self, seed):
+        generator = TermGenerator(seed=seed)
+        domain, codomain = pair_t(INT, INT), set_t(INT)
+        term = generator.function(domain, codomain)
+        result = apply_fn(term, generator.value(domain))
+        assert isinstance(result, frozenset)
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_predicates_are_boolean(self, seed):
+        generator = TermGenerator(seed=seed)
+        domain = pair_t(INT, set_t(INT))
+        term = generator.predicate(domain)
+        assert isinstance(check_pred(term, generator.value(domain)), bool)
+
+    def test_values_match_types(self):
+        generator = TermGenerator(seed=3)
+        assert isinstance(generator.value(INT), int)
+        assert isinstance(generator.value(STR), str)
+        assert isinstance(generator.value(BOOL), bool)
+        assert isinstance(generator.value(set_t(INT)), frozenset)
+        pair_value = generator.value(pair_t(INT, STR))
+        assert isinstance(pair_value.fst, int)
+        assert isinstance(pair_value.snd, str)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(GenerationError):
+            TermGenerator().value(TCon("Martian"))
+
+    def test_reproducible(self):
+        a = TermGenerator(seed=5).function(INT, INT)
+        b = TermGenerator(seed=5).function(INT, INT)
+        assert a == b
+
+    def test_injective_function(self):
+        generator = TermGenerator(seed=1)
+        term = generator.injective_function(INT, INT)
+        seen = {}
+        for value in range(-5, 6):
+            image = apply_fn(term, value)
+            assert image not in seen or seen[image] == value
+            seen[image] = value
+
+    def test_injective_pairing(self):
+        generator = TermGenerator(seed=1)
+        term = generator.injective_function(INT, pair_t(INT, STR))
+        outputs = {apply_fn(term, v) for v in range(10)}
+        assert len(outputs) == 10
+
+    def test_injective_impossible(self):
+        with pytest.raises(GenerationError):
+            TermGenerator().injective_function(pair_t(INT, INT), BOOL)
+
+
+class TestChecker:
+    def test_sound_rule_passes(self):
+        report = RuleChecker(trials=50).check(rule("ok", "id o $f", "$f"))
+        assert report.passed
+        assert report.trials == 50
+
+    def test_unsound_rule_fails_with_counterexample(self):
+        bad = rule("swap", "pi1 o <$f, $g>", "$g", bidirectional=False)
+        report = RuleChecker(trials=200).check(bad)
+        assert not report.passed
+        example = report.counterexample
+        assert example is not None
+        rendered = example.render()
+        assert "$f" in rendered and "lhs" in rendered
+
+    def test_object_rule_checked(self):
+        ok = rule("obj-ok", "id ! $x", "$x", sort=Sort.OBJ,
+                  bidirectional=False)
+        assert RuleChecker(trials=30).check(ok).passed
+
+    def test_deterministic(self):
+        bad = rule("swap2", "pi1 o <$f, $g>", "$g", bidirectional=False)
+        a = RuleChecker(trials=200, seed=1).check(bad)
+        b = RuleChecker(trials=200, seed=1).check(bad)
+        assert a.trials == b.trials  # same first counterexample position
+
+    def test_conditional_rule_uses_injective_instantiation(self):
+        from repro.rewrite.rule import Goal
+        conditional = rule(
+            "inj-eq", "eq @ ($f >< $f)", "eq", sort=Sort.PRED,
+            preconditions=(Goal("injective", "f"),), bidirectional=False)
+        report = RuleChecker(trials=80).check(conditional)
+        assert report.passed
+        # without the injectivity bias the same equation must be refutable
+        unconditional = rule("noninj-eq", "eq @ ($f >< $f)", "eq",
+                             sort=Sort.PRED, bidirectional=False)
+        assert not RuleChecker(trials=300).check(unconditional).passed

@@ -1,0 +1,143 @@
+"""Unit tests for pattern matching (including associative chain matching)."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.terms import Sort, fun_var, meta, obj_var, pred_var
+from repro.rewrite.match import match, matches
+from repro.rewrite.pattern import (build_chain, canon, flatten_compose,
+                                   instantiate, metavar_names)
+from repro.core.errors import RewriteError
+
+
+class TestBasicMatching:
+    def test_exact_leaf(self):
+        assert match(C.id_(), C.id_()) == {}
+        assert match(C.id_(), C.pi1()) is None
+
+    def test_metavar_binds(self):
+        bindings = match(fun_var("f"), C.prim("age"))
+        assert bindings == {"f": C.prim("age")}
+
+    def test_metavar_consistency(self):
+        pattern = C.conj(pred_var("p"), pred_var("p"))
+        assert matches(pattern, C.conj(C.eq(), C.eq()))
+        assert not matches(pattern, C.conj(C.eq(), C.lt()))
+
+    def test_sort_respected(self):
+        assert match(fun_var("f"), C.eq()) is None
+        assert match(pred_var("p"), C.id_()) is None
+        assert match(obj_var("x"), C.lit(3)) is not None
+        assert match(meta("a"), C.eq()) is not None  # ANY matches all
+
+    def test_structural_descent(self):
+        pattern = parse_pred("$p & Kp(T)")
+        subject = parse_pred("eq & Kp(T)")
+        assert match(pattern, subject) == {"p": C.eq()}
+
+    def test_label_mismatch(self):
+        assert match(C.prim("age"), C.prim("city")) is None
+
+    def test_seed_bindings_not_mutated(self):
+        seed = {"f": C.id_()}
+        result = match(fun_var("f"), C.id_(), seed)
+        assert result == {"f": C.id_()}
+        result2 = match(fun_var("f"), C.pi1(), seed)
+        assert result2 is None
+        assert seed == {"f": C.id_()}
+
+
+class TestChainMatching:
+    def test_two_factor_window(self):
+        pattern = parse_fun("$f o id")
+        subject = canon(parse_fun("age o id"))
+        assert match(pattern, subject) == {"f": C.prim("age")}
+
+    def test_segment_absorption(self):
+        pattern = parse_fun("$f o id")
+        subject = canon(parse_fun("a o b o id"))
+        bindings = match(pattern, subject)
+        assert bindings == {"f": canon(parse_fun("a o b"))}
+
+    def test_segment_prefers_shortest(self):
+        pattern = parse_fun("$f o $g")
+        subject = canon(parse_fun("a o b o c"))
+        bindings = match(pattern, subject)
+        assert bindings["f"] == C.prim("a")
+        assert bindings["g"] == canon(parse_fun("b o c"))
+
+    def test_associativity_irrelevant(self):
+        left = C.compose(C.compose(C.prim("a"), C.prim("b")), C.prim("c"))
+        right = C.compose(C.prim("a"), C.compose(C.prim("b"), C.prim("c")))
+        assert match(canon(left), canon(right)) == {}
+
+    def test_chain_cannot_match_single(self):
+        pattern = parse_fun("$f o $g")
+        assert match(pattern, C.prim("age")) is None
+
+    def test_structured_factor_consumes_one(self):
+        pattern = parse_fun("iterate($p, $f) o iterate($q, $g)")
+        subject = canon(parse_fun(
+            "iterate(Kp(T), city) o iterate(Kp(T), addr)"))
+        bindings = match(pattern, subject)
+        assert bindings["f"] == C.prim("city")
+        assert bindings["g"] == C.prim("addr")
+
+    def test_repeated_segment_var(self):
+        pattern = parse_fun("$f o $f")
+        assert matches(pattern, canon(parse_fun("a o a")))
+        assert not matches(pattern, canon(parse_fun("a o b")))
+        # segment binding must repeat exactly
+        assert matches(pattern, canon(parse_fun("a o b o a o b")))
+
+    def test_pred_not_segment_var(self):
+        # predicate metavariables never absorb chain segments
+        pattern = C.oplus(pred_var("p"), fun_var("f"))
+        subject = parse_pred("eq @ age")
+        assert match(pattern, subject) is not None
+
+
+class TestCanon:
+    def test_idempotent(self):
+        term = parse_obj(
+            "iterate(Kp(T), age) o (iterate(Kp(T), id) o flat) ! P")
+        assert canon(canon(term)) == canon(term)
+
+    def test_right_association(self):
+        term = C.compose(C.compose(C.prim("a"), C.prim("b")), C.prim("c"))
+        result = canon(term)
+        assert result.args[0] == C.prim("a")
+        assert result.args[1].op == "compose"
+
+    def test_invoke_fusion(self):
+        term = C.invoke(C.prim("a"), C.invoke(C.prim("b"), C.lit(1)))
+        result = canon(term)
+        assert result == C.invoke(C.compose(C.prim("a"), C.prim("b")),
+                                  C.lit(1))
+
+    def test_canon_preserves_meaning(self, tiny_db):
+        from repro.core.eval import eval_obj
+        term = parse_obj("iterate(Kp(T), city) o (iterate(Kp(T), addr)) ! P")
+        assert eval_obj(term, tiny_db) == eval_obj(canon(term), tiny_db)
+
+    def test_flatten_and_rebuild(self):
+        factors = [C.prim("a"), C.prim("b"), C.prim("c")]
+        chain = build_chain(factors)
+        assert flatten_compose(chain) == factors
+        with pytest.raises(RewriteError):
+            build_chain([])
+
+
+class TestInstantiate:
+    def test_basic(self):
+        pattern = parse_fun("iterate($p, $f)")
+        result = instantiate(pattern, {"p": C.eq(), "f": C.id_()})
+        assert result == C.iterate(C.eq(), C.id_())
+
+    def test_unbound_raises(self):
+        with pytest.raises(RewriteError, match="unbound"):
+            instantiate(fun_var("f"), {})
+
+    def test_metavar_names(self):
+        assert metavar_names(parse_fun("iterate($p, $f) o $f")) == {"p", "f"}

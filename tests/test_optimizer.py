@@ -1,0 +1,182 @@
+"""Tests for the optimizer: cost model, plan recognition/execution, the
+monolithic baseline, and the end-to-end pipeline."""
+
+import pytest
+
+from repro.aqua.eval import aqua_eval
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from repro.optimizer.cost import CostModel, estimate_cost
+from repro.optimizer.monolithic import MonolithicHiddenJoinRule
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.physical import (InterpretPlan, JoinNestPlan,
+                                      recognize_join_nest)
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import (HiddenJoinSpec, garage_shape,
+                                         hidden_join_family)
+
+
+@pytest.fixture(scope="module")
+def optimizer(rulebase):
+    return Optimizer(rulebase)
+
+
+class TestCostModel:
+    def test_nested_form_costs_quadratic(self, queries, db):
+        """KG1 (nested loops) should be estimated far above KG2's
+        specialized plan."""
+        nested_cost = estimate_cost(queries.kg1, db)
+        plan = recognize_join_nest(queries.kg2)
+        assert plan is not None
+        join_cost = plan.cost_estimate(db)
+        assert join_cost < nested_cost
+
+    def test_iterate_scales_with_input(self, db):
+        small = estimate_cost(parse_obj("iterate(Kp(T), age) ! A"), db)
+        large = estimate_cost(parse_obj("iterate(Kp(T), age) ! P"), db)
+        assert large > small
+
+    def test_selectivity_configurable(self, queries, db):
+        tight = CostModel(selectivity=0.01)
+        loose = CostModel(selectivity=0.99)
+        plan = recognize_join_nest(queries.kg2)
+        assert (plan.cost_estimate(db, tight)
+                < plan.cost_estimate(db, loose))
+
+
+class TestPlanRecognition:
+    def test_kg2_recognized_with_membership(self, queries):
+        plan = recognize_join_nest(queries.kg2)
+        assert isinstance(plan, JoinNestPlan)
+        assert plan.unnest_count == 1
+        assert plan.membership_fn is not None
+        assert "MembershipHashJoin" in plan.explain()
+
+    def test_kg1_not_recognized(self, queries):
+        assert recognize_join_nest(queries.kg1) is None
+
+    def test_non_membership_join_recognized(self, rulebase, tiny_db):
+        from repro.coko.hidden_join import untangle
+        query = translate_query(hidden_join_family(HiddenJoinSpec(depth=1)))
+        final, _ = untangle(query, rulebase)
+        plan = recognize_join_nest(final)
+        assert plan is not None
+        assert plan.membership_fn is None
+        assert "NestedLoopJoin" in plan.explain()
+
+    def test_arbitrary_query_not_recognized(self):
+        assert recognize_join_nest(parse_obj("iterate(Kp(T), age) ! P")) \
+            is None
+
+
+class TestPlanExecution:
+    def test_join_plan_agrees_with_interpreter(self, queries, db_pair):
+        plan = recognize_join_nest(queries.kg2)
+        for database in db_pair:
+            assert (plan.execute(database)
+                    == eval_obj(queries.kg2, database))
+
+    def test_interpret_plan(self, queries, tiny_db):
+        plan = InterpretPlan(queries.kg1)
+        assert plan.execute(tiny_db) == eval_obj(queries.kg1, tiny_db)
+        assert "Interpret" in plan.explain()
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_depth_family_plans_agree(self, rulebase, tiny_db, depth):
+        from repro.coko.hidden_join import untangle
+        aqua = hidden_join_family(HiddenJoinSpec(depth=depth))
+        final, _ = untangle(translate_query(aqua), rulebase)
+        plan = recognize_join_nest(final)
+        assert plan.execute(tiny_db) == aqua_eval(aqua, tiny_db)
+
+
+class TestEndToEnd:
+    def test_oql_text_to_plan(self, optimizer, db):
+        oq = optimizer.optimize(
+            "select p.addr.city from p in P where p.age > 25", db)
+        result = oq.execute(db)
+        expected = frozenset(
+            p.get("addr").get("city") for p in db.collection("P")
+            if p.get("age") > 25)
+        assert result == expected
+
+    def test_garage_gets_join_plan(self, optimizer, db, queries):
+        oq = optimizer.optimize(queries.garage_aqua, db)
+        assert isinstance(oq.plan, JoinNestPlan)
+        assert oq.untangled == queries.kg2
+        assert oq.execute(db) == aqua_eval(queries.garage_aqua, db)
+
+    def test_kola_term_input(self, optimizer, db, queries):
+        oq = optimizer.optimize(queries.kg1, db)
+        assert oq.untangled == queries.kg2
+
+    def test_explain_readable(self, optimizer, db, queries):
+        oq = optimizer.optimize(queries.garage_aqua, db)
+        text = oq.explain()
+        assert "MembershipHashJoin" in text
+        assert "est. cost" in text
+
+    def test_derivation_justified(self, optimizer, db, queries):
+        oq = optimizer.optimize(queries.garage_aqua, db)
+        assert "[19]" in oq.derivation.rules_used()
+
+    def test_unsupported_input(self, optimizer):
+        with pytest.raises(TypeError):
+            optimizer.optimize(42)
+
+    def test_without_db_prefers_join_plan(self, optimizer, queries):
+        oq = optimizer.optimize(queries.garage_aqua)
+        assert isinstance(oq.plan, JoinNestPlan)
+
+
+class TestMonolithicRule:
+    def test_fires_on_garage(self, rulebase, queries):
+        rule = MonolithicHiddenJoinRule(rulebase)
+        result = rule.apply(queries.kg1)
+        assert result == queries.kg2
+
+    def test_head_evidence(self, rulebase, queries):
+        rule = MonolithicHiddenJoinRule(rulebase)
+        evidence = rule.head(queries.kg1)
+        assert evidence is not None
+        assert evidence["depth"] == 2
+        assert evidence["bottom"].label == "P"
+
+    def test_rejects_derived_bottom_set(self, rulebase):
+        """The paper's inapplicability case: the inner query runs over a
+        set derived from the outer variable, not a named set."""
+        rule = MonolithicHiddenJoinRule(rulebase)
+        query = translate_query(hidden_join_family(
+            HiddenJoinSpec(depth=2, applicable=False)))
+        assert rule.head(query) is None
+
+    def test_rejection_leaves_query_unchanged(self, rulebase):
+        """'Complex rules do not simplify queries' — after a failed
+        monolithic match the query is exactly as before."""
+        rule = MonolithicHiddenJoinRule(rulebase)
+        query = translate_query(hidden_join_family(
+            HiddenJoinSpec(depth=3, applicable=False)))
+        assert rule.apply(query) is None  # and `query` is untouched
+
+    def test_dive_cost_grows_with_depth(self, rulebase):
+        """The diving head routine inspects more nodes at greater
+        nesting depth, even when it ultimately rejects."""
+        rule = MonolithicHiddenJoinRule(rulebase)
+        costs = []
+        for depth in (1, 3, 5):
+            query = translate_query(hidden_join_family(
+                HiddenJoinSpec(depth=depth, applicable=False)))
+            rule.reset_stats()
+            rule.head(query)
+            costs.append(rule.nodes_inspected)
+        assert costs[0] < costs[1] < costs[2]
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 4])
+    def test_agrees_with_gradual_pipeline(self, rulebase, depth):
+        from repro.coko.hidden_join import untangle
+        rule = MonolithicHiddenJoinRule(rulebase)
+        query = translate_query(hidden_join_family(
+            HiddenJoinSpec(depth=depth)))
+        monolithic = rule.apply(query)
+        gradual, _ = untangle(query, rulebase)
+        assert monolithic == gradual

@@ -1,0 +1,92 @@
+"""Additional pretty-printer and trace-rendering coverage."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.bags import KBag
+from repro.core.lists import KList
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.pretty import pretty, pretty_multiline
+from repro.core.values import KPair
+
+
+class TestLiteralRendering:
+    def test_booleans(self):
+        assert pretty(C.lit(True)) == "T"
+        assert pretty(C.lit(False)) == "F"
+
+    def test_strings_double_quoted(self):
+        assert pretty(C.lit("hi")) == '"hi"'
+
+    def test_negative_numbers(self):
+        assert pretty(C.lit(-3)) == "-3"
+        assert parse_obj(pretty(C.lit(-3))) == C.lit(-3)
+
+    def test_pair_values_in_sets(self):
+        literal = C.lit(frozenset({KPair(1, 2)}))
+        assert pretty(literal) == "{[1, 2]}"
+        assert parse_obj(pretty(literal)) == literal
+
+    def test_nested_sets(self):
+        literal = C.lit(frozenset({frozenset({1})}))
+        assert parse_obj(pretty(literal)) == literal
+
+    def test_bools_in_sets(self):
+        literal = C.lit(frozenset({True}))
+        assert pretty(literal) == "{T}"
+        assert parse_obj(pretty(literal)) == literal
+
+
+class TestPrecedenceRendering:
+    def test_disj_of_conj_no_parens_needed(self):
+        term = parse_pred("eq & lt | gt")
+        assert pretty(term) == "eq & lt | gt"
+
+    def test_conj_of_disj_parenthesized(self):
+        term = C.conj(C.disj(C.eq(), C.lt()), C.gt())
+        rendered = pretty(term)
+        assert parse_pred(rendered) == term
+        assert "(" in rendered
+
+    def test_oplus_left_assoc_renders_flat(self):
+        term = parse_pred("eq @ pi1 @ pi2")
+        assert parse_pred(pretty(term)) == term
+
+    def test_nested_negation(self):
+        term = parse_pred("~(~eq)")
+        assert parse_pred(pretty(term)) == term
+
+    def test_cross_of_chains(self):
+        term = parse_fun("(a o b >< c o d)")
+        assert parse_fun(pretty(term)) == term
+
+    def test_invoke_precedence(self):
+        query = parse_obj("iterate(Kp(T), age) o flat ! P")
+        rendered = pretty(query)
+        assert rendered.endswith("! P")
+        assert parse_obj(rendered) == query
+
+
+class TestMultiline:
+    def test_single_factor_no_chain(self):
+        term = parse_fun("iterate(Kp(T), age)")
+        assert pretty_multiline(term) == pretty(term)
+
+    def test_indent(self):
+        term = parse_fun("flat o iterate(Kp(T), age)")
+        rendered = pretty_multiline(term, indent=1)
+        assert rendered.startswith("  flat")
+
+    def test_query_layout(self, queries):
+        rendered = pretty_multiline(queries.kg2)
+        lines = rendered.splitlines()
+        assert lines[0] == "nest(pi1, pi2) o"
+        assert lines[-1] == "! [V, P]"
+
+
+class TestValueReprExtras:
+    def test_bag_repr_deterministic(self):
+        assert repr(KBag.of([2, 1, 1])) == repr(KBag.of([1, 2, 1]))
+
+    def test_list_repr_ordered(self):
+        assert repr(KList([2, 1])) == "List[2, 1]"

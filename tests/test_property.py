@@ -1,0 +1,227 @@
+"""Property-based tests (hypothesis) on core data structures and
+invariants.
+
+Strategy sources:
+
+* random well-typed KOLA functions/predicates via the larch generator
+  (driven by a hypothesis-chosen seed, so shrinking works on the seed);
+* random OQL-fragment queries assembled from hypothesis primitives;
+* random value structures for the value domain.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.aqua.eval import aqua_eval
+from repro.aqua.terms import (App, Attr, BinCmp, BoolOp, Const, In, Lam,
+                              Not, PairE, Sel, SetRef, Var)
+from repro.core import constructors as C
+from repro.core.eval import apply_fn, eval_obj
+from repro.core.eval import test_pred as check_pred
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.pretty import pretty
+from repro.core.terms import Sort
+from repro.core.types import INT, Inferencer, TCon, fun_t, pair_t, set_t
+from repro.core.values import KPair, freeze, kset
+from repro.larch.gen import TermGenerator
+from repro.rewrite.pattern import canon
+from repro.schema.generator import GeneratorConfig, generate_database
+
+_SETTINGS = settings(max_examples=40, deadline=None,
+                     suppress_health_check=[HealthCheck.too_slow])
+
+
+# -- Term/value invariants ----------------------------------------------------
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_generated_functions_round_trip_parser(seed):
+    """pretty/parse is the identity on random well-typed functions."""
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.function(pair_t(INT, INT), INT)
+    # generated composition trees may be left-nested; round-trip holds
+    # modulo the canonical (right-nested) form
+    assert canon(parse_fun(pretty(term))) == canon(term)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_generated_predicates_round_trip_parser(seed):
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.predicate(pair_t(INT, set_t(INT)))
+    assert canon(parse_pred(pretty(term))) == canon(term)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_canon_preserves_function_meaning(seed):
+    """canon (re-association + invoke fusion) never changes results."""
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.function(set_t(INT), set_t(INT))
+    value = generator.value(set_t(INT))
+    assert apply_fn(canon(term), value) == apply_fn(term, value)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_inferred_types_are_inhabited(seed):
+    """The value generator produces values the evaluator accepts for the
+    generator's own types — typing and semantics agree."""
+    generator = TermGenerator(seed=seed, max_depth=2)
+    term = generator.function(INT, set_t(INT))
+    inferred = Inferencer().infer(term)
+    assert isinstance(inferred, TCon) and inferred.name == "Fun"
+    result = apply_fn(term, generator.value(INT))
+    assert isinstance(result, frozenset)
+
+
+@given(st.recursive(
+    st.integers(-5, 5) | st.text(max_size=3),
+    lambda children: st.lists(children, max_size=3).map(tuple).filter(
+        lambda t: len(t) == 2) | st.lists(children, max_size=3),
+    max_leaves=12))
+@_SETTINGS
+def test_freeze_produces_hashable(value):
+    frozen = freeze(value)
+    hash(frozen)  # must not raise
+    assert freeze(frozen) == frozen  # idempotent
+
+
+# -- rewrite-engine invariants ---------------------------------------------------
+
+@given(seed=st.integers(0, 5_000))
+@_SETTINGS
+def test_simplify_group_preserves_meaning(seed, rulebase_session):
+    """Exhaustive simplification never changes a random function's
+    results."""
+    from repro.rewrite.engine import Engine
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.function(set_t(INT), set_t(INT))
+    value = generator.value(set_t(INT))
+    engine = Engine()
+    simplified = engine.normalize(term, rulebase_session.group("simplify"),
+                                  max_steps=300)
+    assert apply_fn(simplified, value) == apply_fn(term, value)
+
+
+@given(seed=st.integers(0, 5_000))
+@_SETTINGS
+def test_simplify_never_grows_terms(seed, rulebase_session):
+    from repro.rewrite.engine import Engine
+    generator = TermGenerator(seed=seed, max_depth=3)
+    term = generator.function(set_t(INT), set_t(INT))
+    engine = Engine()
+    simplified = engine.normalize(term, rulebase_session.group("simplify"),
+                                  max_steps=300)
+    assert simplified.size() <= term.size()
+
+
+# -- nest/unnest invariants ---------------------------------------------------------
+
+@given(
+    source=st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                   max_size=12),
+    keys=st.sets(st.integers(0, 5), max_size=6))
+@_SETTINGS
+def test_nest_output_cardinality_is_key_set(source, keys):
+    """The paper's NULL-free nest: output cardinality == |B| always."""
+    pairs = kset(KPair(a, b) for a, b in source)
+    result = apply_fn(C.nest(C.pi1(), C.pi2()), KPair(pairs, kset(keys)))
+    assert len(result) == len(keys)
+    assert {p.fst for p in result} == set(keys)
+
+
+@given(
+    source=st.sets(st.tuples(st.integers(0, 5), st.integers(0, 5)),
+                   max_size=12))
+@_SETTINGS
+def test_unnest_nest_round_trip(source):
+    """nest . unnest restores any keyed family exactly when nesting is
+    relative to the original key set."""
+    keys = kset({a for a, _ in source})
+    groups: dict[int, set] = {a: set() for a, _ in source}
+    for a, b in source:
+        groups[a].add(b)
+    family = kset(KPair(a, kset(bs)) for a, bs in groups.items())
+    flat_pairs = apply_fn(C.unnest(C.pi1(), C.pi2()), family)
+    rebuilt = apply_fn(C.nest(C.pi1(), C.pi2()), KPair(flat_pairs, keys))
+    assert rebuilt == family
+
+
+# -- translation invariants ------------------------------------------------------------
+
+_DB = generate_database(GeneratorConfig(n_persons=10, n_vehicles=6,
+                                        n_addresses=4, seed=99))
+
+_comparison = st.sampled_from(["==", "!=", "<", "<=", ">", ">="])
+
+
+@st.composite
+def simple_predicates(draw, var: str):
+    """Random boolean expressions over a Person variable."""
+    base = draw(st.sampled_from(["age-cmp", "membership", "true"]))
+    if base == "age-cmp":
+        op = draw(_comparison)
+        bound = draw(st.integers(0, 90))
+        pred = BinCmp(op, Attr(Var(var), "age"), Const(bound))
+    elif base == "membership":
+        pred = In(Var(var), Attr(Var(var), "child"))
+    else:
+        pred = BinCmp("==", Const(1), Const(1))
+    if draw(st.booleans()):
+        pred = Not(pred)
+    if draw(st.booleans()):
+        op2 = draw(st.sampled_from(["and", "or"]))
+        bound = draw(st.integers(0, 90))
+        pred = BoolOp(op2, pred,
+                      BinCmp("<", Attr(Var(var), "age"), Const(bound)))
+    return pred
+
+
+@st.composite
+def simple_queries(draw):
+    """Random single- or double-level queries over P."""
+    projection = draw(st.sampled_from(["ident", "age", "pair", "child-sel"]))
+    pred = draw(simple_predicates("p"))
+    source = Sel(Lam("p", pred), SetRef("P"))
+    if projection == "ident":
+        return App(Lam("p", Var("p")), source)
+    if projection == "age":
+        return App(Lam("p", Attr(Var("p"), "age")), source)
+    if projection == "pair":
+        return App(Lam("p", PairE(Var("p"), Attr(Var("p"), "age"))), source)
+    inner_pred = draw(simple_predicates("c"))
+    return App(Lam("p", PairE(Var("p"),
+                              Sel(Lam("c", inner_pred),
+                                  Attr(Var("p"), "child")))), source)
+
+
+@given(query=simple_queries())
+@_SETTINGS
+def test_translation_preserves_meaning(query):
+    """AQUA evaluation == KOLA evaluation of the translation, for random
+    queries (the translator's core contract)."""
+    from repro.translate.aqua_to_kola import translate_query
+    kola = translate_query(query)
+    assert eval_obj(kola, _DB) == aqua_eval(query, _DB)
+
+
+@given(query=simple_queries())
+@_SETTINGS
+def test_optimizer_end_to_end_preserves_meaning(query, rulebase_session):
+    """simplify + untangle + plan choice never change results."""
+    from repro.optimizer.optimizer import Optimizer
+    optimizer = Optimizer(rulebase_session)
+    optimized = optimizer.optimize(query, _DB)
+    assert optimized.execute(_DB) == aqua_eval(query, _DB)
+
+
+# -- session-scoped fixture bridge (hypothesis needs plain args) -------------------------
+
+@pytest.fixture(scope="session")
+def rulebase_session():
+    from repro.rules.registry import standard_rulebase
+    return standard_rulebase()

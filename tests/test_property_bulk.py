@@ -1,0 +1,157 @@
+"""Hypothesis property tests for the bulk-type extensions (bags, lists)
+and the aggregate operators."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import constructors as C
+from repro.core.bags import KBag
+from repro.core.eval import apply_fn
+from repro.core.lists import KList
+from repro.core.values import KPair, kset
+
+_SETTINGS = settings(max_examples=60, deadline=None)
+
+ints = st.integers(-5, 8)
+int_lists = st.lists(ints, max_size=10)
+int_bags = int_lists.map(KBag.of)
+int_sets = st.sets(ints, max_size=8).map(kset)
+
+
+# -- bag algebra ------------------------------------------------------------
+
+@given(a=int_bags, b=int_bags)
+@_SETTINGS
+def test_bag_union_commutative(a, b):
+    assert a.additive_union(b) == b.additive_union(a)
+
+
+@given(a=int_bags, b=int_bags, c=int_bags)
+@_SETTINGS
+def test_bag_union_associative(a, b, c):
+    assert (a.additive_union(b).additive_union(c)
+            == a.additive_union(b.additive_union(c)))
+
+
+@given(a=int_bags)
+@_SETTINGS
+def test_bag_union_identity(a):
+    assert a.additive_union(KBag.empty()) == a
+
+
+@given(a=int_bags, b=int_bags)
+@_SETTINGS
+def test_distinct_is_union_homomorphism(a, b):
+    assert (a.additive_union(b).support()
+            == a.support() | b.support())
+
+
+@given(items=int_lists)
+@_SETTINGS
+def test_bag_count_is_length(items):
+    assert len(KBag.of(items)) == len(items)
+
+
+@given(items=int_lists)
+@_SETTINGS
+def test_bag_sum_matches_python_sum(items):
+    assert apply_fn(C.bag_sum(), KBag.of(items)) == sum(items)
+
+
+@given(a=int_sets)
+@_SETTINGS
+def test_tobag_distinct_roundtrip(a):
+    bag = apply_fn(C.tobag(), a)
+    assert apply_fn(C.distinct(), bag) == a
+    assert all(bag.count(x) == 1 for x in a)
+
+
+@given(a=int_bags)
+@_SETTINGS
+def test_bag_filter_partition(a):
+    even = a.filter(lambda x: x % 2 == 0)
+    odd = a.filter(lambda x: x % 2 != 0)
+    assert even.additive_union(odd) == a
+
+
+# -- list algebra ---------------------------------------------------------------
+
+@given(a=int_lists, b=int_lists, c=int_lists)
+@_SETTINGS
+def test_list_concat_associative(a, b, c):
+    la, lb, lc = KList(a), KList(b), KList(c)
+    assert la.concat(lb).concat(lc) == la.concat(lb.concat(lc))
+
+
+@given(a=int_lists)
+@_SETTINGS
+def test_list_concat_identity(a):
+    sequence = KList(a)
+    assert sequence.concat(KList()) == sequence
+    assert KList().concat(sequence) == sequence
+
+
+@given(a=int_sets)
+@_SETTINGS
+def test_listify_is_sorted_permutation(a):
+    ordered = apply_fn(C.listify(C.id_()), a)
+    values = list(ordered)
+    assert values == sorted(values)
+    assert kset(values) == a
+    assert len(values) == len(a)  # sets have no duplicates to add
+
+
+@given(a=int_sets, bound=ints)
+@_SETTINGS
+def test_filter_commutes_with_listify(a, bound):
+    """The filter-listify rule as a property over concrete data."""
+    pred = C.curry_p(C.lt(), C.lit(bound))        # bound < x
+    sort_then_filter = apply_fn(
+        C.compose(C.list_iterate(pred, C.id_()), C.listify(C.id_())), a)
+    filter_then_sort = apply_fn(
+        C.compose(C.listify(C.id_()), C.iterate(pred, C.id_())), a)
+    assert sort_then_filter == filter_then_sort
+
+
+@given(a=int_lists)
+@_SETTINGS
+def test_to_set_forgets_order_and_counts(a):
+    assert apply_fn(C.to_set(), KList(a)) == kset(a)
+
+
+# -- aggregates -------------------------------------------------------------------
+
+@given(a=int_sets, b=int_sets)
+@_SETTINGS
+def test_count_union_inclusion_exclusion(a, b):
+    union_count = apply_fn(C.count(), a | b)
+    intersect_count = apply_fn(C.count(), a & b)
+    assert union_count + intersect_count == len(a) + len(b)
+
+
+@given(items=int_lists)
+@_SETTINGS
+def test_sum_set_vs_bag(items):
+    """SUM over a set never exceeds SUM over the bag for non-negative
+    data — the quantitative face of the SUM/DISTINCT distinction."""
+    non_negative = [abs(x) for x in items]
+    set_sum = apply_fn(C.ssum(), kset(non_negative))
+    bag_sum = apply_fn(C.bag_sum(), KBag.of(non_negative))
+    assert set_sum <= bag_sum
+
+
+@given(a=int_sets, b=int_sets)
+@_SETTINGS
+def test_count_bug_invariant(a, b):
+    """The correct COUNT unnesting always yields |A| rows — the buggy
+    one yields the number of A-elements with partners."""
+    from repro.core.parser import parse_pred
+    pred = parse_pred("lt")
+    joined = apply_fn(C.join(pred, C.id_()), KPair(a, b))
+    grouped = apply_fn(C.nest(C.pi1(), C.pi2()), KPair(joined, a))
+    assert len(grouped) == len(a)
+    with_partners = {pair.fst for pair in joined}
+    buggy_keys = apply_fn(C.iterate(C.const_p(C.true()), C.pi1()), joined)
+    assert buggy_keys == kset(with_partners)

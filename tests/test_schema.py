@@ -1,0 +1,125 @@
+"""Unit tests for the schema substrate and the synthetic generator."""
+
+import pytest
+
+from repro.core.errors import EvalError, UnknownPrimitiveError
+from repro.core.values import Instance
+from repro.schema.adt import ADT, Attribute, Database, Schema
+from repro.schema.generator import GeneratorConfig, generate_database
+from repro.schema.paper_schema import paper_schema
+
+
+class TestSchemaDeclaration:
+    def test_paper_schema_shape(self):
+        schema = paper_schema()
+        person = schema.adt("Person")
+        assert set(person.attribute_names()) >= {
+            "addr", "age", "child", "cars", "grgs"}
+        assert schema.collection_adt("P") == "Person"
+        assert schema.collection_adt("V") == "Vehicle"
+
+    def test_attribute_lookup(self):
+        schema = paper_schema()
+        assert schema.attribute_type("Address", "city") == "Str"
+        with pytest.raises(UnknownPrimitiveError):
+            schema.adt("Person").attribute("salary")
+
+    def test_function_signature(self):
+        schema = paper_schema()
+        assert schema.function_signature("age") == ("Person", "Int")
+        assert schema.function_signature("nope") is None
+
+    def test_duplicate_adt_rejected(self):
+        schema = Schema()
+        schema.add_adt(ADT("X", ()))
+        with pytest.raises(ValueError):
+            schema.add_adt(ADT("X", ()))
+
+    def test_duplicate_attribute_names_rejected(self):
+        schema = Schema()
+        schema.add_adt(ADT("A", (Attribute("f", "Int"),)))
+        schema.add_adt(ADT("B", (Attribute("f", "Int"),)))
+        with pytest.raises(ValueError, match="declared twice"):
+            schema.validate()
+
+    def test_computed_primitives(self):
+        schema = paper_schema()
+        schema.register_function("double_age",
+                                 lambda p: p.get("age") * 2,
+                                 "Person", "Int")
+        schema.register_predicate("adult",
+                                  lambda p: p.get("age") >= 18, "Person")
+        db = Database(schema)
+        person = Instance("Person", 0)
+        person.set_attr("age", 21)
+        assert db.apply_prim("double_age", person) == 42
+        assert db.test_pprim("adult", person)
+
+    def test_nonboolean_predicate_rejected(self):
+        schema = paper_schema()
+        schema.register_predicate("broken", lambda p: 1, "Person")  # type: ignore
+        db = Database(schema)
+        with pytest.raises(EvalError, match="non-boolean"):
+            db.test_pprim("broken", Instance("Person", 0))
+
+
+class TestDatabase:
+    def test_unpopulated_collection(self):
+        db = Database(paper_schema())
+        with pytest.raises(EvalError, match="not populated"):
+            db.collection("P")
+
+    def test_undeclared_collection(self):
+        db = Database(paper_schema())
+        with pytest.raises(EvalError, match="unknown collection"):
+            db.set_collection("Q", [])
+
+    def test_unknown_prim(self, tiny_db):
+        person = next(iter(tiny_db.collection("P")))
+        with pytest.raises(UnknownPrimitiveError):
+            tiny_db.apply_prim("salary", person)
+
+    def test_stats(self, tiny_db):
+        stats = tiny_db.stats()
+        assert stats["P"] == 8
+        assert stats["V"] == 5
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        db1 = generate_database(GeneratorConfig(seed=5))
+        db2 = generate_database(GeneratorConfig(seed=5))
+        ages1 = sorted(p.get("age") for p in db1.collection("P"))
+        ages2 = sorted(p.get("age") for p in db2.collection("P"))
+        assert ages1 == ages2
+
+    def test_seed_changes_data(self):
+        db1 = generate_database(GeneratorConfig(seed=5))
+        db2 = generate_database(GeneratorConfig(seed=6))
+        ages1 = sorted(p.get("age") for p in db1.collection("P"))
+        ages2 = sorted(p.get("age") for p in db2.collection("P"))
+        assert ages1 != ages2
+
+    def test_cardinalities(self):
+        config = GeneratorConfig(n_persons=12, n_vehicles=7, n_addresses=5)
+        db = generate_database(config)
+        assert len(db.collection("P")) == 12
+        assert len(db.collection("V")) == 7
+        assert len(db.collection("A")) == 5
+
+    def test_references_are_closed(self, db):
+        """Every referenced object exists in its collection."""
+        persons = db.collection("P")
+        vehicles = db.collection("V")
+        addresses = db.collection("A")
+        for person in persons:
+            assert person.get("addr") in addresses
+            assert person.get("cars") <= vehicles
+            assert person.get("child") <= persons
+            assert person.get("grgs") <= addresses
+            assert person not in person.get("child")
+
+    def test_age_bounds(self, db):
+        for person in db.collection("P"):
+            low, high = GeneratorConfig().age_range
+            assert low <= person.get("age") <= high

@@ -1,0 +1,89 @@
+"""Sanity tests over the operator signature registry (the fixed
+combinator set the paper commits to)."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.signature import CONVERSES, EXECUTABLE_OPS, REGISTRY
+from repro.core.terms import Sort
+
+
+class TestRegistry:
+    def test_every_operator_documented(self):
+        for name, signature in REGISTRY.items():
+            assert signature.doc, f"{name} lacks semantics documentation"
+
+    def test_fixed_set_is_closed(self):
+        """The paper's design point: 'algebraic query optimization must
+        reference a known (i.e. fixed) set of operators'."""
+        assert "meta" in REGISTRY
+        assert EXECUTABLE_OPS == frozenset(REGISTRY) - {"meta"}
+
+    def test_converses_involutive(self):
+        for name, converse in CONVERSES.items():
+            assert CONVERSES[converse] == name
+
+    def test_sorts_partition(self):
+        for name, signature in REGISTRY.items():
+            assert signature.result_sort in (Sort.FUN, Sort.PRED,
+                                             Sort.OBJ, Sort.ANY)
+
+    def test_label_flags_respected_by_constructors(self):
+        # a few spot checks that constructors agree with the registry
+        assert REGISTRY["prim"].needs_label
+        assert not REGISTRY["id"].needs_label
+        assert REGISTRY["lit"].needs_label
+
+    def test_table1_operator_inventory(self):
+        """Every operator of the paper's Table 1 is present."""
+        table1 = {"id", "pi1", "pi2", "eq", "leq", "gt", "isin",
+                  "compose", "pair", "cross", "const_f", "curry_f",
+                  "cond", "oplus", "conj", "disj", "inv", "const_p",
+                  "curry_p"}
+        assert table1 <= set(REGISTRY)
+
+    def test_table2_operator_inventory(self):
+        table2 = {"flat", "iterate", "iter", "join", "nest", "unnest"}
+        assert table2 <= set(REGISTRY)
+
+    def test_every_executable_op_constructible(self):
+        """Each registered operator is reachable through mk with sorted
+        sample arguments — no orphan registry entries."""
+        from repro.core.terms import mk
+        samples = {Sort.FUN: C.id_(), Sort.PRED: C.eq(),
+                   Sort.OBJ: C.lit(1)}
+        sample_labels = {"prim": "age", "pprim": "adult",
+                         "setop": "union", "lit": 1, "setname": "P",
+                         "meta": ("x", Sort.ANY)}
+        for name, signature in REGISTRY.items():
+            args = tuple(samples[s] for s in signature.arg_sorts)
+            label = sample_labels.get(name) if signature.needs_label \
+                else None
+            term = mk(name, *args, label=label) if label is not None \
+                else mk(name, *args)
+            assert term.op == name
+
+    def test_every_executable_op_evaluable_or_rejecting(self):
+        """Every function/predicate operator either evaluates on a
+        sample input or raises a *typed* EvalError — never a bare
+        Python crash (AttributeError/KeyError/...)."""
+        from repro.core.errors import EvalError
+        from repro.core.eval import apply_fn, test_pred as check_pred
+        from repro.core.terms import mk
+        from repro.core.values import KPair, kset
+        samples = {Sort.FUN: C.id_(), Sort.PRED: C.eq(),
+                   Sort.OBJ: C.lit(1)}
+        inputs = [1, KPair(1, 2), kset([1, 2]),
+                  KPair(kset([1]), kset([2]))]
+        for name, signature in REGISTRY.items():
+            if signature.needs_label or signature.result_sort not in (
+                    Sort.FUN, Sort.PRED):
+                continue
+            term = mk(name, *(samples[s] for s in signature.arg_sorts))
+            runner = (apply_fn if signature.result_sort is Sort.FUN
+                      else check_pred)
+            for value in inputs:
+                try:
+                    runner(term, value)
+                except EvalError:
+                    pass  # typed rejection is fine

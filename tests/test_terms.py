@@ -1,0 +1,134 @@
+"""Unit tests for the KOLA term representation."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.errors import TermError, UnknownOperatorError
+from repro.core.terms import Sort, Term, fun_var, meta, mk, obj_var, \
+    pred_var, sort_of
+
+
+class TestConstruction:
+    def test_simple_leaf(self):
+        term = C.id_()
+        assert term.op == "id"
+        assert term.args == ()
+        assert term.is_leaf()
+
+    def test_nested(self):
+        term = C.compose(C.prim("city"), C.prim("addr"))
+        assert term.op == "compose"
+        assert term.args[0].label == "city"
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(UnknownOperatorError):
+            mk("frobnicate")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(TermError, match="expects 2"):
+            mk("compose", C.id_())
+
+    def test_wrong_sort_rejected(self):
+        # compose takes functions, not predicates
+        with pytest.raises(TermError, match="sort"):
+            C.compose(C.eq(), C.id_())
+
+    def test_pred_former_rejects_function(self):
+        with pytest.raises(TermError):
+            C.conj(C.id_(), C.eq())
+
+    def test_label_required(self):
+        with pytest.raises(TermError, match="label"):
+            mk("prim")
+
+    def test_label_forbidden(self):
+        with pytest.raises(TermError, match="label"):
+            mk("id", label="x")
+
+    def test_non_term_argument_rejected(self):
+        with pytest.raises(TermError, match="not a Term"):
+            mk("compose", C.id_(), "id")  # type: ignore[arg-type]
+
+
+class TestImmutabilityAndEquality:
+    def test_immutable(self):
+        term = C.id_()
+        with pytest.raises(AttributeError):
+            term.op = "pi1"  # type: ignore[misc]
+
+    def test_structural_equality(self):
+        a = C.compose(C.prim("city"), C.prim("addr"))
+        b = C.compose(C.prim("city"), C.prim("addr"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality_by_label(self):
+        assert C.prim("city") != C.prim("addr")
+
+    def test_inequality_by_op(self):
+        assert C.pi1() != C.pi2()
+
+    def test_usable_as_dict_key(self):
+        table = {C.id_(): 1, C.pi1(): 2}
+        assert table[C.id_()] == 1
+
+    def test_not_equal_to_other_types(self):
+        assert C.id_() != "id"
+        assert not (C.id_() == 42)
+
+
+class TestSorts:
+    def test_function_sort(self):
+        assert sort_of(C.iterate(C.eq(), C.id_())) is Sort.FUN
+
+    def test_predicate_sort(self):
+        assert sort_of(C.oplus(C.eq(), C.id_())) is Sort.PRED
+
+    def test_object_sort(self):
+        assert sort_of(C.invoke(C.id_(), C.lit(3))) is Sort.OBJ
+
+    def test_metavar_sorts(self):
+        assert sort_of(fun_var("f")) is Sort.FUN
+        assert sort_of(pred_var("p")) is Sort.PRED
+        assert sort_of(obj_var("x")) is Sort.OBJ
+        assert sort_of(meta("a")) is Sort.ANY
+
+    def test_sort_property(self):
+        assert C.flat().sort is Sort.FUN
+
+
+class TestStructureHelpers:
+    def test_size(self):
+        term = C.compose(C.prim("city"), C.prim("addr"))
+        assert term.size() == 3
+
+    def test_depth(self):
+        term = C.compose(C.compose(C.id_(), C.id_()), C.id_())
+        assert term.depth() == 3
+        assert C.id_().depth() == 1
+
+    def test_subterms_preorder(self):
+        term = C.pair(C.pi1(), C.pi2())
+        ops = [t.op for t in term.subterms()]
+        assert ops == ["pair", "pi1", "pi2"]
+
+    def test_contains(self):
+        term = C.compose(C.prim("city"), C.prim("addr"))
+        assert term.contains(C.prim("addr"))
+        assert not term.contains(C.prim("age"))
+
+    def test_with_args_identity_shortcut(self):
+        term = C.compose(C.id_(), C.id_())
+        assert term.with_args(term.args) is term
+
+    def test_metavars(self):
+        term = C.compose(fun_var("f"), fun_var("g"))
+        assert {name for name, _ in term.metavars()} == {"f", "g"}
+
+    def test_is_ground(self):
+        assert C.id_().is_ground()
+        assert not fun_var("f").is_ground()
+
+    def test_meta_requires_name(self):
+        with pytest.raises(TermError):
+            meta("")

@@ -1,0 +1,50 @@
+"""Tests for developer tools: the rule catalog and the verify-pool CLI."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.tools.rulecatalog import SECTIONS, generate_catalog
+
+
+class TestRuleCatalog:
+    def test_catalog_covers_every_rule(self, rulebase):
+        text = generate_catalog(rulebase)
+        for one_rule in rulebase.all_rules():
+            assert f"`{one_rule.name}`" in text, one_rule.name
+
+    def test_paper_numbers_annotated(self, rulebase):
+        text = generate_catalog(rulebase)
+        for number in range(1, 25):
+            assert f"*(paper rule {number})*" in text
+
+    def test_sections_present(self, rulebase):
+        text = generate_catalog(rulebase)
+        for _, title in SECTIONS:
+            assert f"## {title}" in text
+
+    def test_committed_catalog_in_sync(self, rulebase):
+        """docs/rules-catalog.md must be regenerated when rules change."""
+        committed = pathlib.Path(__file__).parent.parent / "docs" \
+            / "rules-catalog.md"
+        assert committed.read_text() == generate_catalog(rulebase)
+
+    def test_main_writes_file(self, tmp_path):
+        from repro.tools.rulecatalog import main as catalog_main
+        target = tmp_path / "catalog.md"
+        assert catalog_main(["--output", str(target)]) == 0
+        assert target.read_text().startswith("# Rule catalog")
+
+
+class TestVerifyPoolCli:
+    def test_group_pool(self, capsys):
+        code = main(["verify-pool", "--group", "fig5", "--trials", "20"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "r13" in out and "4/4 rules verified" in out
+
+    def test_whole_pool_smoke(self, capsys):
+        code = main(["verify-pool", "--trials", "3"])
+        assert code == 0
+        assert "rules verified" in capsys.readouterr().out

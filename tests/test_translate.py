@@ -1,0 +1,233 @@
+"""Tests for the OQL parser and the AQUA -> KOLA translator."""
+
+import pytest
+
+from repro.aqua.eval import aqua_eval
+from repro.aqua.terms import (App, Attr, BinCmp, Const, Flatten, In, Join,
+                              Lam, PairE, Sel, SetRef, Var)
+from repro.core.errors import ParseError, TranslationError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from repro.core.pretty import pretty
+from repro.core.types import infer
+from repro.rewrite.pattern import canon
+from repro.schema.paper_schema import paper_schema
+from repro.translate.aqua_to_kola import translate_query
+from repro.translate.environment import Environment
+from repro.translate.metrics import max_env_depth, measure_translation
+from repro.translate.oql import parse_oql
+
+
+class TestEnvironment:
+    def test_single_variable_is_id(self):
+        env = Environment(("x",))
+        assert pretty(env.access("x")) == "id"
+
+    def test_two_variables(self):
+        env = Environment(("x", "y"))
+        assert pretty(env.access("y")) == "pi2"
+        assert pretty(env.access("x")) == "pi1"
+
+    def test_three_variables(self):
+        env = Environment(("x", "y", "z"))
+        assert pretty(env.access("z")) == "pi2"
+        assert pretty(env.access("y")) == "pi2 o pi1"
+        assert pretty(env.access("x")) == "pi1 o pi1"
+
+    def test_shadowing_resolves_innermost(self):
+        env = Environment(("x", "x"))
+        assert pretty(env.access("x")) == "pi2"
+
+    def test_unbound(self):
+        with pytest.raises(TranslationError, match="unbound"):
+            Environment(("x",)).access("y")
+
+    def test_extend(self):
+        env = Environment().extend("a").extend("b")
+        assert len(env) == 2
+        assert "a" in env
+
+
+class TestTranslationFidelity:
+    def test_garage_query_is_exactly_kg1(self, queries):
+        assert translate_query(queries.garage_aqua) == queries.kg1
+
+    def test_t1_source(self, queries):
+        assert translate_query(queries.t1_source_aqua) == queries.t1k_source
+
+    def test_a3_a4_translate_to_k3_k4(self, queries):
+        assert translate_query(queries.a3_aqua) == queries.k3
+        assert translate_query(queries.a4_aqua) == queries.k4
+
+    def test_k3_k4_differ_only_in_projection(self, queries):
+        """Section 3.2: 'the KOLA queries are structurally similar to one
+        another, but not identical' — they differ in one pi1/pi2 leaf."""
+        k3_nodes = list(queries.k3.subterms())
+        k4_nodes = list(queries.k4.subterms())
+        assert len(k3_nodes) == len(k4_nodes)
+        diffs = [(a.op, b.op) for a, b in zip(k3_nodes, k4_nodes)
+                 if a.op != b.op]
+        assert diffs == [("pi2", "pi1")]
+
+
+class TestTranslationSemantics:
+    CASES = [
+        App(Lam("p", Attr(Var("p"), "age")), SetRef("P")),
+        Sel(Lam("p", BinCmp("<=", Attr(Var("p"), "age"), Const(40))),
+            SetRef("P")),
+        App(Lam("p", PairE(Var("p"), Const(1))), SetRef("P")),
+        Flatten(App(Lam("p", Attr(Var("p"), "child")), SetRef("P"))),
+        Sel(Lam("p", BinCmp("!=", Attr(Var("p"), "age"), Const(30))),
+            Sel(Lam("p", BinCmp(">", Attr(Var("p"), "age"), Const(5))),
+                SetRef("P"))),
+        App(Lam("v", Sel(Lam("p", In(Var("v"), Attr(Var("p"), "cars"))),
+                         SetRef("P"))), SetRef("V")),
+    ]
+
+    @pytest.mark.parametrize("expr", CASES)
+    def test_meaning_preserved(self, expr, tiny_db):
+        kola = translate_query(expr)
+        assert eval_obj(kola, tiny_db) == aqua_eval(expr, tiny_db)
+
+    def test_join_desugaring(self, tiny_db):
+        query = Join(Lam("x", Lam("y", BinCmp("==", Attr(Var("x"), "age"),
+                                              Attr(Var("y"), "age")))),
+                     Lam("x", Lam("y", PairE(Var("x"), Var("y")))),
+                     SetRef("P"), SetRef("P"))
+        kola = translate_query(query)
+        assert eval_obj(kola, tiny_db) == aqua_eval(query, tiny_db)
+
+    def test_conditional_translation(self, tiny_db):
+        from repro.aqua.terms import IfE
+        query = App(Lam("p", IfE(BinCmp(">", Attr(Var("p"), "age"),
+                                        Const(25)),
+                                 Const(1), Const(0))), SetRef("P"))
+        kola = translate_query(query)
+        assert eval_obj(kola, tiny_db) == aqua_eval(query, tiny_db)
+
+    def test_translations_are_well_typed(self, queries):
+        schema = paper_schema()
+        for expr in self.CASES:
+            infer(translate_query(expr), schema)  # must not raise
+
+    def test_bare_lambda_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_query(Lam("x", Var("x")))
+
+    def test_boolean_in_value_position_rejected(self):
+        with pytest.raises(TranslationError):
+            translate_query(App(Lam("p", BinCmp(">", Attr(Var("p"), "age"),
+                                                Const(1))), SetRef("P")))
+
+
+class TestOql:
+    def test_simple_select(self, tiny_db):
+        query = parse_oql("select p.addr.city from p in P")
+        kola = translate_query(query)
+        assert pretty(kola) == "iterate(Kp(T), city o addr) ! P"
+
+    def test_where_clause(self, tiny_db):
+        query = parse_oql("select p.age from p in P where p.age > 25")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_multi_binding_is_hidden_join(self, tiny_db):
+        query = parse_oql(
+            "select [x, y] from x in P, y in P where y.age > x.age")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_dependent_binding(self, tiny_db):
+        query = parse_oql("select y from x in P, y in x.child")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_nested_subquery(self, tiny_db):
+        query = parse_oql(
+            "select [v, (select p2.grgs from p2 in P where v in p2.cars)]"
+            " from v in V")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_boolean_connectives(self, tiny_db):
+        query = parse_oql(
+            "select p from p in P where p.age > 10 and not p.age > 60")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_string_literal(self, tiny_db):
+        query = parse_oql(
+            'select p from p in P where p.addr.city == "Montreal"')
+        result = aqua_eval(query, tiny_db)
+        assert (eval_obj(translate_query(query), tiny_db) == result)
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            parse_oql("select from P")
+        with pytest.raises(ParseError):
+            parse_oql("select p.age frm p in P")
+        with pytest.raises(ParseError):
+            parse_oql("select p from p in P where p")
+
+
+class TestSizeMetrics:
+    def test_max_env_depth(self, queries):
+        assert max_env_depth(queries.garage_aqua) == 2
+        assert max_env_depth(SetRef("P")) == 0
+
+    def test_garage_ratio_below_two(self, queries):
+        metrics = measure_translation(queries.garage_aqua)
+        assert metrics.aqua_nodes == 17
+        assert metrics.ratio < 2.0
+        assert metrics.within_bound
+
+    def test_omn_bound_over_family(self):
+        """Section 4.2: translated size is O(mn)."""
+        from repro.workloads.hidden_join import (HiddenJoinSpec,
+                                                 hidden_join_family)
+        for depth in range(1, 7):
+            expr = hidden_join_family(HiddenJoinSpec(depth=depth))
+            metrics = measure_translation(expr)
+            assert metrics.kola_nodes <= 2 * metrics.bound, (
+                depth, metrics)
+
+
+class TestOqlExtensions:
+    def test_count_subquery(self, tiny_db):
+        query = parse_oql(
+            "select [p, count((select q from q in P"
+            " where q.age > p.age))] from p in P")
+        kola = translate_query(query)
+        assert eval_obj(kola, tiny_db) == aqua_eval(query, tiny_db)
+        assert any(node.op == "count" for node in kola.subterms())
+
+    def test_count_of_attribute(self, tiny_db):
+        query = parse_oql("select [p, count(p.cars)] from p in P")
+        assert (eval_obj(translate_query(query), tiny_db)
+                == aqua_eval(query, tiny_db))
+
+    def test_order_by(self, tiny_db):
+        query = parse_oql(
+            "select p from p in P where p.age > 10 order by p.age")
+        kola = translate_query(query)
+        result = eval_obj(kola, tiny_db)
+        ages = [person.get("age") for person in result]
+        assert ages == sorted(ages)
+        assert result == aqua_eval(query, tiny_db)
+
+    def test_order_by_requires_bare_projection(self):
+        with pytest.raises(ParseError, match="bare variable"):
+            parse_oql("select [p, p.age] from p in P order by p.age")
+
+    def test_order_by_foreign_variable_rejected(self):
+        with pytest.raises(ParseError, match="projected variable"):
+            parse_oql("select y from x in P, y in x.child order by x.age")
+
+    def test_correlated_order_key_untranslatable(self):
+        from repro.aqua.terms import Lam, OrderBy, SetRef, Var, Attr, App
+        correlated = App(
+            Lam("p", OrderBy(Lam("c", Attr(Var("p"), "age")),
+                             Attr(Var("p"), "child"))),
+            SetRef("P"))
+        with pytest.raises(TranslationError, match="ORDER BY"):
+            translate_query(correlated)

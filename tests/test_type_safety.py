@@ -1,0 +1,84 @@
+"""Tests for the rewrite type-safety mechanism.
+
+Found by derivation fuzzing: in an *untyped* matching engine, a rule
+whose right-hand side has a more specific type than its left-hand side
+can rewrite a position into an ill-typed term.  Two safeguards now
+exist:
+
+* **ground narrowing** (e.g. reversing rule 4, ``id => <pi1, pi2>``) is
+  refused at construction/reversal time;
+* **metavariable-attributable narrowing** (e.g. rule 19, whose ``$B``
+  must be set-valued) flags the rule ``needs_typed_apply``: the engine
+  type-checks each instantiation and silently skips ill-typed ones.
+
+The paper never hits this because its algebra is typed throughout
+("weaker typing for algebra correctness" was the known risk of a Python
+reproduction — this is the mitigation).
+"""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.errors import RewriteError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from repro.rewrite.engine import Engine
+from repro.rewrite.rule import rule
+from repro.schema.generator import tiny_database
+
+
+class TestGroundNarrowingRefused:
+    def test_rule4_not_reversible(self, rulebase):
+        with pytest.raises(RewriteError, match="more polymorphic"):
+            rulebase.get("r4").reversed()
+
+    def test_rule18_not_reversible(self, rulebase):
+        with pytest.raises(RewriteError, match="more polymorphic"):
+            rulebase.get("r18").reversed()
+
+    def test_direct_construction_refused(self):
+        with pytest.raises(RewriteError, match="more polymorphic"):
+            rule("bad-narrow", "id", "<pi1, pi2>")
+
+    def test_opt_out_for_negative_examples(self):
+        narrowing = rule("narrow-demo", "id", "<pi1, pi2>",
+                         bidirectional=False, allow_type_narrowing=True)
+        assert not narrowing.forward_type_safe
+
+    def test_safe_reversals_still_work(self, rulebase):
+        assert rulebase.get("r12").reversed() is not None
+        assert rulebase.get("r11").reversed() is not None
+
+
+class TestTypedApply:
+    def test_rule19_flagged(self, rulebase):
+        assert rulebase.get("r19").needs_typed_apply
+        assert not rulebase.get("r11").needs_typed_apply
+
+    def test_rule19_applies_to_set_valued_b(self, rulebase, engine):
+        query = parse_obj("iterate(Kp(T), <id, Kf(P)>) ! V")
+        assert engine.rewrite_once(query, [rulebase.get("r19")]) is not None
+
+    def test_rule19_skips_non_set_b(self, rulebase, engine, tiny_db):
+        """The hazard case: $B bound to a scalar.  The untyped match
+        succeeds, but the typed-apply gate rejects the instantiation
+        (joining against the integer 5 is nonsense)."""
+        query = parse_obj("iterate(Kp(T), <id, Kf(5)>) ! P")
+        assert engine.rewrite_once(query, [rulebase.get("r19")]) is None
+        # and the query still evaluates fine as-is
+        result = eval_obj(query, tiny_db)
+        assert all(pair.snd == 5 for pair in result)
+
+    def test_rule19_skips_non_set_b_under_peel(self, rulebase, engine):
+        query = parse_obj(
+            "iterate(Kp(T), pi1) o iterate(Kp(T), <id, Kf(\"x\")>) ! P")
+        assert engine.rewrite_once(query, [rulebase.get("r19")]) is None
+
+    def test_fuzz_regression_rule19_scalar(self, rulebase, tiny_db):
+        """End-to-end: normalizing with the whole fig8 group must not
+        corrupt a query whose Kf wraps a scalar."""
+        engine = Engine()
+        query = parse_obj("iterate(Kp(T), <id, Kf(7)>) ! P")
+        reference = eval_obj(query, tiny_db)
+        result = engine.normalize(query, rulebase.group("fig8"))
+        assert eval_obj(result, tiny_db) == reference

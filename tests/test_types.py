@@ -1,0 +1,141 @@
+"""Unit tests for the type language and inference."""
+
+import pytest
+
+from repro.core import constructors as C
+from repro.core.errors import TypeInferenceError
+from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.terms import fun_var, obj_var, pred_var
+from repro.core.types import (BOOL, INT, STR, Inferencer, TCon,
+                              check_rule_types, fun_t, infer, pair_t,
+                              parse_type, pred_t, set_t, well_typed)
+from repro.core.values import Instance, KPair, kset
+from repro.schema.paper_schema import paper_schema
+
+
+@pytest.fixture(scope="module")
+def schema():
+    return paper_schema()
+
+
+class TestParseType:
+    def test_base(self):
+        assert parse_type("Int") == INT
+
+    def test_nested(self):
+        assert parse_type("Set(Pair(Person, Int))") == set_t(
+            pair_t(TCon("Person"), INT))
+
+    def test_errors(self):
+        with pytest.raises(TypeInferenceError):
+            parse_type("Set(")
+        with pytest.raises(TypeInferenceError):
+            parse_type("Set(Int) junk")
+
+
+class TestInference:
+    def test_id_polymorphic(self):
+        t = infer(C.id_())
+        assert isinstance(t, TCon) and t.name == "Fun"
+        assert t.args[0] == t.args[1]
+
+    def test_composition_chains_types(self, schema):
+        t = infer(parse_fun("city o addr"), schema)
+        assert t == fun_t(TCon("Person"), STR)
+
+    def test_ill_typed_composition(self, schema):
+        assert not well_typed(parse_fun("age o city"), schema)
+
+    def test_iterate(self, schema):
+        t = infer(parse_fun("iterate(Kp(T), age)"), schema)
+        assert t == fun_t(set_t(TCon("Person")), set_t(INT))
+
+    def test_whole_query(self, schema):
+        t = infer(parse_obj("iterate(Kp(T), city o addr) ! P"), schema)
+        assert t == set_t(STR)
+
+    def test_test_is_bool(self, schema):
+        t = infer(parse_obj("gt ? [1, 2]"), schema)
+        assert t == BOOL
+
+    def test_invoke_mismatch(self, schema):
+        # applying a Person-function to a set of Vehicles
+        assert not well_typed(parse_obj("iterate(Kp(T), age) ! V"), schema)
+
+    def test_join_type(self, schema):
+        t = infer(parse_fun("join(in @ (id >< cars), (id >< grgs))"), schema)
+        assert t == fun_t(
+            pair_t(set_t(TCon("Vehicle")), set_t(TCon("Person"))),
+            set_t(pair_t(TCon("Vehicle"), set_t(TCon("Address")))))
+
+    def test_nest_unnest(self, schema):
+        nest_t = infer(parse_fun("nest(pi1, pi2)"))
+        assert isinstance(nest_t, TCon) and nest_t.name == "Fun"
+        t = infer(parse_fun("unnest(pi1, pi2)"))
+        assert isinstance(t, TCon) and t.name == "Fun"
+
+    def test_unknown_prim(self, schema):
+        with pytest.raises(TypeInferenceError, match="unknown primitive"):
+            infer(parse_fun("salary"), schema)
+
+    def test_occurs_check(self):
+        # <id, id> o <id, id>: Pair(a,a) = a is an infinite type
+        term = C.compose(C.pair(C.id_(), C.id_()), C.id_())
+        inferencer = Inferencer()
+        t = inferencer.infer(term)
+        with pytest.raises(TypeInferenceError, match="infinite|unify"):
+            inferencer.unify(t.args[0], t)
+
+
+class TestLiteralTyping:
+    def test_scalars(self):
+        assert infer(C.lit(3)) == INT
+        assert infer(C.lit("x")) == STR
+        assert infer(C.true()) == BOOL
+        assert infer(C.lit(1.5)) == TCon("Float")
+
+    def test_bool_is_not_int(self):
+        assert infer(C.true()) == BOOL  # bool checked before int
+
+    def test_set_literal(self):
+        assert infer(C.lit(kset([1, 2]))) == set_t(INT)
+
+    def test_heterogeneous_set_rejected(self):
+        with pytest.raises(TypeInferenceError, match="heterogeneous"):
+            infer(C.lit(kset([1, "a"])))
+
+    def test_pair_literal(self):
+        assert infer(C.lit(KPair(1, "a"))) == pair_t(INT, STR)
+
+    def test_instance_literal(self):
+        assert infer(C.lit(Instance("Person", 1))) == TCon("Person")
+
+    def test_empty_set_polymorphic(self):
+        t = infer(C.empty_set())
+        assert isinstance(t, TCon) and t.name == "Set"
+
+
+class TestRuleTyping:
+    def test_compatible_rule(self):
+        common = check_rule_types(parse_fun("$f o id"), parse_fun("$f"))
+        assert isinstance(common, TCon) and common.name == "Fun"
+
+    def test_metavars_shared_across_sides(self):
+        # pi1 o <$f, $g> == $f forces $f's type on both sides
+        check_rule_types(parse_fun("pi1 o <$f, $g>"), parse_fun("$f"))
+
+    def test_incompatible_rule_rejected(self):
+        # a function cannot equal a flattening of itself
+        with pytest.raises(TypeInferenceError):
+            check_rule_types(parse_fun("flat o $f"), parse_fun("$f"))
+
+    def test_pred_rule(self):
+        check_rule_types(parse_pred("Kp(T) & $p"), parse_pred("$p"))
+
+    def test_metavar_sort_typing(self):
+        inferencer = Inferencer()
+        f_type = inferencer.infer(fun_var("f"))
+        assert isinstance(f_type, TCon) and f_type.name == "Fun"
+        p_type = inferencer.infer(pred_var("p"))
+        assert isinstance(p_type, TCon) and p_type.name == "Pred"
+        assert isinstance(inferencer.infer(obj_var("x")), object)

@@ -1,0 +1,89 @@
+"""Tests for the workload generators."""
+
+import pytest
+
+from repro.aqua.analysis import free_vars
+from repro.aqua.eval import aqua_eval
+from repro.aqua.terms import App, Flatten, Sel
+from repro.translate.aqua_to_kola import translate_query
+from repro.translate.metrics import max_env_depth
+from repro.workloads.hidden_join import (HiddenJoinSpec, garage_shape,
+                                         hidden_join_family)
+from repro.workloads.queries import paper_queries
+
+
+class TestHiddenJoinFamily:
+    def test_depth_one_shape(self):
+        query = hidden_join_family(HiddenJoinSpec(depth=1))
+        assert isinstance(query, App)
+        assert isinstance(query.fn.body.right, Sel)
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            hidden_join_family(HiddenJoinSpec(depth=0))
+
+    def test_depths_alternate_levels(self):
+        query = hidden_join_family(HiddenJoinSpec(depth=2))
+        assert isinstance(query.fn.body.right, Flatten)
+        query3 = hidden_join_family(HiddenJoinSpec(depth=3))
+        assert isinstance(query3.fn.body.right, Sel)
+
+    def test_queries_are_closed(self):
+        for depth in range(1, 6):
+            query = hidden_join_family(HiddenJoinSpec(depth=depth))
+            assert free_vars(query) == frozenset()
+
+    def test_inner_predicate_correlates(self):
+        """The hidden join references the outer variable inside the
+        nested query — that is what makes it 'hidden'."""
+        query = hidden_join_family(HiddenJoinSpec(depth=1))
+        inner = query.fn.body.right
+        assert "a" in free_vars(inner)
+
+    def test_env_depth_is_two(self):
+        """Figure 7 queries keep at most two variables in scope
+        (m = 2) regardless of n — the paper's 'm is typically small'."""
+        for depth in range(1, 6):
+            query = hidden_join_family(HiddenJoinSpec(depth=depth))
+            assert max_env_depth(query) == 2
+
+    def test_inapplicable_variant_bottom_is_derived(self):
+        query = hidden_join_family(HiddenJoinSpec(depth=1,
+                                                  applicable=False))
+        from repro.aqua.terms import Attr, SetRef
+        bottoms = [node for node in query.subexprs()
+                   if isinstance(node, Attr) and node.name == "child"]
+        assert bottoms  # the inner source is a.child, not a named set
+
+    def test_evaluable_at_all_depths(self, tiny_db):
+        for depth in range(1, 5):
+            query = hidden_join_family(HiddenJoinSpec(depth=depth))
+            result = aqua_eval(query, tiny_db)
+            assert len(result) == len(tiny_db.collection("P"))
+
+    def test_garage_shape_matches_paper(self, queries):
+        assert translate_query(garage_shape()) == queries.kg1
+
+
+class TestPaperQueries:
+    def test_construction_is_cached_free(self):
+        a, b = paper_queries(), paper_queries()
+        assert a.kg1 == b.kg1
+
+    def test_aqua_and_kola_forms_agree(self, queries, tiny_db):
+        """Every paired AQUA/KOLA form in the library means the same."""
+        from repro.core.eval import eval_obj
+        pairs = [
+            (queries.garage_aqua, queries.kg1),
+            (queries.t1_source_aqua, queries.t1k_source),
+            (queries.t2_source_aqua, queries.t2k_source),
+            (queries.a3_aqua, queries.k3),
+            (queries.a4_aqua, queries.k4),
+        ]
+        for aqua, kola in pairs:
+            assert aqua_eval(aqua, tiny_db) == eval_obj(kola, tiny_db)
+
+    def test_k4_code_moved_equivalent(self, queries, tiny_db):
+        from repro.core.eval import eval_obj
+        assert (eval_obj(queries.k4, tiny_db)
+                == eval_obj(queries.k4_code_moved, tiny_db))
