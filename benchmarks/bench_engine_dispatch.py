@@ -1,0 +1,161 @@
+"""Engine dispatch microbenchmarks: linear vs head-indexed rule
+dispatch, and cold vs warm canonicalization cache.
+
+This benchmark quantifies the two caches introduced with hash-consed
+terms:
+
+* **Rule dispatch** — ``Engine(indexed=False, incremental=False)``
+  replays the original behavior (try every rule at every node, restart
+  scans from the root after each rewrite); the default engine dispatches
+  through a :class:`~repro.rewrite.ruleindex.RuleIndex` and resumes
+  incrementally.  Both must produce identical terms — the test asserts
+  it — so the delta is pure dispatch overhead.
+* **Canon cache** — ``canon`` is memoized per interned term.  A *cold*
+  run canonicalizes freshly built terms (distinct ``lit`` labels defeat
+  interning reuse); a *warm* run re-canonicalizes the same terms.
+
+Run under pytest-benchmark for timing tables, or directly for a JSON
+summary (counters, not wall-clock — stable across machines)::
+
+    PYTHONPATH=src python benchmarks/bench_engine_dispatch.py
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core import constructors as C
+from repro.rewrite.engine import Engine
+from repro.rewrite.pattern import build_chain, canon, canon_cache_stats
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+from repro.workloads.queries import paper_queries
+
+_MAX_STEPS = 200
+
+
+def _workload():
+    queries = paper_queries()
+    return [queries.kg1, queries.k4, queries.t1k_source,
+            queries.t2k_source,
+            translate_query(hidden_join_family(HiddenJoinSpec(depth=3)))]
+
+
+def _simplify_all(engine: Engine, rules, workload) -> list:
+    return [engine.normalize_result(q, rules, max_steps=_MAX_STEPS).term
+            for q in workload]
+
+
+def _fresh_chain(tag: int, length: int = 40):
+    """A chain no previous run has interned: unique ``lit`` labels keep
+    the cons table — and therefore the canon memo — cold."""
+    factors = [C.iterate(C.const_p(C.lit(True)), C.const_f(C.lit((tag, i))))
+               for i in range(length)]
+    return build_chain(factors)
+
+
+# -- pytest-benchmark entry points ---------------------------------------
+
+
+def test_linear_dispatch(benchmark, rulebase):
+    engine = Engine(indexed=False, incremental=False)
+    rules = rulebase.group("simplify")
+    workload = _workload()
+    benchmark(_simplify_all, engine, rules, workload)
+
+
+def test_indexed_dispatch(benchmark, rulebase):
+    engine = Engine()
+    rules = rulebase.group_index("simplify")
+    workload = _workload()
+    benchmark(_simplify_all, engine, rules, workload)
+
+
+def test_dispatch_equivalence_and_savings(rulebase):
+    """The two dispatchers agree exactly; the index saves attempts."""
+    workload = _workload()
+    linear = Engine(indexed=False, incremental=False)
+    indexed = Engine()
+    rules = rulebase.group("simplify")
+    linear_terms = _simplify_all(linear, rules, workload)
+    indexed_terms = _simplify_all(indexed, rules, workload)
+    for fast, slow in zip(indexed_terms, linear_terms):
+        assert fast is slow
+    assert linear.stats.per_rule == indexed.stats.per_rule
+    assert indexed.stats.match_attempts < linear.stats.match_attempts
+
+
+def test_canon_cold(benchmark):
+    """Canonicalize freshly interned chains (memo always misses)."""
+    counter = iter(range(10_000_000))
+
+    def cold():
+        return canon(_fresh_chain(next(counter)))
+
+    benchmark(cold)
+
+
+def test_canon_warm(benchmark):
+    """Re-canonicalize one already-canonicalized chain (memo hits)."""
+    chain = _fresh_chain(-1)
+    canon(chain)
+    benchmark(canon, chain)
+
+
+def test_canon_cache_effectiveness():
+    before_hits, _ = canon_cache_stats()
+    chain = _fresh_chain(-2)
+    canon(chain)
+    canon(chain)  # second call must be a hit
+    after_hits, _ = canon_cache_stats()
+    assert after_hits > before_hits
+
+
+# -- standalone JSON mode ------------------------------------------------
+
+
+def _json_summary() -> dict:
+    from repro.rules.registry import standard_rulebase
+
+    rulebase = standard_rulebase()
+    workload = _workload()
+    rules = rulebase.group("simplify")
+    summary: dict = {"workload_queries": len(workload),
+                     "pool_size": len(rules)}
+
+    for name, engine in (
+            ("linear", Engine(indexed=False, incremental=False)),
+            ("indexed", Engine())):
+        terms = _simplify_all(engine, rules, workload)
+        stats = engine.stats
+        summary[name] = {
+            "match_attempts": stats.match_attempts,
+            "nodes_visited": stats.nodes_visited,
+            "rewrites": stats.rewrites,
+            "attempts_skipped_by_index": stats.attempts_skipped_by_index,
+            "subtrees_pruned": stats.subtrees_pruned,
+            "result_sizes": [t.size() for t in terms],
+        }
+    summary["attempt_ratio"] = round(
+        summary["linear"]["match_attempts"]
+        / max(1, summary["indexed"]["match_attempts"]), 2)
+
+    hits0, misses0 = canon_cache_stats()
+    chains = [_fresh_chain(1000 + i) for i in range(50)]
+    for chain in chains:
+        canon(chain)
+    hits_cold, misses_cold = canon_cache_stats()
+    for chain in chains:
+        canon(chain)
+    hits_warm, misses_warm = canon_cache_stats()
+    summary["canon_cache"] = {
+        "cold_hits": hits_cold - hits0,
+        "cold_misses": misses_cold - misses0,
+        "warm_hits": hits_warm - hits_cold,
+        "warm_misses": misses_warm - misses_cold,
+    }
+    return summary
+
+
+if __name__ == "__main__":
+    print(json.dumps(_json_summary(), indent=2))

@@ -26,6 +26,7 @@ from repro.core.terms import Term
 from repro.rewrite.engine import Engine
 from repro.rewrite.rule import Rule
 from repro.rewrite.rulebase import RuleBase
+from repro.rewrite.ruleindex import RuleIndex
 from repro.rewrite.trace import Derivation
 
 
@@ -36,6 +37,7 @@ class Context:
     engine: Engine
     rulebase: RuleBase
     derivation: Derivation | None = None
+    _index_cache: dict = field(default_factory=dict, repr=False)
 
     def resolve(self, refs: tuple[str, ...]) -> list[Rule]:
         rules: list[Rule] = []
@@ -45,6 +47,22 @@ class Context:
             else:
                 rules.append(self.rulebase.get(ref))
         return rules
+
+    def resolve_index(self, refs: tuple[str, ...]) -> RuleIndex:
+        """Resolve ``refs`` to a dispatch index, cached per context.
+
+        A single ``group:<name>`` reference reuses the rule base's
+        shared per-group index; other shapes get a context-local index
+        (same rules, same priority order as :meth:`resolve`).
+        """
+        index = self._index_cache.get(refs)
+        if index is None:
+            if len(refs) == 1 and refs[0].startswith("group:"):
+                index = self.rulebase.group_index(refs[0][len("group:"):])
+            else:
+                index = RuleIndex(self.resolve(refs))
+            self._index_cache[refs] = index
+        return index
 
 
 class Strategy:
@@ -95,7 +113,8 @@ class Exhaust(Strategy):
         self.traversal = traversal
 
     def run(self, term: Term, ctx: Context) -> Term:
-        rules = ctx.resolve(self.refs)
+        rules = (ctx.resolve_index(self.refs) if ctx.engine.indexed
+                 else ctx.resolve(self.refs))
         return ctx.engine.normalize(term, rules, max_steps=self.max_steps,
                                     strategy=self.traversal,
                                     derivation=ctx.derivation)

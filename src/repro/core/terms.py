@@ -12,6 +12,21 @@ query invocations ``f ! x``), and the metavariables that appear in rule
 patterns.  Terms are immutable, hashable, and compared structurally, so
 they can be used as dictionary keys, cached, and shared freely.
 
+Terms are **hash-consed**: construction goes through a weak-value cons
+table keyed on ``(op, args, label)``, so two structurally equal terms
+are always the *same object*.  Interning gives the whole system
+
+* O(1) equality — ``__eq__`` is an identity test;
+* maximal structure sharing — rewrites that keep subterms reuse them;
+* O(1) structure queries — ``size``, ``depth``, ``is_ground`` and the
+  contained-operator set ``ops`` are computed once per distinct term,
+  bottom-up at construction (children are always built first, so each
+  node derives its caches from its children's in O(arity)).
+
+The table holds *weak* references to the interned terms: a term is kept
+alive only by its users (and by its parents, which reference it through
+``args``), so interning does not leak memory across workloads.
+
 Terms are *sorted* (in the order-sorted-algebra sense): every term denotes
 either a function (``Sort.FUN``), a predicate (``Sort.PRED``), or an
 object/value expression (``Sort.OBJ``).  Construction goes through
@@ -28,6 +43,7 @@ rather than calling :func:`mk` directly.
 from __future__ import annotations
 
 import enum
+import weakref
 from typing import Hashable, Iterator
 
 from repro.core.errors import TermError, UnknownOperatorError
@@ -50,6 +66,30 @@ class Sort(enum.Enum):
     ANY = "any"
 
 
+#: The cons table: ``(op, args, label)`` -> the unique interned node.
+#: Weak values — unused terms are collected normally.
+_CONS_TABLE: "weakref.WeakValueDictionary[tuple, Term]" = \
+    weakref.WeakValueDictionary()
+
+
+def interned_count() -> int:
+    """Number of live interned terms (diagnostics/benchmarks)."""
+    return len(_CONS_TABLE)
+
+
+def _label_key(value: Hashable) -> Hashable:
+    """A cons-key form of a label that never conflates values Python
+    deems cross-type equal (``False == 0``, ``1.0 == 1`` — also inside
+    tuples and frozensets, e.g. ``lit`` payloads like ``{T}`` vs
+    ``{1}``)."""
+    kind = type(value)
+    if kind is tuple:
+        return (kind, tuple(_label_key(item) for item in value))
+    if kind is frozenset:
+        return (kind, frozenset(_label_key(item) for item in value))
+    return (kind, value)
+
+
 class Term:
     """A node of a KOLA expression tree.
 
@@ -62,33 +102,67 @@ class Term:
             ``meta`` (pattern metavariables).
 
     ``Term`` is deeply immutable: ``args`` is a tuple of ``Term`` and
-    ``label`` must be hashable.  Equality and hashing are structural and
-    the hash is computed once at construction.
+    ``label`` must be hashable.  Construction is interned (hash-consed),
+    so equality is structural *and* an identity test; the hash is
+    computed once at construction.
     """
 
-    __slots__ = ("op", "args", "label", "_hash")
+    __slots__ = ("op", "args", "label", "_hash", "_size", "_depth",
+                 "_ground", "_ops", "_canon", "__weakref__")
 
     op: str
     args: tuple["Term", ...]
     label: Hashable
 
+    def __new__(cls, op: str, args: tuple["Term", ...] = (),
+                label: Hashable = None) -> "Term":
+        if label is None or type(label) is str:
+            key = (op, args, label)  # common case: no cross-type aliasing
+        else:
+            key = (op, args, _label_key(label))
+        cached = _CONS_TABLE.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
+        fill = object.__setattr__
+        fill(self, "op", op)
+        fill(self, "args", args)
+        fill(self, "label", label)
+        fill(self, "_hash", hash((op, args, label)))
+        size, depth, ground = 1, 0, op != "meta"
+        for child in args:
+            size += child._size
+            if child._depth > depth:
+                depth = child._depth
+            ground = ground and child._ground
+        fill(self, "_size", size)
+        fill(self, "_depth", depth + 1)
+        fill(self, "_ground", ground)
+        if args:
+            fill(self, "_ops",
+                 frozenset((op,)).union(*(child._ops for child in args)))
+        else:
+            fill(self, "_ops", frozenset((op,)))
+        _CONS_TABLE[key] = self
+        return self
+
     def __init__(self, op: str, args: tuple["Term", ...] = (),
                  label: Hashable = None) -> None:
-        object.__setattr__(self, "op", op)
-        object.__setattr__(self, "args", args)
-        object.__setattr__(self, "label", label)
-        object.__setattr__(self, "_hash", hash((op, args, label)))
+        # All state is set in __new__ (which may return an existing
+        # interned node that must not be re-initialized).
+        pass
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Term is immutable")
 
     def __eq__(self, other: object) -> bool:
+        # Interning makes structural equality an identity test: any two
+        # structurally equal terms are the same object by construction.
         if self is other:
             return True
         if not isinstance(other, Term):
             return NotImplemented
-        return (self._hash == other._hash and self.op == other.op
-                and self.label == other.label and self.args == other.args)
+        return False
 
     def __ne__(self, other: object) -> bool:
         result = self.__eq__(other)
@@ -123,14 +197,29 @@ class Term:
             stack.extend(reversed(node.args))
 
     def size(self) -> int:
-        """Number of nodes in the term tree (the paper's size measure)."""
-        return sum(1 for _ in self.subterms())
+        """Number of nodes in the term tree (the paper's size measure).
+
+        O(1): cached bottom-up at construction.
+        """
+        return self._size
 
     def depth(self) -> int:
-        """Height of the term tree (a leaf has depth 1)."""
-        if not self.args:
-            return 1
-        return 1 + max(child.depth() for child in self.args)
+        """Height of the term tree (a leaf has depth 1).
+
+        O(1) and recursion-free: cached bottom-up at construction, so
+        even the very deep compose chains the translator produces for
+        Figure 7 pipelines never hit the interpreter recursion limit.
+        """
+        return self._depth
+
+    @property
+    def ops(self) -> frozenset[str]:
+        """The set of operator names occurring anywhere in this term.
+
+        O(1): cached at construction.  The rewrite engine uses it to
+        skip whole subtrees that cannot contain a rule's head operator.
+        """
+        return self._ops
 
     def with_args(self, args: tuple["Term", ...]) -> "Term":
         """A copy of this term with ``args`` replaced (op/label preserved)."""
@@ -140,16 +229,20 @@ class Term:
 
     def contains(self, other: "Term") -> bool:
         """True when ``other`` occurs as a subterm of this term."""
-        return any(node == other for node in self.subterms())
+        if other.op not in self._ops:
+            return False
+        return any(node is other for node in self.subterms())
 
     def metavars(self) -> frozenset[tuple[str, Sort]]:
         """The ``(name, sort)`` pairs of all metavariables in the term."""
+        if self._ground:
+            return frozenset()
         return frozenset(node.label for node in self.subterms()
                          if node.op == "meta")
 
     def is_ground(self) -> bool:
-        """True when the term contains no metavariables."""
-        return all(node.op != "meta" for node in self.subterms())
+        """True when the term contains no metavariables (O(1), cached)."""
+        return self._ground
 
 
 def mk(op: str, *args: Term, label: Hashable = None) -> Term:

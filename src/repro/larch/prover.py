@@ -100,10 +100,20 @@ class EquationalProver:
 
     def _successors(self, term: Term):
         """Every single-step rewrite of ``term`` under the expanded
-        rules, at every position (one result per rule/position pair)."""
+        rules, at every position (one result per rule/position pair).
+
+        Rules whose head operator does not occur anywhere in ``term``
+        are skipped outright (O(1) via the term's contained-operator
+        cache) — a head-index dispatch specialized to the prover's
+        rule-at-a-time enumeration, preserving rule order exactly.
+        """
+        ops = term.ops
         for label, rule in self.rules:
+            head = rule.lhs.op
+            if head != "meta" and head not in ops:
+                continue
             for result in self.engine.rewrite_everywhere(term, rule):
-                if result.term != term:
+                if result.term is not term:
                     yield label, result.term
 
     def prove(self, lhs: Term, rhs: Term) -> Proof | None:

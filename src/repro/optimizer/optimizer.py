@@ -104,7 +104,7 @@ class Optimizer:
         derivation = Derivation("optimization")
 
         simplified = engine.normalize(
-            initial, self.rulebase.group("simplify"),
+            initial, self.rulebase.group_index("simplify"),
             derivation=derivation)
         untangled = run_blocks(hidden_join_blocks(), simplified,
                                self.rulebase, engine, derivation)

@@ -18,22 +18,39 @@ that make the paper's *small* rules effective on *large* queries:
   exactly the Step-2 "bottom-out" move of the hidden-join strategy.
 
 Both mechanisms are *engine* features, not rule features: the rules stay
-declarative.  An :class:`EngineStats` counter records nodes visited and
-match attempts, which benchmark C2 uses to compare gradual small rules
-against a monolithic rule with a diving head routine.
+declarative.
+
+Dispatch is **head-indexed** by default: rule lists are bucketed by LHS
+head operator (:mod:`repro.rewrite.ruleindex`) so a node only consults
+candidate rules whose head can possibly match, and whole subtrees that
+contain no candidate head operator are pruned using the per-term
+contained-operator cache.  ``normalize`` is **incremental**: instead of
+rescanning from the root after every local rewrite, it resumes the scan
+at the changed region (the untouched, already-rejected prefix of the
+traversal is provably still rejected — see ``_resume_path``).  Both
+optimizations preserve the linear engine's semantics bit for bit — same
+fixpoints, same derivation steps, same per-rule fire counts; pass
+``Engine(indexed=False, incremental=False)`` for the reference linear
+behavior (the equivalence property tests compare the two).
+
+An :class:`EngineStats` counter records nodes visited, match attempts,
+attempts skipped by the index, pruned subtrees and canon-cache traffic,
+which benchmarks C2/C3 use to quantify dispatch costs.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 from repro.core.errors import TypeInferenceError
 from repro.core.terms import Term
 from repro.core.types import Inferencer, alpha_equivalent
 from repro.rewrite.match import match
-from repro.rewrite.pattern import (build_chain, canon, flatten_compose,
-                                   instantiate)
+from repro.rewrite.pattern import (build_chain, canon, canon_cache_stats,
+                                   flatten_compose, instantiate)
 from repro.rewrite.rule import NO_ORACLE, PropertyOracle, Rule
+from repro.rewrite.ruleindex import RuleIndex, rule_index
 from repro.rewrite.trace import Derivation
 
 
@@ -51,14 +68,37 @@ def _typed_apply_ok(before: Term, after: Term) -> bool:
     return alpha_equivalent(before_type, after_type)
 
 
+class MaxStepsExceededWarning(RuntimeWarning):
+    """``normalize`` hit its step cap before reaching a fixpoint."""
+
+
 @dataclass
 class EngineStats:
-    """Work counters for benchmark instrumentation."""
+    """Work counters for benchmark instrumentation.
+
+    ``canon_cache_hits``/``canon_cache_misses`` report the process-wide
+    canon memo traffic since this stats object was created (or last
+    ``reset``) — the memo itself lives on the interned terms.
+    """
 
     nodes_visited: int = 0
     match_attempts: int = 0
     rewrites: int = 0
+    attempts_skipped_by_index: int = 0
+    subtrees_pruned: int = 0
     per_rule: dict[str, int] = field(default_factory=dict)
+    _canon_base: tuple[int, int] = field(default=(0, 0), repr=False)
+
+    def __post_init__(self) -> None:
+        self._canon_base = canon_cache_stats()
+
+    @property
+    def canon_cache_hits(self) -> int:
+        return canon_cache_stats()[0] - self._canon_base[0]
+
+    @property
+    def canon_cache_misses(self) -> int:
+        return canon_cache_stats()[1] - self._canon_base[1]
 
     def count_rule(self, name: str) -> None:
         self.rewrites += 1
@@ -68,7 +108,10 @@ class EngineStats:
         self.nodes_visited = 0
         self.match_attempts = 0
         self.rewrites = 0
+        self.attempts_skipped_by_index = 0
+        self.subtrees_pruned = 0
         self.per_rule = {}
+        self._canon_base = canon_cache_stats()
 
     def report(self) -> str:
         """Fire counts per rule, most-fired first."""
@@ -87,6 +130,63 @@ class RewriteResult:
     path: tuple[int, ...]
 
 
+@dataclass(frozen=True)
+class NormalizeResult:
+    """Outcome of a ``normalize`` run.
+
+    Attributes:
+        term: the final (canonical) form.
+        steps_used: number of rewrites applied.
+        reached_fixpoint: ``True`` when no rule applies to ``term``;
+            ``False`` means ``max_steps`` was exhausted first and
+            ``term`` is *not* a normal form.
+    """
+
+    term: Term
+    steps_used: int
+    reached_fixpoint: bool
+
+
+def _resume_path(old: Term, new: Term,
+                 rewrite_path: tuple[int, ...]) -> tuple[int, ...]:
+    """Where an incremental ``normalize`` may resume scanning after a
+    step rewrote ``old`` into ``new`` at ``rewrite_path``.
+
+    The resumable prefix rests on two facts about a first-match scan:
+
+    * every node strictly before the match position in traversal order
+      was tried and rejected, and a node's match depends only on its own
+      subtree — so unchanged earlier subtrees are still rejected;
+    * interning makes "unchanged" an identity test, so the divergence
+      point of ``old`` vs ``new`` is found by walking the single chain
+      of differing children.
+
+    The scan must therefore revisit only (a) the ancestors of the
+    changed region (their subtrees changed under them) and (b)
+    everything at or after the *shallower* of the match position and the
+    divergence point — the match position because nothing below it on
+    the other side was scanned yet, the divergence point because
+    canonicalization may have restructured the spine above the match.
+    Returning ``()`` degenerates to a full rescan, so this is always
+    safe.
+    """
+    path: list[int] = []
+    while True:
+        if (old.op != new.op or old.label != new.label
+                or len(old.args) != len(new.args)):
+            break
+        differing = [index for index, (a, b)
+                     in enumerate(zip(old.args, new.args)) if a is not b]
+        if len(differing) != 1:
+            break
+        path.append(differing[0])
+        old, new = old.args[differing[0]], new.args[differing[0]]
+    diverged = tuple(path)
+    if len(rewrite_path) <= len(diverged):
+        return rewrite_path
+    return diverged
+
+
 class Engine:
     """Applies rules to terms under a traversal strategy.
 
@@ -94,11 +194,33 @@ class Engine:
         oracle: decides precondition goals for conditional rules
             (defaults to an oracle that establishes nothing, so
             conditional rules are inert).
+        indexed: dispatch via a head-operator :class:`RuleIndex` and
+            prune irrelevant subtrees (default).  ``False`` gives the
+            reference linear engine: every rule attempted at every node.
+        incremental: resume ``normalize`` scans at the changed region
+            instead of the root (default).  ``False`` restarts from the
+            root after every step, like the reference engine.
+
+    Both flags are pure optimizations: fixpoints, derivations and
+    per-rule fire counts are identical in all four configurations.
     """
 
-    def __init__(self, oracle: PropertyOracle = NO_ORACLE) -> None:
+    def __init__(self, oracle: PropertyOracle = NO_ORACLE, *,
+                 indexed: bool = True, incremental: bool = True) -> None:
         self.oracle = oracle
+        self.indexed = indexed
+        self.incremental = incremental
         self.stats = EngineStats()
+
+    def _as_candidates(self,
+                       rules: "list[Rule] | tuple[Rule, ...] | RuleIndex"):
+        """Normalize a rule collection for dispatch: a (memoized)
+        :class:`RuleIndex` when indexing is on, else a plain list."""
+        if isinstance(rules, RuleIndex):
+            return rules if self.indexed else list(rules)
+        if self.indexed:
+            return rule_index(rules)
+        return rules
 
     # -- single-node application ------------------------------------------------
 
@@ -176,28 +298,57 @@ class Engine:
 
     # -- whole-term rewriting --------------------------------------------------------
 
-    def rewrite_once(self, term: Term, rules: list[Rule],
-                     strategy: str = "topdown") -> RewriteResult | None:
+    def rewrite_once(self, term: Term, rules, strategy: str = "topdown",
+                     ) -> RewriteResult | None:
         """Apply the first applicable rule at the first matching position.
 
+        ``rules`` is a rule list or a prebuilt :class:`RuleIndex`.
         ``strategy`` is ``"topdown"`` (outermost-first, the default) or
         ``"bottomup"`` (innermost-first).  Rules are tried in list order
         at each position, so list order is priority order.
         """
         term = canon(term)
-        found = self._rewrite_at(term, rules, strategy, ())
-        return found
+        candidates = self._as_candidates(rules)
+        if self._prunable(term, candidates):
+            return None
+        return self._rewrite_at(term, candidates, strategy, (), None)
 
-    def _rewrite_at(self, node: Term, rules: list[Rule], strategy: str,
-                    path: tuple[int, ...]) -> RewriteResult | None:
+    def _prunable(self, node: Term, rules) -> bool:
+        """True when no rule in ``rules`` can match anywhere inside
+        ``node`` (decided from head operators alone)."""
+        if not isinstance(rules, RuleIndex):
+            return False
+        if rules.relevant_to(node.ops):
+            return False
+        self.stats.subtrees_pruned += 1
+        return True
+
+    def _rewrite_at(self, node: Term, rules, strategy: str,
+                    path: tuple[int, ...],
+                    resume: tuple[int, ...] | None) -> RewriteResult | None:
+        """First-match scan of ``node``'s subtree.
+
+        ``resume`` skips the already-rejected prefix of the traversal:
+        children before ``resume[0]`` are not revisited, the child at
+        ``resume[0]`` resumes with ``resume[1:]``, and later children
+        are scanned in full.  Ancestor nodes on the resume path are
+        themselves retried (their subtrees changed under them).  Empty
+        or ``None`` resume is a full scan.
+        """
         self.stats.nodes_visited += 1
 
         if strategy == "topdown":
             hit = self._try_rules(node, rules, path)
             if hit is not None:
                 return hit
-        for index, child in enumerate(node.args):
-            result = self._rewrite_at(child, rules, strategy, path + (index,))
+        start = resume[0] if resume else 0
+        for index in range(start, len(node.args)):
+            child = node.args[index]
+            child_resume = resume[1:] if (resume and index == start) else None
+            if not child_resume and self._prunable(child, rules):
+                continue
+            result = self._rewrite_at(child, rules, strategy,
+                                      path + (index,), child_resume)
             if result is not None:
                 new_args = (node.args[:index] + (result.term,)
                             + node.args[index + 1:])
@@ -208,34 +359,91 @@ class Engine:
             return self._try_rules(node, rules, path)
         return None
 
-    def _try_rules(self, node: Term, rules: list[Rule],
+    def _try_rules(self, node: Term, rules,
                    path: tuple[int, ...]) -> RewriteResult | None:
-        for one_rule in rules:
+        if isinstance(rules, RuleIndex):
+            candidates = rules.candidates(node.op)
+            self.stats.attempts_skipped_by_index += (len(rules)
+                                                     - len(candidates))
+        else:
+            candidates = rules
+        for one_rule in candidates:
             outcome = self.try_rule_at(node, one_rule)
             if outcome is not None:
                 new_node, bindings = outcome
                 return RewriteResult(new_node, one_rule, bindings, path)
         return None
 
-    def normalize(self, term: Term, rules: list[Rule],
+    def normalize(self, term: Term, rules,
                   max_steps: int = 1000, strategy: str = "topdown",
                   derivation: Derivation | None = None) -> Term:
         """Rewrite with ``rules`` until no rule applies (a fixpoint).
 
         Records each step into ``derivation`` when given.  Stops after
         ``max_steps`` rewrites (non-terminating rule sets are a rule-
-        authoring bug; the cap makes it observable instead of hanging).
+        authoring bug; the cap makes it observable instead of hanging) —
+        and *warns* (:class:`MaxStepsExceededWarning`) when the cap was
+        hit before a fixpoint, instead of silently returning a
+        non-normal form.  Use :meth:`normalize_result` to observe
+        ``steps_used``/``reached_fixpoint`` programmatically.
         """
+        result = self.normalize_result(term, rules, max_steps=max_steps,
+                                       strategy=strategy,
+                                       derivation=derivation)
+        if not result.reached_fixpoint:
+            warnings.warn(
+                f"normalize stopped after max_steps={max_steps} rewrites "
+                "without reaching a fixpoint; the returned term is not a "
+                "normal form (non-terminating rule set?)",
+                MaxStepsExceededWarning, stacklevel=2)
+        return result.term
+
+    def normalize_result(self, term: Term, rules,
+                         max_steps: int = 1000, strategy: str = "topdown",
+                         derivation: Derivation | None = None,
+                         ) -> NormalizeResult:
+        """Like :meth:`normalize`, but report how the run ended.
+
+        Returns a :class:`NormalizeResult` whose ``reached_fixpoint``
+        flag is exact: when the cap is hit, one extra (uncounted) probe
+        decides whether the final term happens to be a normal form.
+        """
+        candidates = self._as_candidates(rules)
         current = canon(term)
-        for _ in range(max_steps):
-            result = self.rewrite_once(current, rules, strategy)
+        resume: tuple[int, ...] | None = None
+        for step in range(max_steps):
+            if self._prunable(current, candidates):
+                return NormalizeResult(current, step, True)
+            result = self._rewrite_at(current, candidates, strategy, (),
+                                      resume)
             if result is None:
-                return current
+                return NormalizeResult(current, step, True)
             if derivation is not None:
                 derivation.record(result.rule, current, result.term,
                                   result.path)
+            if self.incremental:
+                resume = _resume_path(current, result.term, result.path)
             current = result.term
-        return current
+        return NormalizeResult(current, max_steps,
+                               self._is_normal_form(current, candidates,
+                                                    strategy, resume))
+
+    def _is_normal_form(self, term: Term, rules, strategy: str,
+                        resume: tuple[int, ...] | None) -> bool:
+        """One probe scan that does not perturb the fire-count stats."""
+        if self._prunable(term, rules):
+            return True
+        probe = self._rewrite_at(term, rules, strategy, (), resume)
+        if probe is None:
+            return True
+        self.stats.rewrites -= 1
+        name = probe.rule.name
+        remaining = self.stats.per_rule.get(name, 1) - 1
+        if remaining:
+            self.stats.per_rule[name] = remaining
+        else:
+            self.stats.per_rule.pop(name, None)
+        return False
 
     def apply_rule(self, term: Term, one_rule: Rule) -> Term | None:
         """Apply ``one_rule`` once anywhere in ``term`` (or ``None``).
@@ -253,6 +461,10 @@ class Engine:
         prover's successor enumeration and by overlap analysis."""
         term = canon(term)
         results: list[RewriteResult] = []
+        head = one_rule.lhs.op
+        if self.indexed and head != "meta" and head not in term.ops:
+            self.stats.subtrees_pruned += 1
+            return results
         self._rewrite_everywhere_at(term, one_rule, (), results)
         return results
 
@@ -264,7 +476,11 @@ class Engine:
             new_node, bindings = outcome
             results.append(RewriteResult(new_node, one_rule, bindings,
                                          path))
+        head = one_rule.lhs.op
         for index, child in enumerate(node.args):
+            if self.indexed and head != "meta" and head not in child.ops:
+                self.stats.subtrees_pruned += 1
+                continue
             before = len(results)
             self._rewrite_everywhere_at(child, one_rule,
                                         path + (index,), results)

@@ -51,6 +51,17 @@ def build_chain(factors: list[Term]) -> Term:
     return result
 
 
+#: Process-wide canon cache counters (read via :func:`canon_cache_stats`;
+#: :class:`~repro.rewrite.engine.EngineStats` exposes per-window deltas).
+_CANON_HITS = 0
+_CANON_MISSES = 0
+
+
+def canon_cache_stats() -> tuple[int, int]:
+    """``(hits, misses)`` of the canon memo since process start."""
+    return _CANON_HITS, _CANON_MISSES
+
+
 def canon(term: Term) -> Term:
     """Canonical form: right-associated chains, composed invocations.
 
@@ -59,20 +70,88 @@ def canon(term: Term) -> Term:
       application chain has exactly one ``!`` — the shape the paper's
       figures use (one big function applied to a named set or pair).
 
-    Idempotent; preserves evaluation results.
+    Idempotent; preserves evaluation results.  Memoized on the interned
+    term itself (terms are immutable and canonicalization is
+    context-free), so re-canonicalizing a rebuilt term only pays for the
+    spine that actually changed — unchanged subterms are O(1) hits.
     """
-    args = tuple(canon(arg) for arg in term.args)
+    global _CANON_HITS, _CANON_MISSES
+    try:
+        cached = term._canon
+    except AttributeError:
+        pass
+    else:
+        _CANON_HITS += 1
+        return cached
+    # Iterative post-order (explicit stack): translator output can nest
+    # thousands of compose/invoke levels, which recursive descent would
+    # turn into a RecursionError.  A compose *spine* is handled as one
+    # unit — only its non-compose factors are canonicalized and the
+    # chain is rebuilt once — so deep chains cost O(n), not O(n^2)
+    # (interior spine nodes are not memoized individually).
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        if getattr(node, "_canon", None) is not None:
+            stack.pop()
+            continue
+        if node.op == "compose":
+            pending = [leaf for leaf in _spine_leaves(node)
+                       if getattr(leaf, "_canon", None) is None]
+        else:
+            pending = [child for child in node.args
+                       if getattr(child, "_canon", None) is None]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        _CANON_MISSES += 1
+        result = _canon_node(node)
+        object.__setattr__(node, "_canon", result)
+        if result is not node:
+            # A canonical form is its own canonical form.
+            object.__setattr__(result, "_canon", result)
+    return term._canon
 
+
+def _spine_leaves(term: Term) -> list[Term]:
+    """The non-compose, not-yet-canonicalized leaves of ``term``'s
+    compose spine, left to right (already-memoized subtrees — compose
+    or not — count as leaves: their memo is spliced in directly)."""
+    leaves: list[Term] = []
+    stack = [term.args[1], term.args[0]]
+    while stack:
+        node = stack.pop()
+        if (node.op == "compose"
+                and getattr(node, "_canon", None) is None):
+            stack.append(node.args[1])
+            stack.append(node.args[0])
+        else:
+            leaves.append(node)
+    return leaves
+
+
+def _canon_node(term: Term) -> Term:
+    """Canonicalize one node whose children (for ``compose``: spine
+    leaves) are already memoized."""
     if term.op == "compose":
         factors: list[Term] = []
-        for arg in args:
-            factors.extend(flatten_compose(arg))
+        for leaf in _spine_leaves(term):
+            cached = leaf._canon
+            if cached.op == "compose":
+                factors.extend(flatten_compose(cached))
+            else:
+                factors.append(cached)
         return build_chain(factors)
+
+    args = tuple(arg._canon for arg in term.args)
 
     if term.op == "invoke":
         fn, arg = args
         while arg.op == "invoke":
             inner_fn, inner_arg = arg.args
+            # fn and inner_fn are canonical, so this nested call
+            # bottoms out without unbounded recursion.
             fn = canon(Term("compose", (fn, inner_fn)))
             arg = inner_arg
         return Term("invoke", (fn, arg))

@@ -13,14 +13,23 @@ from typing import Iterable, Iterator
 
 from repro.core.errors import RewriteError
 from repro.rewrite.rule import Rule
+from repro.rewrite.ruleindex import RuleIndex
 
 
 class RuleBase:
-    """A registry of rules with named groups."""
+    """A registry of rules with named groups.
+
+    Each group also carries a lazily built, cached
+    :class:`~repro.rewrite.ruleindex.RuleIndex` (:meth:`group_index`) so
+    every consumer of a group — the optimizer's simplify pass, COKO
+    strategies, benchmarks — dispatches through one shared index instead
+    of re-deriving it.  Registration invalidates the caches.
+    """
 
     def __init__(self) -> None:
         self._rules: dict[str, Rule] = {}
         self._groups: dict[str, list[str]] = {}
+        self._group_indexes: dict[str, RuleIndex] = {}
 
     # -- registration -------------------------------------------------------
 
@@ -31,6 +40,7 @@ class RuleBase:
         self._rules[one_rule.name] = one_rule
         for group in groups:
             self._groups.setdefault(group, []).append(one_rule.name)
+            self._group_indexes.pop(group, None)
         return one_rule
 
     def add_all(self, some_rules: Iterable[Rule],
@@ -46,6 +56,7 @@ class RuleBase:
             self.get(name)  # raises if unknown
             if name not in bucket:
                 bucket.append(name)
+        self._group_indexes.pop(group, None)
 
     # -- lookup --------------------------------------------------------------
 
@@ -74,6 +85,15 @@ class RuleBase:
         except KeyError:
             raise RewriteError(f"unknown rule group {name!r}") from None
         return [self._rules[rule_name] for rule_name in names]
+
+    def group_index(self, name: str) -> RuleIndex:
+        """The cached head-operator :class:`RuleIndex` of group ``name``
+        (same rules, same priority order as :meth:`group`)."""
+        index = self._group_indexes.get(name)
+        if index is None:
+            index = RuleIndex(self.group(name))
+            self._group_indexes[name] = index
+        return index
 
     def group_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._groups))

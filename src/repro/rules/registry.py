@@ -97,6 +97,12 @@ def standard_rulebase() -> RuleBase:
                  and entry.rule.name not in _EXPANSIONARY
                  and entry.rule.name not in _SHAPE_CHANGING]
     base.extend_group("simplify", simplify)
+
+    # Warm the per-group dispatch indexes once: every consumer (the
+    # optimizer's simplify pass, COKO strategies, benchmarks) then
+    # shares the same head-indexed view of each group.
+    for group_name in base.group_names():
+        base.group_index(group_name)
     return base
 
 

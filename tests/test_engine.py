@@ -114,9 +114,41 @@ class TestNormalize:
     def test_max_steps_caps_divergence(self, engine):
         looper = rule("loop", "$p & $q", "$q & $p", sort=Sort.PRED)
         from repro.core.parser import parse_pred
+        from repro.rewrite.engine import MaxStepsExceededWarning
         term = parse_pred("eq & lt")
-        result = engine.normalize(term, [looper], max_steps=7)
+        with pytest.warns(MaxStepsExceededWarning):
+            result = engine.normalize(term, [looper], max_steps=7)
         assert result is not None  # terminated despite the loop
+
+    def test_normalize_result_reports_fixpoint(self, engine):
+        term = canon(parse_fun("id o age o id o id"))
+        result = engine.normalize_result(term, [R1, R2])
+        assert result.reached_fixpoint
+        assert result.steps_used == 3
+        assert result.term == C.prim("age")
+
+    def test_normalize_result_reports_cap_hit(self, engine):
+        looper = rule("loop2", "$p & $q", "$q & $p", sort=Sort.PRED)
+        from repro.core.parser import parse_pred
+        term = parse_pred("eq & lt")
+        result = engine.normalize_result(term, [looper], max_steps=7)
+        assert not result.reached_fixpoint
+        assert result.steps_used == 7
+        # the fixpoint probe must not perturb the fire counts
+        assert engine.stats.per_rule["loop2"] == 7
+
+    def test_normalize_result_exact_cap_is_fixpoint(self, engine):
+        term = canon(parse_fun("age o id"))
+        result = engine.normalize_result(term, [R1], max_steps=1)
+        assert result.reached_fixpoint
+        assert result.steps_used == 1
+
+    def test_no_warning_on_fixpoint(self, engine):
+        import warnings
+        term = canon(parse_fun("id o age o id"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert engine.normalize(term, [R1, R2]) == C.prim("age")
 
     def test_stats_counted(self, engine):
         engine.stats.reset()
@@ -232,3 +264,45 @@ class TestRewriteEverywhere:
     def test_stats_report_empty(self):
         from repro.rewrite.engine import EngineStats
         assert EngineStats().report() == "(no rewrites)"
+
+
+class TestRuleIndex:
+    def test_buckets_by_head_and_keeps_order(self):
+        from repro.rewrite.ruleindex import RuleIndex
+        index = RuleIndex([R1, R11, R2])
+        assert index.candidates("compose") == (R1, R11, R2)
+        assert index.candidates("iterate") == ()
+        assert index.heads == {"compose"}
+        assert len(index) == 3
+
+    def test_invoke_bucket(self):
+        from repro.rewrite.ruleindex import RuleIndex
+        index = RuleIndex([R1, R19])
+        assert index.candidates("invoke") == (R19,)
+        assert index.candidates("compose") == (R1,)
+
+    def test_rule_index_memoized(self):
+        from repro.rewrite.ruleindex import rule_index
+        assert rule_index((R1, R2)) is rule_index((R1, R2))
+
+    def test_engine_accepts_prebuilt_index(self, engine):
+        from repro.rewrite.ruleindex import rule_index
+        term = canon(parse_fun("id o age o id o id"))
+        assert engine.normalize(term, rule_index((R1, R2))) == C.prim("age")
+
+    def test_index_skips_attempts(self):
+        engine = Engine()
+        term = canon(parse_fun("iterate(Kp(T), age o id)"))
+        engine.normalize(term, [R19, R1])  # R19 heads invoke: never tried
+        assert engine.stats.attempts_skipped_by_index > 0
+        assert engine.stats.per_rule == {"t-r1": 1}
+
+    def test_linear_engine_matches_indexed(self):
+        term = canon(parse_fun(
+            "flat o iterate(Kp(T), city) o iterate(Kp(T), addr) o id"))
+        rules = [R1, R2, R11]
+        fast, slow = Engine(), Engine(indexed=False, incremental=False)
+        assert (fast.normalize(term, rules)
+                is slow.normalize(term, rules))
+        assert fast.stats.per_rule == slow.stats.per_rule
+        assert fast.stats.match_attempts < slow.stats.match_attempts

@@ -1,12 +1,15 @@
 """Integration tests: Figure 4's derivations T1K and T2K, replayed by the
 engine and checked against the paper's printed forms."""
 
+import warnings
+
 import pytest
 
 from repro.core.eval import eval_obj
 from repro.core.parser import parse_obj
 from repro.core.pretty import pretty
 from repro.coko.stdblocks import block_t1k, block_t2k
+from repro.rewrite.engine import MaxStepsExceededWarning
 from repro.rewrite.trace import Derivation
 
 
@@ -39,6 +42,14 @@ class TestT1K:
                               derivation=derivation)
         assert derivation.verify(db_pair)
 
+    def test_reaches_fixpoint(self, rulebase, queries):
+        """Every normalization inside the block runs to a true fixpoint;
+        a silent max_steps cap would surface here as an error."""
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MaxStepsExceededWarning)
+            result = block_t1k().transform(queries.t1k_source, rulebase)
+        assert result == queries.t1k_target
+
 
 class TestT2K:
     def test_final_form(self, rulebase, queries):
@@ -60,6 +71,12 @@ class TestT2K:
         block_t2k().transform(queries.t2k_source, rulebase,
                               derivation=derivation)
         assert derivation.verify(db_pair)
+
+    def test_reaches_fixpoint(self, rulebase, queries):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", MaxStepsExceededWarning)
+            result = block_t2k().transform(queries.t2k_source, rulebase)
+        assert result == queries.t2k_target
 
     def test_result_selects_over_25(self, rulebase, queries, tiny_db):
         """The end query means: ages of people older than 25."""

@@ -132,3 +132,85 @@ class TestStructureHelpers:
     def test_meta_requires_name(self):
         with pytest.raises(TermError):
             meta("")
+
+
+class TestInterning:
+    """Hash-consing: structural equality is pointer identity."""
+
+    def test_equal_terms_are_identical(self):
+        a = C.compose(C.prim("city"), C.prim("addr"))
+        b = C.compose(C.prim("city"), C.prim("addr"))
+        assert a is b
+
+    def test_rebuilt_subterm_shares_structure(self):
+        inner = C.compose(C.prim("city"), C.prim("addr"))
+        outer = C.iterate(C.eq(), inner)
+        assert outer.args[1] is inner
+        assert outer.with_args(outer.args) is outer
+
+    def test_cross_type_labels_not_conflated(self):
+        assert C.lit(False) is not C.lit(0)
+        assert C.lit(1) is not C.lit(1.0)
+        assert C.lit(frozenset({True})) is not C.lit(frozenset({1}))
+        assert C.lit(frozenset({True})).label == frozenset({True})
+
+    def test_identity_equality_still_structural(self):
+        # identity-first __eq__ must agree with structural equality
+        assert C.prim("city") == C.prim("city")
+        assert C.prim("city") != C.prim("addr")
+        assert C.id_() != "id"
+
+    def test_cached_structure_queries(self):
+        term = C.compose(C.prim("city"), C.compose(C.prim("addr"),
+                                                   C.id_()))
+        assert term.size() == 5
+        assert term.depth() == 3
+        assert term.ops == {"compose", "prim", "id"}
+        assert term.is_ground()
+        assert not C.compose(fun_var("f"), C.id_()).is_ground()
+
+
+class TestDeepChains:
+    """Regression: translator output for Figure 7 pipelines can nest
+    thousands of compose levels; structure queries must not recurse."""
+
+    def test_depth_on_5k_chain(self):
+        from repro.rewrite.pattern import build_chain, flatten_compose
+        factors = [C.prim(f"f{i}") for i in range(5000)]
+        chain = build_chain(factors)
+        assert chain.depth() == 5000
+        assert chain.size() == 2 * 5000 - 1
+        assert chain.is_ground()
+        assert len(flatten_compose(chain)) == 5000
+
+    def test_depth_on_5k_left_nested(self):
+        left = C.prim("f0")
+        for i in range(1, 5000):
+            left = C.compose(left, C.prim(f"f{i}"))
+        assert left.depth() == 5000
+        assert left.ops == {"compose", "prim"}
+
+    def test_canon_on_5k_left_nested(self):
+        from repro.rewrite.pattern import canon, flatten_compose
+        left = C.prim("g0")
+        for i in range(1, 5000):
+            left = C.compose(left, C.prim(f"g{i}"))
+        chain = canon(left)
+        assert canon(chain) is chain  # idempotent
+        assert len(flatten_compose(chain)) == 5000
+        assert chain.args[0] == C.prim("g0")  # right-associated
+
+    def test_normalize_on_5k_chain(self):
+        # A compose-headed rule would enumerate O(n^2) chain windows, so
+        # use an iterate-headed one: the run exercises canon + dispatch
+        # on the full 5k-deep term without quadratic window matching.
+        from repro.core.terms import Sort
+        from repro.rewrite.engine import Engine
+        from repro.rewrite.rule import rule
+        deep_rule = rule("deep-beta", "id ! $x", "$x", sort=Sort.OBJ,
+                         bidirectional=False)
+        chain = C.prim("h0")
+        for i in range(1, 5000):
+            chain = C.compose(chain, C.prim(f"h{i}"))
+        result = Engine().normalize_result(chain, [deep_rule], max_steps=3)
+        assert result.reached_fixpoint
