@@ -1,5 +1,6 @@
-"""Engine dispatch microbenchmarks: linear vs head-indexed rule
-dispatch, and cold vs warm canonicalization cache.
+"""Engine dispatch microbenchmarks: linear vs head-indexed vs compiled
+(discrimination-tree) rule dispatch, and cold vs warm canonicalization
+cache.
 
 This benchmark quantifies the two caches introduced with hash-consed
 terms:
@@ -65,24 +66,37 @@ def test_linear_dispatch(benchmark, rulebase):
 
 
 def test_indexed_dispatch(benchmark, rulebase):
-    engine = Engine()
+    engine = Engine(compiled=False)
     rules = rulebase.group_index("simplify")
     workload = _workload()
     benchmark(_simplify_all, engine, rules, workload)
 
 
+def test_compiled_dispatch(benchmark, rulebase):
+    engine = Engine()
+    rules = rulebase.group_compiled("simplify")
+    workload = _workload()
+    benchmark(_simplify_all, engine, rules, workload)
+
+
 def test_dispatch_equivalence_and_savings(rulebase):
-    """The two dispatchers agree exactly; the index saves attempts."""
+    """All three dispatchers agree exactly; each tier saves attempts."""
     workload = _workload()
     linear = Engine(indexed=False, incremental=False)
-    indexed = Engine()
+    indexed = Engine(compiled=False)
+    compiled = Engine()
     rules = rulebase.group("simplify")
     linear_terms = _simplify_all(linear, rules, workload)
     indexed_terms = _simplify_all(indexed, rules, workload)
+    compiled_terms = _simplify_all(compiled, rules, workload)
     for fast, slow in zip(indexed_terms, linear_terms):
         assert fast is slow
+    for fast, slow in zip(compiled_terms, linear_terms):
+        assert fast is slow
     assert linear.stats.per_rule == indexed.stats.per_rule
+    assert linear.stats.per_rule == compiled.stats.per_rule
     assert indexed.stats.match_attempts < linear.stats.match_attempts
+    assert compiled.stats.match_attempts < indexed.stats.match_attempts
 
 
 def test_canon_cold(benchmark):
@@ -103,12 +117,13 @@ def test_canon_warm(benchmark):
 
 
 def test_canon_cache_effectiveness():
-    before_hits, _ = canon_cache_stats()
+    before = canon_cache_stats()
     chain = _fresh_chain(-2)
     canon(chain)
     canon(chain)  # second call must be a hit
-    after_hits, _ = canon_cache_stats()
-    assert after_hits > before_hits
+    after = canon_cache_stats()
+    assert after.hits > before.hits
+    assert after.size > 0  # live memoized terms are observable
 
 
 # -- standalone JSON mode ------------------------------------------------
@@ -125,7 +140,8 @@ def _json_summary() -> dict:
 
     for name, engine in (
             ("linear", Engine(indexed=False, incremental=False)),
-            ("indexed", Engine())):
+            ("indexed", Engine(compiled=False)),
+            ("compiled", Engine())):
         terms = _simplify_all(engine, rules, workload)
         stats = engine.stats
         summary[name] = {
@@ -134,25 +150,34 @@ def _json_summary() -> dict:
             "rewrites": stats.rewrites,
             "attempts_skipped_by_index": stats.attempts_skipped_by_index,
             "subtrees_pruned": stats.subtrees_pruned,
+            "trie_retrievals": stats.trie_retrievals,
+            "trie_node_visits": stats.trie_node_visits,
+            "trie_candidates": stats.trie_candidates,
+            "nf_cache": engine.nf_cache_info(),
             "result_sizes": [t.size() for t in terms],
         }
     summary["attempt_ratio"] = round(
         summary["linear"]["match_attempts"]
         / max(1, summary["indexed"]["match_attempts"]), 2)
+    summary["compiled_attempt_ratio"] = round(
+        summary["indexed"]["match_attempts"]
+        / max(1, summary["compiled"]["match_attempts"]), 2)
 
-    hits0, misses0 = canon_cache_stats()
+    base = canon_cache_stats()
     chains = [_fresh_chain(1000 + i) for i in range(50)]
     for chain in chains:
         canon(chain)
-    hits_cold, misses_cold = canon_cache_stats()
+    cold = canon_cache_stats()
     for chain in chains:
         canon(chain)
-    hits_warm, misses_warm = canon_cache_stats()
+    warm = canon_cache_stats()
     summary["canon_cache"] = {
-        "cold_hits": hits_cold - hits0,
-        "cold_misses": misses_cold - misses0,
-        "warm_hits": hits_warm - hits_cold,
-        "warm_misses": misses_warm - misses_cold,
+        "cold_hits": cold.hits - base.hits,
+        "cold_misses": cold.misses - base.misses,
+        "warm_hits": warm.hits - cold.hits,
+        "warm_misses": warm.misses - cold.misses,
+        "evictions": warm.evictions,
+        "size": warm.size,
     }
     return summary
 

@@ -1,0 +1,216 @@
+"""Discrimination-tree matching benchmark: per-node candidate-set size
+and wall time as the rule pool grows.
+
+The head-operator index (PR 1) keeps the *candidate list* per node
+small, but every candidate still pays a full per-rule ``match()`` walk.
+The compiled discrimination tree retrieves all matching rules in one
+traversal of the subject, so per-node match-attempt work should stay
+near-constant as the pool grows from the simplify group (24 rules on
+this workload slice) to the full shipped pool (179 rules).
+
+Run directly for the JSON artifact (written to ``BENCH_trie.json`` at
+the repo root, and printed with ``--json``)::
+
+    PYTHONPATH=src python benchmarks/bench_trie_matching.py
+
+``--quick`` runs the smoke variant CI uses: full pool only, one pass,
+exiting nonzero if the compiled matcher attempts *more* matches than
+the head-indexed baseline.  Under pytest-benchmark the module times the
+two engines at the full pool and asserts the ISSUE's >= 2x
+attempt-reduction acceptance bar.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.rewrite.engine import Engine
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+from repro.workloads.queries import paper_queries
+
+_MAX_STEPS = 200
+
+#: Pool-size sweep: the simplify group, a mid pool, the full pool.
+POOL_SIZES = (24, 90, 179)
+
+#: PR 1 head-indexed engine on this exact workload and pool slices,
+#: measured at the PR 2 branch point — the trajectory baseline this
+#: PR's numbers are compared against.
+PR1_BASELINE = {
+    "engine": "indexed (PR 1)",
+    "per_pool": {
+        24: {"match_attempts": 166, "nodes_visited": 48,
+             "per_node_candidates": 2.88, "wall_ms": 1.75},
+        90: {"match_attempts": 904, "nodes_visited": 57,
+             "per_node_candidates": 12.35, "wall_ms": 6.68},
+        179: {"match_attempts": 210139, "nodes_visited": 2995,
+              "per_node_candidates": 36.5, "wall_ms": 1289.68},
+    },
+}
+
+
+def _workload():
+    queries = paper_queries()
+    return [queries.kg1, queries.k4, queries.t1k_source,
+            translate_query(hidden_join_family(HiddenJoinSpec(depth=3)))]
+
+
+def _full_pool(rulebase):
+    """Simplify rules first (so every slice is a usable rewriter), then
+    the rest of the shipped pool as padding — the C3 slicing scheme."""
+    simplify = rulebase.group("simplify")
+    padding = [r for r in rulebase.all_rules() if r not in simplify]
+    return simplify + padding
+
+
+def _normalize_all(engine, rules, workload):
+    # The full pool contains structural (looping) rules, so hitting
+    # max_steps is expected; normalize_result avoids the warning.
+    return [engine.normalize_result(query, rules,
+                                    max_steps=_MAX_STEPS).term
+            for query in workload]
+
+
+def _measure(engine, rules, workload, repeats: int = 3) -> dict:
+    best = None
+    for _ in range(repeats):
+        engine.clear_nf_cache()  # time real work, not cache replays
+        engine.stats.reset()
+        started = time.perf_counter()
+        results = _normalize_all(engine, rules, workload)
+        elapsed = time.perf_counter() - started
+        best = elapsed if best is None else min(best, elapsed)
+    stats = engine.stats
+    nodes = max(1, stats.nodes_visited)
+    candidates = len(rules) * stats.nodes_visited \
+        - stats.attempts_skipped_by_index
+    return {
+        "match_attempts": stats.match_attempts,
+        "nodes_visited": stats.nodes_visited,
+        "per_node_candidates": round(candidates / nodes, 2),
+        "trie_retrievals": stats.trie_retrievals,
+        "trie_node_visits": stats.trie_node_visits,
+        "trie_candidates": stats.trie_candidates,
+        "wall_ms": round(best * 1000, 2),
+        "result_sizes": [term.size() for term in results],
+        "per_rule_fires": dict(stats.per_rule),
+    }
+
+
+def run_sweep(sizes=POOL_SIZES, repeats: int = 3) -> dict:
+    from repro.rules.registry import standard_rulebase
+
+    rulebase = standard_rulebase()
+    workload = _workload()
+    full_pool = _full_pool(rulebase)
+    report: dict = {"workload_queries": len(workload),
+                    "max_steps": _MAX_STEPS,
+                    "pool_sizes": list(sizes),
+                    "pr1_baseline": PR1_BASELINE,
+                    "per_pool": {}}
+    for size in sizes:
+        rules = full_pool[:size]
+        indexed = _measure(Engine(compiled=False), rules, workload,
+                           repeats)
+        compiled = _measure(Engine(), rules, workload, repeats)
+        # The three dispatchers must agree exactly (identity via
+        # interning); fire counts are the cheap full check here.
+        assert compiled["result_sizes"] == indexed["result_sizes"]
+        assert compiled["per_rule_fires"] == indexed["per_rule_fires"]
+        for row in (indexed, compiled):
+            del row["per_rule_fires"]
+        report["per_pool"][size] = {
+            "indexed": indexed,
+            "compiled": compiled,
+            "attempt_reduction": round(
+                indexed["match_attempts"]
+                / max(1, compiled["match_attempts"]), 2),
+            "wall_speedup": round(
+                indexed["wall_ms"] / max(1e-9, compiled["wall_ms"]), 2),
+        }
+    return report
+
+
+def _print_table(report: dict) -> None:
+    print(f"{'pool':>6} {'indexed att.':>13} {'compiled att.':>14} "
+          f"{'reduction':>10} {'idx cand/node':>14} "
+          f"{'trie cand/node':>15} {'speedup':>8}")
+    for size, row in report["per_pool"].items():
+        indexed, compiled = row["indexed"], row["compiled"]
+        print(f"{size:>6} {indexed['match_attempts']:>13} "
+              f"{compiled['match_attempts']:>14} "
+              f"{row['attempt_reduction']:>9.1f}x "
+              f"{indexed['per_node_candidates']:>14} "
+              f"{compiled['per_node_candidates']:>15} "
+              f"{row['wall_speedup']:>7.1f}x")
+
+
+def _quick() -> int:
+    """CI smoke: full pool, one pass; compiled must not attempt more
+    matches than the head-indexed baseline (and results must agree,
+    which run_sweep asserts)."""
+    report = run_sweep(sizes=(POOL_SIZES[-1],), repeats=1)
+    row = report["per_pool"][POOL_SIZES[-1]]
+    indexed_attempts = row["indexed"]["match_attempts"]
+    compiled_attempts = row["compiled"]["match_attempts"]
+    _print_table(report)
+    if compiled_attempts > indexed_attempts:
+        print(f"FAIL: compiled dispatch attempted {compiled_attempts} "
+              f"matches vs {indexed_attempts} for the indexed baseline",
+              file=sys.stderr)
+        return 1
+    print(f"OK: compiled {compiled_attempts} <= indexed "
+          f"{indexed_attempts} match attempts at the full pool")
+    return 0
+
+
+# -- pytest-benchmark entry points ---------------------------------------
+
+
+def test_trie_indexed_full_pool(benchmark, rulebase):
+    engine = Engine(compiled=False)
+    rules = _full_pool(rulebase)
+    workload = _workload()
+    benchmark(_normalize_all, engine, rules, workload)
+
+
+def test_trie_compiled_full_pool(benchmark, rulebase):
+    engine = Engine()
+    rules = _full_pool(rulebase)
+    workload = _workload()
+    benchmark(_normalize_all, engine, rules, workload)
+
+
+def test_compiled_attempt_reduction(rulebase):
+    """Acceptance (ISSUE 2): >= 2x reduction in per-node match-attempt
+    work vs the PR 1 head-indexed engine at the full 179-rule pool."""
+    workload = _workload()
+    rules = _full_pool(rulebase)
+    indexed = _measure(Engine(compiled=False), rules, workload,
+                       repeats=1)
+    compiled = _measure(Engine(), rules, workload, repeats=1)
+    assert compiled["result_sizes"] == indexed["result_sizes"]
+    reduction = indexed["match_attempts"] \
+        / max(1, compiled["match_attempts"])
+    print(f"\nattempt reduction at pool {len(rules)}: {reduction:.1f}x "
+          f"({indexed['match_attempts']} -> "
+          f"{compiled['match_attempts']})")
+    assert reduction >= 2.0, (
+        f"compiled dispatch reduced match attempts only {reduction:.1f}x "
+        f"(need >= 2x)")
+
+
+if __name__ == "__main__":
+    if "--quick" in sys.argv:
+        raise SystemExit(_quick())
+    sweep = run_sweep()
+    _print_table(sweep)
+    artifact = Path(__file__).resolve().parent.parent / "BENCH_trie.json"
+    artifact.write_text(json.dumps(sweep, indent=2) + "\n")
+    print(f"\nwrote {artifact}")
+    if "--json" in sys.argv:
+        print(json.dumps(sweep, indent=2))

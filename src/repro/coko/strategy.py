@@ -64,6 +64,24 @@ class Context:
             self._index_cache[refs] = index
         return index
 
+    def resolve_dispatch(self, refs: tuple[str, ...]):
+        """Resolve ``refs`` to the best dispatch structure this
+        context's engine supports: a compiled discrimination tree
+        (shared, generation-tracked, via
+        :meth:`~repro.rewrite.rulebase.RuleBase.group_compiled` for a
+        single group reference), a plain :class:`RuleIndex`, or —
+        for an unindexed engine — the bare rule list.
+        """
+        engine = self.engine
+        if not engine.indexed:
+            return self.resolve(refs)
+        if (engine.compiled and len(refs) == 1
+                and refs[0].startswith("group:")):
+            return self.rulebase.group_compiled(refs[0][len("group:"):])
+        # The engine compiles a RuleIndex on its own (memoized), so
+        # multi-ref shapes still dispatch through the tree.
+        return self.resolve_index(refs)
+
 
 class Strategy:
     """Base class; subclasses implement :meth:`run`."""
@@ -113,8 +131,7 @@ class Exhaust(Strategy):
         self.traversal = traversal
 
     def run(self, term: Term, ctx: Context) -> Term:
-        rules = (ctx.resolve_index(self.refs) if ctx.engine.indexed
-                 else ctx.resolve(self.refs))
+        rules = ctx.resolve_dispatch(self.refs)
         return ctx.engine.normalize(term, rules, max_steps=self.max_steps,
                                     strategy=self.traversal,
                                     derivation=ctx.derivation)

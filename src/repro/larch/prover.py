@@ -30,6 +30,7 @@ from repro.core.terms import Term
 from repro.rewrite.engine import Engine
 from repro.rewrite.pattern import canon
 from repro.rewrite.rule import Rule
+from repro.rewrite.ruleindex import rule_index
 
 
 @dataclass(frozen=True)
@@ -78,11 +79,23 @@ class EquationalProver:
     """Bounded bidirectional search for equational proofs."""
 
     def __init__(self, rules: list[Rule], max_depth: int = 4,
-                 max_frontier: int = 400) -> None:
+                 max_frontier: int = 400,
+                 engine: Engine | None = None) -> None:
         self.rules = self._expand(rules)
         self.max_depth = max_depth
         self.max_frontier = max_frontier
-        self.engine = Engine()
+        self.engine = engine if engine is not None else Engine()
+        # The expanded pool as one dispatchable index (compiled once by
+        # the engine) plus the label of each rule object for rendering.
+        # rule_index memoizes by tuple *equality*, so the index may hold
+        # equal-but-distinct Rule objects from an earlier identical
+        # pool; labels are therefore keyed on the index's own objects —
+        # the ones dispatch results will reference.
+        self._pool = rule_index(tuple(one_rule
+                                      for _, one_rule in self.rules))
+        self._labels: dict[int, str] = {}
+        for (label, _), one_rule in zip(self.rules, self._pool.rules):
+            self._labels.setdefault(id(one_rule), label)
 
     @staticmethod
     def _expand(rules: list[Rule]) -> list[tuple[str, Rule]]:
@@ -102,19 +115,15 @@ class EquationalProver:
         """Every single-step rewrite of ``term`` under the expanded
         rules, at every position (one result per rule/position pair).
 
-        Rules whose head operator does not occur anywhere in ``term``
-        are skipped outright (O(1) via the term's contained-operator
-        cache) — a head-index dispatch specialized to the prover's
-        rule-at-a-time enumeration, preserving rule order exactly.
+        Delegates to :meth:`~repro.rewrite.engine.Engine.successors`:
+        with compiled dispatch the whole pool is matched in one
+        traversal of ``term`` (instead of one ``rewrite_everywhere``
+        walk per rule), in the same rule-major order — so frontier
+        insertion order, and therefore the found proofs, are unchanged.
         """
-        ops = term.ops
-        for label, rule in self.rules:
-            head = rule.lhs.op
-            if head != "meta" and head not in ops:
-                continue
-            for result in self.engine.rewrite_everywhere(term, rule):
-                if result.term is not term:
-                    yield label, result.term
+        for result in self.engine.successors(term, self._pool):
+            if result.term is not term:
+                yield self._labels[id(result.rule)], result.term
 
     def prove(self, lhs: Term, rhs: Term) -> Proof | None:
         """Search for an equational proof of ``lhs == rhs``."""

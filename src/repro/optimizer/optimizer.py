@@ -71,15 +71,23 @@ class OptimizedQuery:
 
 
 class Optimizer:
-    """The assembled rule-based optimizer."""
+    """The assembled rule-based optimizer.
+
+    One :class:`~repro.rewrite.engine.Engine` is shared across
+    ``optimize`` calls, so its normal-form cache persists: repeated
+    simplification of shared subqueries (or re-optimizing the same
+    query) hits memoized normal forms instead of re-scanning.
+    """
 
     def __init__(self, rulebase: RuleBase | None = None,
                  cost_model: CostModel | None = None,
-                 catalog: "IndexCatalog | None" = None) -> None:
+                 catalog: "IndexCatalog | None" = None,
+                 engine: Engine | None = None) -> None:
         from repro.optimizer.indexes import IndexCatalog
         self.rulebase = rulebase or standard_rulebase()
         self.cost_model = cost_model or CostModel()
         self.catalog = catalog or IndexCatalog()
+        self.engine = engine if engine is not None else Engine()
 
     def optimize(self, query: object,
                  db: Database | None = None) -> OptimizedQuery:
@@ -100,11 +108,11 @@ class Optimizer:
         else:
             raise TypeError(f"cannot optimize {query!r}")
 
-        engine = Engine()
+        engine = self.engine
         derivation = Derivation("optimization")
 
         simplified = engine.normalize(
-            initial, self.rulebase.group_index("simplify"),
+            initial, self.rulebase.group_compiled("simplify"),
             derivation=derivation)
         untangled = run_blocks(hidden_join_blocks(), simplified,
                                self.rulebase, engine, derivation)

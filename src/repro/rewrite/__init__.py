@@ -1,14 +1,23 @@
 """The declarative rule language: patterns, matching, rules, strategies."""
 
-from repro.rewrite.pattern import canon, flatten_compose, instantiate
+from repro.rewrite.pattern import (CanonCacheStats, canon,
+                                   canon_cache_stats, flatten_compose,
+                                   instantiate)
 from repro.rewrite.match import match
 from repro.rewrite.rule import Rule, rule
+from repro.rewrite.discrimination import (CompiledRuleSet,
+                                          DiscriminationTree,
+                                          compiled_ruleset)
 from repro.rewrite.engine import Engine, EngineStats, RewriteResult
 from repro.rewrite.trace import Derivation, Step
 from repro.rewrite.rulebase import RuleBase
+from repro.rewrite.ruleindex import RuleIndex, rule_index
 
 __all__ = [
-    "canon", "flatten_compose", "instantiate", "match",
+    "canon", "canon_cache_stats", "CanonCacheStats", "flatten_compose",
+    "instantiate", "match",
     "Rule", "rule", "Engine", "EngineStats", "RewriteResult",
+    "CompiledRuleSet", "DiscriminationTree", "compiled_ruleset",
+    "RuleIndex", "rule_index",
     "Derivation", "Step", "RuleBase",
 ]

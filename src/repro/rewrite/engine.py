@@ -20,22 +20,31 @@ that make the paper's *small* rules effective on *large* queries:
 Both mechanisms are *engine* features, not rule features: the rules stay
 declarative.
 
-Dispatch is **head-indexed** by default: rule lists are bucketed by LHS
-head operator (:mod:`repro.rewrite.ruleindex`) so a node only consults
-candidate rules whose head can possibly match, and whole subtrees that
+Dispatch is **compiled** by default: rule lists are first bucketed by
+LHS head operator (:mod:`repro.rewrite.ruleindex`) and then compiled
+into a discrimination tree (:mod:`repro.rewrite.discrimination`), so one
+traversal of a subject node yields the full ordered candidate set with
+bindings already accumulated — per-rule ``match()`` walks survive only
+as the fallback for multi-segment chain patterns.  Whole subtrees that
 contain no candidate head operator are pruned using the per-term
 contained-operator cache.  ``normalize`` is **incremental**: instead of
 rescanning from the root after every local rewrite, it resumes the scan
 at the changed region (the untouched, already-rejected prefix of the
-traversal is provably still rejected — see ``_resume_path``).  Both
-optimizations preserve the linear engine's semantics bit for bit — same
-fixpoints, same derivation steps, same per-rule fire counts; pass
-``Engine(indexed=False, incremental=False)`` for the reference linear
-behavior (the equivalence property tests compare the two).
+traversal is provably still rejected — see ``_resume_path``).  It also
+carries a cross-call **normal-form cache** keyed by ``(interned term,
+rule-set generation, strategy)``, so repeated simplification passes over
+shared subqueries are O(1) lookups that still replay their derivation
+steps and fire counts.  All optimizations preserve the linear engine's
+semantics bit for bit — same fixpoints, same derivation steps, same
+per-rule fire counts; pass ``Engine(compiled=False)`` for the PR 1
+head-indexed engine and ``Engine(indexed=False, incremental=False)``
+for the reference linear behavior (the equivalence property tests
+compare all of them).
 
 An :class:`EngineStats` counter records nodes visited, match attempts,
-attempts skipped by the index, pruned subtrees and canon-cache traffic,
-which benchmarks C2/C3 use to quantify dispatch costs.
+attempts skipped by the index, pruned subtrees, trie-node visits,
+candidate-set sizes, normal-form-cache traffic and canon-cache traffic,
+which the dispatch benchmarks use to quantify matching costs.
 """
 
 from __future__ import annotations
@@ -46,6 +55,7 @@ from dataclasses import dataclass, field
 from repro.core.errors import TypeInferenceError
 from repro.core.terms import Term
 from repro.core.types import Inferencer, alpha_equivalent
+from repro.rewrite.discrimination import CompiledRuleSet, compiled_ruleset
 from repro.rewrite.match import match
 from repro.rewrite.pattern import (build_chain, canon, canon_cache_stats,
                                    flatten_compose, instantiate)
@@ -79,6 +89,18 @@ class EngineStats:
     ``canon_cache_hits``/``canon_cache_misses`` report the process-wide
     canon memo traffic since this stats object was created (or last
     ``reset``) — the memo itself lives on the interned terms.
+
+    The trie counters quantify compiled dispatch: ``trie_retrievals``
+    is the number of single-traversal lookups (one per node, window or
+    peel view), ``trie_node_visits`` the total trie nodes walked, and
+    ``trie_candidates`` the summed size of the per-node candidate sets
+    the engine actually iterated.  ``nf_cache_hits``/``misses``/
+    ``evictions`` track the engine's cross-call normal-form cache.
+
+    ``attempt_log``, when set to a list, receives the name of every
+    rule whose match is attempted, in attempt order — the equivalence
+    suite uses it to check that compiled dispatch only ever *removes*
+    attempts without reordering the survivors.
     """
 
     nodes_visited: int = 0
@@ -86,7 +108,14 @@ class EngineStats:
     rewrites: int = 0
     attempts_skipped_by_index: int = 0
     subtrees_pruned: int = 0
+    trie_retrievals: int = 0
+    trie_node_visits: int = 0
+    trie_candidates: int = 0
+    nf_cache_hits: int = 0
+    nf_cache_misses: int = 0
+    nf_cache_evictions: int = 0
     per_rule: dict[str, int] = field(default_factory=dict)
+    attempt_log: list | None = field(default=None, repr=False)
     _canon_base: tuple[int, int] = field(default=(0, 0), repr=False)
 
     def __post_init__(self) -> None:
@@ -110,7 +139,15 @@ class EngineStats:
         self.rewrites = 0
         self.attempts_skipped_by_index = 0
         self.subtrees_pruned = 0
+        self.trie_retrievals = 0
+        self.trie_node_visits = 0
+        self.trie_candidates = 0
+        self.nf_cache_hits = 0
+        self.nf_cache_misses = 0
+        self.nf_cache_evictions = 0
         self.per_rule = {}
+        if self.attempt_log is not None:
+            self.attempt_log.clear()
         self._canon_base = canon_cache_stats()
 
     def report(self) -> str:
@@ -200,27 +237,75 @@ class Engine:
         incremental: resume ``normalize`` scans at the changed region
             instead of the root (default).  ``False`` restarts from the
             root after every step, like the reference engine.
+        compiled: dispatch through the pool's discrimination tree
+            (:class:`~repro.rewrite.discrimination.CompiledRuleSet`) so
+            one traversal per node yields all candidates with bindings
+            (default; requires ``indexed``).  ``False`` gives the PR 1
+            head-indexed engine unchanged — the escape hatch when an
+            oracle or rule set changes behind the engine's back.
+        nf_cache: keep a cross-call normal-form cache keyed by
+            ``(interned term, rule-set generation, strategy)``
+            (default; only active with ``compiled``).  Cache hits
+            replay the memoized derivation steps and fire counts, so
+            results, derivations and ``per_rule`` are unchanged; only
+            the traversal-work counters (nodes, attempts) are skipped.
 
-    Both flags are pure optimizations: fixpoints, derivations and
-    per-rule fire counts are identical in all four configurations.
+    All flags are pure optimizations: fixpoints, derivations and
+    per-rule fire counts are identical in every configuration.
     """
 
+    #: Cap on memoized normal forms per engine (FIFO eviction).
+    NF_CACHE_MAX = 4096
+
     def __init__(self, oracle: PropertyOracle = NO_ORACLE, *,
-                 indexed: bool = True, incremental: bool = True) -> None:
+                 indexed: bool = True, incremental: bool = True,
+                 compiled: bool = True, nf_cache: bool = True) -> None:
         self.oracle = oracle
         self.indexed = indexed
         self.incremental = incremental
+        self.compiled = compiled and indexed
+        self.nf_cache = nf_cache and self.compiled
         self.stats = EngineStats()
+        self._nf_cache: dict = {}
+
+    def clear_nf_cache(self) -> None:
+        """Drop all memoized normal forms.  Call after mutating the
+        property oracle's annotations: cached results memoize rewrites
+        that were precondition-checked against the oracle's old state.
+        """
+        self._nf_cache.clear()
+
+    def nf_cache_info(self) -> dict:
+        """Size and traffic of the normal-form cache (diagnostics)."""
+        return {"size": len(self._nf_cache),
+                "max_size": self.NF_CACHE_MAX,
+                "hits": self.stats.nf_cache_hits,
+                "misses": self.stats.nf_cache_misses,
+                "evictions": self.stats.nf_cache_evictions}
 
     def _as_candidates(self,
                        rules: "list[Rule] | tuple[Rule, ...] | RuleIndex"):
         """Normalize a rule collection for dispatch: a (memoized)
-        :class:`RuleIndex` when indexing is on, else a plain list."""
+        :class:`CompiledRuleSet` when compilation is on, a
+        :class:`RuleIndex` when only indexing is, else a plain list."""
+        if isinstance(rules, CompiledRuleSet):
+            if self.compiled:
+                return rules
+            rules = rules.index  # engine opted out of compiled dispatch
         if isinstance(rules, RuleIndex):
+            if self.compiled:
+                return compiled_ruleset(rules)
             return rules if self.indexed else list(rules)
         if self.indexed:
-            return rule_index(rules)
+            index = rule_index(rules)
+            return compiled_ruleset(index) if self.compiled else index
         return rules
+
+    def _note_attempt(self, one_rule: Rule) -> None:
+        self.stats.match_attempts += 1
+        log = self.stats.attempt_log
+        if log is not None:
+            log.append(one_rule.name)
 
     # -- single-node application ------------------------------------------------
 
@@ -230,7 +315,7 @@ class Engine:
         ``node`` must be canonical.  Returns the replacement term for the
         node plus the bindings used, or ``None``.
         """
-        self.stats.match_attempts += 1
+        self._note_attempt(rule)
         bindings = match(rule.lhs, node)
         if bindings is not None and rule.check_preconditions(
                 bindings, self.oracle):
@@ -261,7 +346,7 @@ class Engine:
                 if start == 0 and end == count:
                     continue
                 window = build_chain(factors[start:end])
-                self.stats.match_attempts += 1
+                self._note_attempt(rule)
                 bindings = match(rule.lhs, window)
                 if bindings is None or not rule.check_preconditions(
                         bindings, self.oracle):
@@ -282,7 +367,7 @@ class Engine:
         factors = flatten_compose(fn)
         for split in range(1, len(factors)):
             view = Term("invoke", (build_chain(factors[split:]), arg))
-            self.stats.match_attempts += 1
+            self._note_attempt(rule)
             bindings = match(rule.lhs, view)
             if bindings is None or not rule.check_preconditions(
                     bindings, self.oracle):
@@ -316,6 +401,8 @@ class Engine:
     def _prunable(self, node: Term, rules) -> bool:
         """True when no rule in ``rules`` can match anywhere inside
         ``node`` (decided from head operators alone)."""
+        if isinstance(rules, CompiledRuleSet):
+            rules = rules.index
         if not isinstance(rules, RuleIndex):
             return False
         if rules.relevant_to(node.ops):
@@ -361,6 +448,11 @@ class Engine:
 
     def _try_rules(self, node: Term, rules,
                    path: tuple[int, ...]) -> RewriteResult | None:
+        if isinstance(rules, CompiledRuleSet):
+            for _, one_rule, new_node, bindings in \
+                    self._iter_compiled_hits(node, rules):
+                return RewriteResult(new_node, one_rule, bindings, path)
+            return None
         if isinstance(rules, RuleIndex):
             candidates = rules.candidates(node.op)
             self.stats.attempts_skipped_by_index += (len(rules)
@@ -372,6 +464,158 @@ class Engine:
             if outcome is not None:
                 new_node, bindings = outcome
                 return RewriteResult(new_node, one_rule, bindings, path)
+        return None
+
+    # -- compiled (discrimination-tree) dispatch -------------------------------
+
+    def _iter_compiled_hits(self, node: Term, compiled: CompiledRuleSet):
+        """Yield ``(position, rule, replacement, bindings)`` for every
+        rule that fires *at* ``node``, in priority order.
+
+        This is the compiled counterpart of looping
+        :meth:`try_rule_at` over an index's candidate list, with the
+        same phase order per rule — direct, then chain windows, then
+        invocation peels — and the same first-outcome-per-rule
+        semantics.  One trie retrieval replaces all direct ``match()``
+        walks; window and peel views are likewise retrieved once per
+        view (not once per rule x view) and consumed lazily, so a node
+        with no compose/invoke-headed candidates never builds them.
+        Being a generator, first-match consumers stop at the first hit
+        while :meth:`successors` drains every rule.
+        """
+        stats = self.stats
+        hits = compiled.retrieve(node, stats)
+        direct: dict[int, dict | None] = {
+            position: bindings for position, _, bindings in hits}
+        if node.op == "compose":
+            extra = compiled.compose_entries
+        elif node.op == "invoke":
+            extra = compiled.invoke_entries
+        else:
+            extra = ()
+        if extra:
+            merged = {position: one_rule for position, one_rule, _ in hits}
+            for position, one_rule in extra:
+                merged[position] = one_rule
+            worklist = sorted(merged.items())
+        else:
+            worklist = [(position, one_rule)
+                        for position, one_rule, _ in hits]
+        stats.trie_candidates += len(worklist)
+        stats.attempts_skipped_by_index += (len(compiled.rules)
+                                            - len(worklist))
+        window_state: list | None = None
+        peel_state: list | None = None
+        for position, one_rule in worklist:
+            if position in direct:
+                bindings = direct[position]
+                self._note_attempt(one_rule)
+                if bindings is None:  # incomplete pattern: full fallback
+                    bindings = match(one_rule.lhs, node)
+                if bindings is not None and one_rule.check_preconditions(
+                        bindings, self.oracle):
+                    replacement = canon(instantiate(one_rule.rhs, bindings))
+                    if (not one_rule.needs_typed_apply
+                            or _typed_apply_ok(node, replacement)):
+                        stats.count_rule(one_rule.name)
+                        yield position, one_rule, replacement, bindings
+                        continue
+            if node.op == "compose" and one_rule.lhs.op == "compose":
+                if window_state is None:
+                    window_state = self._window_hits(node, compiled)
+                factors, table = window_state
+                outcome = self._consume_windows(one_rule, position,
+                                                factors, table)
+                if outcome is not None:
+                    yield position, one_rule, outcome[0], outcome[1]
+            elif node.op == "invoke" and one_rule.lhs.op == "invoke":
+                if peel_state is None:
+                    peel_state = self._peel_hits(node, compiled)
+                factors, table = peel_state
+                outcome = self._consume_peels(one_rule, position,
+                                              factors, table)
+                if outcome is not None:
+                    yield position, one_rule, outcome[0], outcome[1]
+
+    def _window_hits(self, node: Term, compiled: CompiledRuleSet) -> list:
+        """Retrieve every chain window of ``node`` against the trie
+        once, tabulating hits per rule position in window order (the
+        order :meth:`_try_windows` enumerates)."""
+        factors = flatten_compose(node)
+        count = len(factors)
+        table: dict[int, list] = {}
+        for start in range(count):
+            for end in range(start + 2, count + 1):
+                if start == 0 and end == count:
+                    continue  # the direct match already covered it
+                window = build_chain(factors[start:end])
+                for position, one_rule, bindings in \
+                        compiled.retrieve(window, self.stats):
+                    if one_rule.lhs.op != "compose":
+                        continue  # wildcard hit: windows are only
+                        # offered to compose-headed rules
+                    table.setdefault(position, []).append(
+                        (start, end, window, bindings))
+        return [factors, table]
+
+    def _consume_windows(self, one_rule: Rule, position: int,
+                         factors: list[Term],
+                         table: dict) -> tuple[Term, dict] | None:
+        """The compiled counterpart of :meth:`_try_windows` for one
+        rule: same window order, same precondition/typed-apply gating,
+        same rebuild."""
+        for start, end, window, bindings in table.get(position, ()):
+            self._note_attempt(one_rule)
+            if bindings is None:
+                bindings = match(one_rule.lhs, window)
+            if bindings is None or not one_rule.check_preconditions(
+                    bindings, self.oracle):
+                continue
+            replacement = instantiate(one_rule.rhs, bindings)
+            if (one_rule.needs_typed_apply
+                    and not _typed_apply_ok(window, replacement)):
+                continue
+            new_factors = (factors[:start]
+                           + flatten_compose(replacement)
+                           + factors[end:])
+            self.stats.count_rule(one_rule.name)
+            return canon(build_chain(new_factors)), bindings
+        return None
+
+    def _peel_hits(self, node: Term, compiled: CompiledRuleSet) -> list:
+        """Retrieve every invocation peel of ``node`` against the trie
+        once, tabulating hits per rule position in split order."""
+        fn, arg = node.args
+        factors = flatten_compose(fn)
+        table: dict[int, list] = {}
+        for split in range(1, len(factors)):
+            view = Term("invoke", (build_chain(factors[split:]), arg))
+            for position, one_rule, bindings in \
+                    compiled.retrieve(view, self.stats):
+                if one_rule.lhs.op != "invoke":
+                    continue  # peels are only offered to invoke heads
+                table.setdefault(position, []).append(
+                    (split, view, bindings))
+        return [factors, table]
+
+    def _consume_peels(self, one_rule: Rule, position: int,
+                       factors: list[Term],
+                       table: dict) -> tuple[Term, dict] | None:
+        """The compiled counterpart of :meth:`_try_peels` for one rule."""
+        for split, view, bindings in table.get(position, ()):
+            self._note_attempt(one_rule)
+            if bindings is None:
+                bindings = match(one_rule.lhs, view)
+            if bindings is None or not one_rule.check_preconditions(
+                    bindings, self.oracle):
+                continue
+            inner = instantiate(one_rule.rhs, bindings)
+            if (one_rule.needs_typed_apply
+                    and not _typed_apply_ok(view, inner)):
+                continue
+            prefix = build_chain(factors[:split])
+            self.stats.count_rule(one_rule.name)
+            return canon(Term("invoke", (prefix, inner))), bindings
         return None
 
     def normalize(self, term: Term, rules,
@@ -410,23 +654,58 @@ class Engine:
         """
         candidates = self._as_candidates(rules)
         current = canon(term)
+        key = None
+        if self.nf_cache and isinstance(candidates, CompiledRuleSet):
+            key = (current, candidates.generation, strategy)
+            cached = self._nf_cache.get(key)
+            if cached is not None and cached[0].steps_used <= max_steps:
+                # Replay the memoized steps so fire counts and the
+                # derivation come out identical to a fresh run; only
+                # the traversal work (nodes, attempts) is skipped.
+                self.stats.nf_cache_hits += 1
+                for one_rule, before, after, step_path in cached[1]:
+                    self.stats.count_rule(one_rule.name)
+                    if derivation is not None:
+                        derivation.record(one_rule, before, after,
+                                          step_path)
+                return cached[0]
+            self.stats.nf_cache_misses += 1
+        steps_taken: list | None = [] if key is not None else None
         resume: tuple[int, ...] | None = None
         for step in range(max_steps):
             if self._prunable(current, candidates):
-                return NormalizeResult(current, step, True)
+                return self._nf_finish(key, steps_taken,
+                                       NormalizeResult(current, step, True))
             result = self._rewrite_at(current, candidates, strategy, (),
                                       resume)
             if result is None:
-                return NormalizeResult(current, step, True)
+                return self._nf_finish(key, steps_taken,
+                                       NormalizeResult(current, step, True))
             if derivation is not None:
                 derivation.record(result.rule, current, result.term,
                                   result.path)
+            if steps_taken is not None:
+                steps_taken.append((result.rule, current, result.term,
+                                    result.path))
             if self.incremental:
                 resume = _resume_path(current, result.term, result.path)
             current = result.term
+        # Cap hit: never memoized (the run may not have converged).
         return NormalizeResult(current, max_steps,
                                self._is_normal_form(current, candidates,
                                                     strategy, resume))
+
+    def _nf_finish(self, key, steps_taken,
+                   outcome: NormalizeResult) -> NormalizeResult:
+        """Memoize a converged ``normalize`` run (FIFO-bounded)."""
+        if key is not None:
+            cache = self._nf_cache
+            if key not in cache:
+                if len(cache) >= self.NF_CACHE_MAX:
+                    del cache[next(iter(cache))]
+                    self.stats.nf_cache_evictions += 1
+                cache[key] = (outcome, tuple(steps_taken))
+        return outcome
 
     def _is_normal_form(self, term: Term, rules, strategy: str,
                         resume: tuple[int, ...] | None) -> bool:
@@ -467,6 +746,59 @@ class Engine:
             return results
         self._rewrite_everywhere_at(term, one_rule, (), results)
         return results
+
+    def successors(self, term: Term, rules) -> list[RewriteResult]:
+        """All single-step rewrites of ``term`` by any rule in the pool
+        — the union of :meth:`rewrite_everywhere` over every rule, in
+        rule-major order (all positions of rule 0, then rule 1, ...).
+
+        With compiled dispatch one traversal of ``term`` retrieves the
+        candidates of *all* rules at once instead of re-walking the
+        term once per rule; the equational prover's successor
+        enumeration is the intended caller.
+        """
+        term = canon(term)
+        candidates = self._as_candidates(rules)
+        if isinstance(candidates, CompiledRuleSet):
+            if self._prunable(term, candidates):
+                return []
+            entries: list[tuple[int, int, RewriteResult]] = []
+            self._successors_at(term, candidates, (), entries, [0])
+            entries.sort(key=lambda entry: (entry[0], entry[1]))
+            return [entry[2] for entry in entries]
+        results: list[RewriteResult] = []
+        for one_rule in candidates:
+            results.extend(self.rewrite_everywhere(term, one_rule))
+        return results
+
+    def _successors_at(self, node: Term, compiled: CompiledRuleSet,
+                       path: tuple[int, ...],
+                       entries: list, counter: list[int]) -> None:
+        """Collect ``(rule position, preorder index, result)`` triples
+        for every rewrite in ``node``'s subtree, splicing child results
+        back into the whole term on the way up (sorting by the triple's
+        first two fields then reproduces the per-rule enumeration
+        order of :meth:`rewrite_everywhere`)."""
+        preorder = counter[0]
+        counter[0] += 1
+        for position, one_rule, new_node, bindings in \
+                self._iter_compiled_hits(node, compiled):
+            entries.append((position, preorder,
+                            RewriteResult(new_node, one_rule, bindings,
+                                          path)))
+        for index, child in enumerate(node.args):
+            if self._prunable(child, compiled):
+                continue
+            before = len(entries)
+            self._successors_at(child, compiled, path + (index,),
+                                entries, counter)
+            for slot in range(before, len(entries)):
+                rule_pos, pre_index, inner = entries[slot]
+                new_args = (node.args[:index] + (inner.term,)
+                            + node.args[index + 1:])
+                entries[slot] = (rule_pos, pre_index, RewriteResult(
+                    canon(node.with_args(new_args)), inner.rule,
+                    inner.bindings, inner.path))
 
     def _rewrite_everywhere_at(self, node: Term, one_rule: Rule,
                                path: tuple[int, ...],

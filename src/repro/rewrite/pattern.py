@@ -17,6 +17,9 @@ it is idempotent and meaning-preserving (there are tests for both).
 
 from __future__ import annotations
 
+import weakref
+from typing import NamedTuple
+
 from repro.core.errors import RewriteError
 from repro.core.terms import Sort, Term
 
@@ -55,11 +58,46 @@ def build_chain(factors: list[Term]) -> Term:
 #: :class:`~repro.rewrite.engine.EngineStats` exposes per-window deltas).
 _CANON_HITS = 0
 _CANON_MISSES = 0
+_CANON_EVICTIONS = 0
+#: Weak references to every term carrying a ``_canon`` memo; their death
+#: callbacks turn garbage collection of interned terms into observable
+#: eviction counts, and the live set size is the cache size.
+_CANON_REFS: set = set()
 
 
-def canon_cache_stats() -> tuple[int, int]:
-    """``(hits, misses)`` of the canon memo since process start."""
-    return _CANON_HITS, _CANON_MISSES
+class CanonCacheStats(NamedTuple):
+    """Canon memo traffic and pressure since process start.
+
+    The memo lives on the (weakly) interned terms themselves, so
+    ``evictions`` counts memoized terms that were garbage-collected and
+    ``size`` is the number of currently live memoized terms.
+    """
+
+    hits: int
+    misses: int
+    evictions: int
+    size: int
+
+
+def _canon_ref_dead(ref) -> None:
+    global _CANON_EVICTIONS
+    _CANON_REFS.discard(ref)
+    _CANON_EVICTIONS += 1
+
+
+def _track_canon(term: Term) -> None:
+    _CANON_REFS.add(weakref.ref(term, _canon_ref_dead))
+
+
+def canon_cache_stats() -> CanonCacheStats:
+    """Hits, misses, evictions and live size of the canon memo.
+
+    Returned as a :class:`CanonCacheStats` namedtuple, so existing
+    ``hits, misses = canon_cache_stats()[:2]`` consumers keep working
+    positionally.
+    """
+    return CanonCacheStats(_CANON_HITS, _CANON_MISSES,
+                           _CANON_EVICTIONS, len(_CANON_REFS))
 
 
 def canon(term: Term) -> Term:
@@ -108,8 +146,11 @@ def canon(term: Term) -> Term:
         _CANON_MISSES += 1
         result = _canon_node(node)
         object.__setattr__(node, "_canon", result)
+        _track_canon(node)
         if result is not node:
             # A canonical form is its own canonical form.
+            if getattr(result, "_canon", None) is None:
+                _track_canon(result)
             object.__setattr__(result, "_canon", result)
     return term._canon
 
@@ -135,6 +176,17 @@ def _canon_node(term: Term) -> Term:
     """Canonicalize one node whose children (for ``compose``: spine
     leaves) are already memoized."""
     if term.op == "compose":
+        first, rest = term.args
+        if (first.op != "compose"
+                and getattr(first, "_canon", None) is first
+                and getattr(rest, "_canon", None) is rest):
+            # Already a right-associated chain of canonical factors —
+            # the rebuild below would re-intern this very term.  This
+            # is the common case when the engine splices a rewritten
+            # (canonical) tail back under each chain ancestor: without
+            # the fast path every splice re-flattens the whole chain,
+            # making deep-chain normalization quadratic per rewrite.
+            return term
         factors: list[Term] = []
         for leaf in _spine_leaves(term):
             cached = leaf._canon

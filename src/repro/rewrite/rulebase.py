@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Iterable, Iterator
 
 from repro.core.errors import RewriteError
+from repro.rewrite.discrimination import CompiledRuleSet, compiled_ruleset
 from repro.rewrite.rule import Rule
 from repro.rewrite.ruleindex import RuleIndex
 
@@ -20,18 +21,33 @@ class RuleBase:
     """A registry of rules with named groups.
 
     Each group also carries a lazily built, cached
-    :class:`~repro.rewrite.ruleindex.RuleIndex` (:meth:`group_index`) so
+    :class:`~repro.rewrite.ruleindex.RuleIndex` (:meth:`group_index`)
+    and its compiled discrimination tree (:meth:`group_compiled`) so
     every consumer of a group — the optimizer's simplify pass, COKO
     strategies, benchmarks — dispatches through one shared index instead
-    of re-deriving it.  Registration invalidates the caches.
+    of re-deriving it.
+
+    **Invalidation contract:** every group has a monotonically
+    increasing *generation* (:meth:`group_generation`), bumped whenever
+    the group's membership changes.  The cached index and compiled tree
+    are tagged with the generation they were built from and are rebuilt
+    on the first lookup after a change; the fresh tree gets a fresh
+    process-unique :attr:`~CompiledRuleSet.generation`, which the
+    engine's normal-form cache keys on — so a mutated group can never
+    serve stale cached normal forms.
     """
 
     def __init__(self) -> None:
         self._rules: dict[str, Rule] = {}
         self._groups: dict[str, list[str]] = {}
-        self._group_indexes: dict[str, RuleIndex] = {}
+        self._generations: dict[str, int] = {}
+        self._group_indexes: dict[str, tuple[int, RuleIndex]] = {}
+        self._group_compiled: dict[str, tuple[int, CompiledRuleSet]] = {}
 
     # -- registration -------------------------------------------------------
+
+    def _bump(self, group: str) -> None:
+        self._generations[group] = self._generations.get(group, 0) + 1
 
     def add(self, one_rule: Rule, groups: Iterable[str] = ()) -> Rule:
         """Register a rule, optionally into one or more groups."""
@@ -40,7 +56,7 @@ class RuleBase:
         self._rules[one_rule.name] = one_rule
         for group in groups:
             self._groups.setdefault(group, []).append(one_rule.name)
-            self._group_indexes.pop(group, None)
+            self._bump(group)
         return one_rule
 
     def add_all(self, some_rules: Iterable[Rule],
@@ -52,11 +68,14 @@ class RuleBase:
     def extend_group(self, group: str, names: Iterable[str]) -> None:
         """Add already-registered rules (by name) to a group."""
         bucket = self._groups.setdefault(group, [])
+        changed = False
         for name in names:
             self.get(name)  # raises if unknown
             if name not in bucket:
                 bucket.append(name)
-        self._group_indexes.pop(group, None)
+                changed = True
+        if changed or group not in self._generations:
+            self._bump(group)
 
     # -- lookup --------------------------------------------------------------
 
@@ -86,14 +105,38 @@ class RuleBase:
             raise RewriteError(f"unknown rule group {name!r}") from None
         return [self._rules[rule_name] for rule_name in names]
 
+    def group_generation(self, name: str) -> int:
+        """How many times group ``name``'s membership has changed.
+
+        Raises for unknown groups (same contract as :meth:`group`).
+        """
+        if name not in self._groups:
+            raise RewriteError(f"unknown rule group {name!r}")
+        return self._generations.get(name, 0)
+
     def group_index(self, name: str) -> RuleIndex:
         """The cached head-operator :class:`RuleIndex` of group ``name``
-        (same rules, same priority order as :meth:`group`)."""
-        index = self._group_indexes.get(name)
-        if index is None:
+        (same rules, same priority order as :meth:`group`).  Rebuilt
+        automatically when the group's generation has moved on."""
+        generation = self.group_generation(name)
+        cached = self._group_indexes.get(name)
+        if cached is None or cached[0] != generation:
             index = RuleIndex(self.group(name))
-            self._group_indexes[name] = index
-        return index
+            self._group_indexes[name] = (generation, index)
+            return index
+        return cached[1]
+
+    def group_compiled(self, name: str) -> CompiledRuleSet:
+        """The cached compiled discrimination tree of group ``name``
+        (see :mod:`repro.rewrite.discrimination`), rebuilt — with a
+        fresh normal-form-cache generation — when the group changes."""
+        generation = self.group_generation(name)
+        cached = self._group_compiled.get(name)
+        if cached is None or cached[0] != generation:
+            compiled = compiled_ruleset(self.group_index(name))
+            self._group_compiled[name] = (generation, compiled)
+            return compiled
+        return cached[1]
 
     def group_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._groups))
