@@ -1,0 +1,318 @@
+"""Equality-saturation benchmark: sharing, plan quality, plan cache.
+
+Three claims are measured (and CI-enforced by ``--quick``):
+
+1. **Sharing** — the e-graph's reason to exist.  A naive BFS over
+   ``Engine.successors`` materializes every distinct term it reaches;
+   the e-graph represents the same rewrite space as e-node
+   recombinations.  At equal exploration depth, the e-graph must
+   represent at least **10x** more distinct terms per allocated e-node
+   than BFS stores per hash-consed term-DAG node.
+2. **Plan quality** — saturation search seeds the e-graph with the
+   greedy pipeline's forms and extracts over the candidate frontier,
+   so its chosen cost can never exceed greedy's.  Measured on the C4
+   workload (the Garage Query and the hidden-join family); the smoke
+   fails if any query comes out costlier, or if any run exhausts its
+   e-node budget (the default pool should saturate well inside it).
+3. **Plan cache** — re-optimizing an already-seen query must hit the
+   cross-query plan cache and return at least **5x** faster than the
+   cold saturation run (in practice it is a dictionary probe, orders
+   of magnitude faster).
+
+Run directly for the JSON artifact (written to ``BENCH_saturation.json``
+at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_saturation.py
+
+``--quick`` runs the CI smoke variant (shallower sharing sweep, single
+timing pass) and exits nonzero on any acceptance failure.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.optimizer.optimizer import Optimizer
+from repro.rewrite.engine import Engine
+from repro.rewrite.pattern import canon
+from repro.saturate.driver import SaturationBudget, Saturator
+from repro.schema.generator import GeneratorConfig, generate_database
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+from repro.workloads.queries import paper_queries
+
+#: Exploration depth for the sharing comparison (saturation iterations
+#: == BFS levels).
+SHARING_DEPTH = 3
+
+#: BFS frontier cap: keeps the naive side tractable.  Truncation is
+#: reported; it can only *undercount* BFS's reached terms, and the
+#: per-node sharing ratio it feeds is scale-insensitive.
+BFS_FRONTIER_CAP = 4_000
+
+#: ISSUE acceptance bars.
+MIN_SHARING_RATIO = 10.0
+MIN_CACHE_SPEEDUP = 5.0
+
+
+def _c4_workload():
+    """The plan-quality workload: the Garage Query plus the hidden-join
+    family (the queries whose payoff is the join plan)."""
+    queries = paper_queries()
+    workload = [("garage", queries.kg1)]
+    for depth in (1, 2, 3):
+        workload.append((f"hidden-join-d{depth}", translate_query(
+            hidden_join_family(HiddenJoinSpec(depth=depth)))))
+    return workload
+
+
+def _bench_db():
+    return generate_database(GeneratorConfig(
+        n_persons=100, n_vehicles=60, n_addresses=25, seed=2026))
+
+
+# -- 1. sharing: represented terms per e-node vs naive BFS ---------------
+
+
+def _bfs_explore(engine: Engine, rules, seed, depth: int) -> dict:
+    """Breadth-first rewrite exploration: every distinct term reached
+    within ``depth`` single rewrite steps, stored whole."""
+    seen = {canon(seed)}
+    frontier = [canon(seed)]
+    truncated = False
+    for _ in range(depth):
+        next_frontier = []
+        for term in frontier:
+            for result in engine.successors(term, rules):
+                if result.term not in seen:
+                    seen.add(result.term)
+                    next_frontier.append(result.term)
+            if len(seen) >= BFS_FRONTIER_CAP:
+                truncated = True
+                break
+        frontier = next_frontier
+        if truncated:
+            break
+    # Hash-consed storage footprint: distinct subterm objects across
+    # everything BFS materialized (terms are interned, so object
+    # identity is structural identity).
+    dag_nodes: set[int] = set()
+    stack = list(seen)
+    while stack:
+        node = stack.pop()
+        if id(node) in dag_nodes:
+            continue
+        dag_nodes.add(id(node))
+        stack.extend(node.args)
+    return {
+        "distinct_terms": len(seen),
+        "dag_nodes": len(dag_nodes),
+        "terms_per_node": round(len(seen) / max(1, len(dag_nodes)), 4),
+        "truncated": truncated,
+    }
+
+
+def measure_sharing(rulebase, depth: int = SHARING_DEPTH) -> dict:
+    queries = paper_queries()
+    rules = rulebase.group_compiled("saturate")
+    engine = Engine()
+
+    started = time.perf_counter()
+    run = Saturator(engine, rules, SaturationBudget(
+        max_iterations=depth)).run([queries.kg1])
+    saturate_ms = (time.perf_counter() - started) * 1000
+    # Cyclic classes (``f = f o id`` and friends) represent unboundedly
+    # many spellings; count up to a cap and say so.
+    count_cap = 10 ** 9
+    represented = run.egraph.represented_total(cap=count_cap)
+    enodes = run.egraph.enodes_allocated
+    egraph_ratio = represented / max(1, enodes)
+
+    started = time.perf_counter()
+    bfs = _bfs_explore(engine, rules, queries.kg1, depth)
+    bfs_ms = (time.perf_counter() - started) * 1000
+
+    return {
+        "depth": depth,
+        "egraph": {
+            "represented_terms": represented,
+            "count_capped": represented >= count_cap,
+            "enodes": enodes,
+            "terms_per_enode": round(egraph_ratio, 4),
+            "wall_ms": round(saturate_ms, 2),
+        },
+        "bfs": dict(bfs, wall_ms=round(bfs_ms, 2)),
+        "sharing_ratio": round(
+            egraph_ratio / max(1e-12, bfs["terms_per_node"]), 2),
+        "min_ratio": MIN_SHARING_RATIO,
+    }
+
+
+# -- 2. plan quality: saturation vs greedy on the C4 workload ------------
+
+
+def measure_plan_quality(rulebase, db) -> dict:
+    optimizer = Optimizer(rulebase)
+    rows = []
+    for name, query in _c4_workload():
+        greedy = optimizer.optimize(query, db, search="greedy")
+        saturate = optimizer.optimize(query, db, search="saturate")
+        report = saturate.saturation
+        rows.append({
+            "query": name,
+            "greedy_cost": round(greedy.estimated_cost, 2),
+            "saturate_cost": round(saturate.estimated_cost, 2),
+            "not_worse": saturate.estimated_cost <= greedy.estimated_cost,
+            "budget_hit": report.budget_hit if report else None,
+            "iterations": report.iterations if report else None,
+            "enodes": report.enodes if report else None,
+        })
+    return {"per_query": rows,
+            "all_not_worse": all(row["not_worse"] for row in rows),
+            "any_budget_exhausted": any(row["budget_hit"] == "enodes"
+                                        for row in rows)}
+
+
+# -- 3. plan cache: warm re-optimize vs cold saturation ------------------
+
+
+def measure_cache_speedup(rulebase, db, warm_repeats: int = 5) -> dict:
+    optimizer = Optimizer(rulebase, search="saturate")
+    queries = paper_queries()
+
+    optimizer.clear_plan_cache()
+    optimizer.engine.clear_nf_cache()
+    started = time.perf_counter()
+    cold_result = optimizer.optimize(queries.kg1, db)
+    cold_ms = (time.perf_counter() - started) * 1000
+
+    warm_ms = None
+    for _ in range(warm_repeats):
+        started = time.perf_counter()
+        warm_result = optimizer.optimize(queries.kg1, db)
+        elapsed = (time.perf_counter() - started) * 1000
+        warm_ms = elapsed if warm_ms is None else min(warm_ms, elapsed)
+    assert warm_result is cold_result, "warm call missed the plan cache"
+
+    return {
+        "cold_ms": round(cold_ms, 3),
+        "warm_ms": round(warm_ms, 4),
+        "speedup": round(cold_ms / max(1e-9, warm_ms), 1),
+        "min_speedup": MIN_CACHE_SPEEDUP,
+        "cache": optimizer.plan_cache_info(),
+    }
+
+
+# -- report assembly -----------------------------------------------------
+
+
+def run_report(depth: int = SHARING_DEPTH) -> dict:
+    from repro.rules.registry import standard_rulebase
+    rulebase = standard_rulebase()
+    db = _bench_db()
+    return {
+        "sharing": measure_sharing(rulebase, depth),
+        "plan_quality": measure_plan_quality(rulebase, db),
+        "plan_cache": measure_cache_speedup(rulebase, db),
+    }
+
+
+def _print_report(report: dict) -> None:
+    sharing = report["sharing"]
+    egraph, bfs = sharing["egraph"], sharing["bfs"]
+    print(f"sharing at depth {sharing['depth']}:")
+    print(f"  e-graph: {egraph['represented_terms']}"
+          + ("+ (capped)" if egraph["count_capped"] else "")
+          + f" terms / {egraph['enodes']} e-nodes "
+          f"= {egraph['terms_per_enode']} per e-node "
+          f"({egraph['wall_ms']} ms)")
+    print(f"  BFS:     {bfs['distinct_terms']} terms "
+          f"/ {bfs['dag_nodes']} DAG nodes "
+          f"= {bfs['terms_per_node']} per node "
+          f"({bfs['wall_ms']} ms"
+          + (", truncated" if bfs["truncated"] else "") + ")")
+    print(f"  sharing ratio: {sharing['sharing_ratio']}x "
+          f"(bar: {sharing['min_ratio']}x)")
+    print()
+    print(f"{'query':>16} {'greedy':>10} {'saturate':>10} "
+          f"{'not worse':>10} {'iters':>6} {'enodes':>7}")
+    for row in report["plan_quality"]["per_query"]:
+        print(f"{row['query']:>16} {row['greedy_cost']:>10} "
+              f"{row['saturate_cost']:>10} {str(row['not_worse']):>10} "
+              f"{row['iterations']:>6} {row['enodes']:>7}")
+    cache = report["plan_cache"]
+    print()
+    print(f"plan cache: cold {cache['cold_ms']} ms, warm "
+          f"{cache['warm_ms']} ms -> {cache['speedup']}x "
+          f"(bar: {cache['min_speedup']}x)")
+
+
+def _failures(report: dict) -> list[str]:
+    problems = []
+    sharing = report["sharing"]
+    if sharing["sharing_ratio"] < MIN_SHARING_RATIO:
+        problems.append(
+            f"sharing ratio {sharing['sharing_ratio']}x below the "
+            f"{MIN_SHARING_RATIO}x bar")
+    quality = report["plan_quality"]
+    for row in quality["per_query"]:
+        if not row["not_worse"]:
+            problems.append(
+                f"saturation costlier than greedy on {row['query']}: "
+                f"{row['saturate_cost']} > {row['greedy_cost']}")
+    if quality["any_budget_exhausted"]:
+        problems.append("a saturation run exhausted its e-node budget")
+    cache = report["plan_cache"]
+    if cache["speedup"] < MIN_CACHE_SPEEDUP:
+        problems.append(
+            f"plan-cache speedup {cache['speedup']}x below the "
+            f"{MIN_CACHE_SPEEDUP}x bar")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    report = run_report(depth=2 if quick else SHARING_DEPTH)
+    _print_report(report)
+    if not quick:
+        out = Path(__file__).resolve().parent.parent \
+            / "BENCH_saturation.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    problems = _failures(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("OK: saturation <= greedy everywhere, sharing and cache "
+              "bars met")
+    return 1 if problems else 0
+
+
+# -- pytest entry points -------------------------------------------------
+
+
+def test_sharing_ratio(rulebase):
+    """Acceptance: >= 10x distinct terms per e-node vs naive BFS."""
+    sharing = measure_sharing(rulebase, depth=2)
+    assert sharing["sharing_ratio"] >= MIN_SHARING_RATIO, sharing
+
+
+def test_saturation_not_worse_than_greedy(rulebase, db):
+    """Acceptance: saturation cost <= greedy on every C4 query, within
+    budget."""
+    quality = measure_plan_quality(rulebase, db)
+    assert quality["all_not_worse"], quality
+    assert not quality["any_budget_exhausted"], quality
+
+
+def test_plan_cache_speedup(rulebase, db):
+    """Acceptance: >= 5x wall-clock on a repeated query."""
+    cache = measure_cache_speedup(rulebase, db)
+    assert cache["speedup"] >= MIN_CACHE_SPEEDUP, cache
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

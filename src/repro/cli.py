@@ -58,6 +58,10 @@ def _build_parser() -> argparse.ArgumentParser:
     opt_cmd.add_argument("--seed", type=int, default=2026)
     opt_cmd.add_argument("--execute", action="store_true",
                          help="also run the chosen plan")
+    opt_cmd.add_argument("--search", choices=("greedy", "saturate"),
+                         default="greedy",
+                         help="plan search: greedy pipeline (default) "
+                         "or equality saturation over an e-graph")
 
     unt_cmd = sub.add_parser("untangle",
                              help="five-step hidden-join strategy")
@@ -118,7 +122,7 @@ def cmd_optimize(args) -> int:
     from repro.optimizer.optimizer import Optimizer
     db = _database(args)
     source = parse_obj(args.query) if args.kola else args.query
-    optimized = Optimizer().optimize(source, db)
+    optimized = Optimizer().optimize(source, db, search=args.search)
     print(optimized.explain())
     if args.execute:
         print("result:", value_repr(optimized.execute(db), limit=20))

@@ -15,7 +15,8 @@ against measured execution.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Hashable, NamedTuple
 
 from repro.core.terms import Term
 from repro.schema.adt import Database
@@ -25,13 +26,47 @@ DEFAULT_SELECTIVITY = 0.5
 #: Assumed cardinality of a set-valued attribute (cars, child, grgs).
 DEFAULT_FANOUT = 3.0
 
+#: Process-wide estimate-memo counters (across all CostModel instances;
+#: each instance owns its cache, the counters aggregate traffic the way
+#: :func:`repro.rewrite.pattern.canon_cache_stats` does for canon).
+_COST_HITS = 0
+_COST_MISSES = 0
+
+
+class CostCacheStats(NamedTuple):
+    """Hits/misses of the ``CostModel.estimate`` memo since process
+    start (aggregated over every model instance)."""
+
+    hits: int
+    misses: int
+
+
+def cost_cache_stats() -> CostCacheStats:
+    """Process-wide ``estimate`` memo traffic — the cost-model
+    counterpart of :func:`~repro.rewrite.pattern.canon_cache_stats`."""
+    return CostCacheStats(_COST_HITS, _COST_MISSES)
+
 
 @dataclass
 class CostModel:
-    """Tunable constants for cost estimation."""
+    """Tunable constants for cost estimation.
+
+    ``estimate`` is memoized per ``(interned query term, db stats
+    fingerprint, selectivity, fanout)``: e-graph extraction and the
+    plan-choice loop cost the same subterms O(e-nodes) times, and
+    interning makes the key a pair of identity probes.  The memo lives
+    on the instance (bounded FIFO); process-wide traffic is visible via
+    :func:`cost_cache_stats` and per-instance via
+    :meth:`estimate_cache_info`.
+    """
+
+    #: Cap on memoized estimates per model instance (FIFO eviction).
+    ESTIMATE_CACHE_MAX = 4096
 
     selectivity: float = DEFAULT_SELECTIVITY
     fanout: float = DEFAULT_FANOUT
+    _estimate_cache: dict = field(default_factory=dict, repr=False,
+                                  compare=False)
 
     def collection_size(self, db: Database, name: str) -> float:
         stats = db.stats()
@@ -41,7 +76,29 @@ class CostModel:
 
     def estimate(self, query: Term, db: Database) -> float:
         """Estimated work (elements touched) to evaluate ``query`` with
-        the naive operational semantics."""
+        the naive operational semantics.  Memoized — see the class
+        docstring."""
+        global _COST_HITS, _COST_MISSES
+        key = (query, db.stats_fingerprint(),
+               self.selectivity, self.fanout)
+        cached = self._estimate_cache.get(key)
+        if cached is not None:
+            _COST_HITS += 1
+            return cached
+        _COST_MISSES += 1
+        cost = self._estimate_uncached(query, db)
+        cache = self._estimate_cache
+        if len(cache) >= self.ESTIMATE_CACHE_MAX:
+            del cache[next(iter(cache))]
+        cache[key] = cost
+        return cost
+
+    def estimate_cache_info(self) -> dict:
+        """Size/limit of this instance's ``estimate`` memo."""
+        return {"size": len(self._estimate_cache),
+                "max_size": self.ESTIMATE_CACHE_MAX}
+
+    def _estimate_uncached(self, query: Term, db: Database) -> float:
         if query.op != "invoke":
             return 1.0
         fn, arg = query.args
@@ -113,6 +170,47 @@ class CostModel:
             # Attribute read; set-valued attributes fan out.
             return 1.0, self.fanout
         return 1.0, card
+
+    # -- e-graph extraction ----------------------------------------------------
+
+    def enode_cost(self, op: str, label: Hashable,
+                   child_costs: list[float]) -> float:
+        """Bottom-up cost of one e-node given its children's costs — the
+        context-free generalization of :meth:`estimate` that e-graph
+        extraction needs (an e-class member has no single input
+        cardinality flowing through it, so per-operator weights stand in
+        for the cardinality algebra; the optimizer re-ranks the
+        extracted frontier with the real model).
+
+        Strictly positive on top of the children's total, so minimal
+        extraction derivations are acyclic (see
+        :mod:`repro.saturate.extract`).
+        """
+        weight = _EXTRACT_WEIGHTS.get(op)
+        if weight is None:
+            weight = max(_LEAF_COSTS.get(op, 1.0), _MIN_NODE_WEIGHT)
+        return weight + sum(child_costs)
+
+
+#: Extraction weights for the operators whose *shape* (not per-element
+#: cost) decides plan quality: a correlated inner query (``iter``) hides
+#: a nested loop — the very thing untangling removes — while ``join``
+#: marks the specialized-implementation form the plan recognizers want.
+_EXTRACT_WEIGHTS: dict[str, float] = {
+    "iter": 40.0,        # correlated subquery: re-runs per outer element
+    "iterate": 4.0,
+    "bag_iterate": 4.0,
+    "list_iterate": 4.0,
+    "join": 6.0,
+    "bag_join": 6.0,
+    "nest": 2.0,
+    "unnest": 2.0,
+    "flat": 3.0,
+}
+
+#: Floor for extraction node weights (keeps minimal derivations acyclic
+#: even for operators the leaf table prices at 0).
+_MIN_NODE_WEIGHT = 0.1
 
 
 def estimate_cost(query: Term, db: Database,

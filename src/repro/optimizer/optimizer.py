@@ -15,6 +15,25 @@ Pipeline (each stage is skippable and inspectable):
    specialized :class:`JoinNestPlan`; otherwise interpret.  The cheaper
    plan (by the cost model) wins.
 
+Two **search modes** drive stage 5:
+
+* ``search="greedy"`` (default) — commit to the simplify->untangle
+  path and plan the single resulting form, exactly the paper's
+  strategy-driven optimizer.
+* ``search="saturate"`` — equality-saturation search
+  (:mod:`repro.saturate`): the initial, simplified and untangled forms
+  seed one e-graph, the saturation-safe rule pool explores further
+  equal forms under iteration/e-node budgets, and cost-based extraction
+  plus plan recognition over the extracted frontier choose the plan.
+  The greedy result is one of the seeds, so the chosen plan is never
+  costlier than greedy's — budget exhaustion degrades to greedy, not to
+  failure.
+
+Results are memoized in a cross-call **plan cache** keyed on the
+interned initial KOLA term, the rulebase generation, the database's
+stats fingerprint and the search mode: re-optimizing a repeated query
+(the serving hot path) is a dictionary hit.
+
 The result is an :class:`OptimizedQuery` holding every intermediate
 form, the full derivation (each step justified by a rule), and the
 chosen plan.
@@ -32,17 +51,30 @@ from repro.optimizer.cost import CostModel
 from repro.optimizer.physical import (InterpretPlan, JoinNestPlan,
                                       PhysicalPlan, recognize_join_nest)
 from repro.rewrite.engine import Engine
+from repro.rewrite.pattern import canon
 from repro.rewrite.rulebase import RuleBase
 from repro.rewrite.trace import Derivation
 from repro.rules.registry import standard_rulebase
+from repro.saturate.driver import (SaturationBudget, SaturationReport,
+                                   Saturator)
+from repro.saturate.extract import Extractor
 from repro.schema.adt import Database
 from repro.translate.aqua_to_kola import translate_query
 from repro.translate.oql import parse_oql
 
+#: Search modes accepted by :meth:`Optimizer.optimize`.
+SEARCH_MODES = ("greedy", "saturate")
+
 
 @dataclass
 class OptimizedQuery:
-    """Everything the optimizer produced for one input query."""
+    """Everything the optimizer produced for one input query.
+
+    ``estimated_cost`` is ``None`` when the plan could not be costed —
+    no database was supplied, so there are no cardinalities to estimate
+    from.  (It is never NaN: an uncosted plan is an explicit state, not
+    a number that silently poisons ``<=`` comparisons.)
+    """
 
     source: object                 # OQL text, AQUA expression, or KOLA term
     aqua: AquaExpr | None
@@ -51,22 +83,31 @@ class OptimizedQuery:
     untangled: Term
     plan: PhysicalPlan
     derivation: Derivation
-    estimated_cost: float
+    estimated_cost: float | None
+    search: str = "greedy"
+    chosen: Term | None = None     # saturate mode: the extracted form
+    saturation: SaturationReport | None = None
 
     def execute(self, db: Database) -> object:
         return self.plan.execute(db)
 
     def explain(self) -> str:
+        cost = ("(not costed: no db)" if self.estimated_cost is None
+                else f"{self.estimated_cost:.1f}")
         lines = [
             "== optimized query ==",
             f"initial:    {self.initial!r}",
             f"simplified: {self.simplified!r}",
             f"untangled:  {self.untangled!r}",
             f"steps:      {' '.join(self.derivation.rules_used()) or '(none)'}",
-            f"est. cost:  {self.estimated_cost:.1f}",
-            "plan:",
-            self.plan.explain(),
+            f"search:     {self.search}",
+            f"est. cost:  {cost}",
         ]
+        if self.saturation is not None:
+            lines.append(f"saturation: {self.saturation.summary()}")
+        if self.chosen is not None and self.chosen is not self.untangled:
+            lines.append(f"extracted:  {self.chosen!r}")
+        lines += ["plan:", self.plan.explain()]
         return "\n".join(lines)
 
 
@@ -76,26 +117,153 @@ class Optimizer:
     One :class:`~repro.rewrite.engine.Engine` is shared across
     ``optimize`` calls, so its normal-form cache persists: repeated
     simplification of shared subqueries (or re-optimizing the same
-    query) hits memoized normal forms instead of re-scanning.
+    query) hits memoized normal forms instead of re-scanning.  On top
+    of that sits the **plan cache** — whole optimize results keyed on
+    ``(interned initial term, rulebase generation, db stats
+    fingerprint, search mode)`` — so a repeated query skips rewriting,
+    search and planning entirely.
+
+    Args:
+        search: default search mode, ``"greedy"`` or ``"saturate"``
+            (overridable per :meth:`optimize` call).
+        saturation_budget: budgets for saturate-mode runs.
     """
+
+    #: Cap on cached optimize results (FIFO eviction).
+    PLAN_CACHE_MAX = 1024
 
     def __init__(self, rulebase: RuleBase | None = None,
                  cost_model: CostModel | None = None,
                  catalog: "IndexCatalog | None" = None,
-                 engine: Engine | None = None) -> None:
+                 engine: Engine | None = None,
+                 search: str = "greedy",
+                 saturation_budget: SaturationBudget | None = None) -> None:
         from repro.optimizer.indexes import IndexCatalog
+        if search not in SEARCH_MODES:
+            raise ValueError(f"unknown search mode {search!r}; "
+                             f"expected one of {SEARCH_MODES}")
         self.rulebase = rulebase or standard_rulebase()
         self.cost_model = cost_model or CostModel()
         self.catalog = catalog or IndexCatalog()
         self.engine = engine if engine is not None else Engine()
+        self.search = search
+        self.saturation_budget = saturation_budget or SaturationBudget()
+        self._plan_cache: dict = {}
+        self._plan_cache_hits = 0
+        self._plan_cache_misses = 0
 
-    def optimize(self, query: object,
-                 db: Database | None = None) -> OptimizedQuery:
+    # -- plan cache ---------------------------------------------------------
+
+    def plan_cache_info(self) -> dict:
+        """Size and traffic of the cross-query plan cache."""
+        return {"size": len(self._plan_cache),
+                "max_size": self.PLAN_CACHE_MAX,
+                "hits": self._plan_cache_hits,
+                "misses": self._plan_cache_misses}
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached optimize results (keeps the counters)."""
+        self._plan_cache.clear()
+
+    def _cache_key(self, initial: Term, db: Database | None,
+                   search: str) -> tuple:
+        fingerprint = None if db is None else db.stats_fingerprint()
+        return (initial, self.rulebase.generation, fingerprint, search)
+
+    # -- planning helpers ---------------------------------------------------
+
+    def _choose_plan(self, term: Term, db: Database | None,
+                     ) -> tuple[PhysicalPlan, float | None]:
+        """The cheapest recognized plan for one query form.
+
+        Without a database nothing can be costed: the specialized join
+        plan is preferred whenever it is recognizable and the estimate
+        is ``None``.
+        """
+        plan: PhysicalPlan = InterpretPlan(term)
+        estimated = (plan.cost_estimate(db, self.cost_model)
+                     if db is not None else None)
+
+        join_plan = recognize_join_nest(term)
+        if join_plan is not None:
+            if db is None:
+                plan = join_plan
+            else:
+                join_cost = join_plan.cost_estimate(db, self.cost_model)
+                if join_cost <= estimated:
+                    plan, estimated = join_plan, join_cost
+
+        from repro.optimizer.indexes import recognize_index_scan
+        index_plan = recognize_index_scan(term, self.catalog)
+        if index_plan is not None and db is not None:
+            index_cost = index_plan.cost_estimate(db, self.cost_model)
+            if index_cost <= estimated:
+                plan, estimated = index_plan, index_cost
+
+        return plan, estimated
+
+    def _saturation_rules(self):
+        """The compiled saturation pool (falls back to ``simplify`` for
+        rulebases that do not define a ``saturate`` group)."""
+        from repro.core.errors import RewriteError
+        try:
+            return self.rulebase.group_compiled("saturate")
+        except RewriteError:
+            return self.rulebase.group_compiled("simplify")
+
+    def _saturate_plan(self, initial: Term, simplified: Term,
+                       untangled: Term, db: Database | None,
+                       ) -> tuple[PhysicalPlan, float | None, Term,
+                                  SaturationReport]:
+        """Saturation-mode plan choice.
+
+        Seeds the e-graph with every form the greedy pipeline produced
+        (they are rule-equal by construction), saturates under budget,
+        then evaluates plans over the extracted candidate frontier plus
+        the greedy form itself — so the outcome can only improve on
+        greedy, never regress, even when a budget is hit immediately.
+        """
+        saturator = Saturator(self.engine, self._saturation_rules(),
+                              self.saturation_budget)
+        run = saturator.run([initial, simplified, untangled])
+        extractor = Extractor(run.egraph, self.cost_model)
+        frontier = extractor.candidates(run.root)
+
+        best_plan, best_cost = self._choose_plan(untangled, db)
+        best_term = untangled
+        for candidate in frontier:
+            if candidate.term is best_term:
+                continue
+            plan, cost = self._choose_plan(candidate.term, db)
+            if db is None:
+                # No cardinalities: only upgrade interpretation to a
+                # recognized specialized plan, mirroring greedy.
+                if (isinstance(best_plan, InterpretPlan)
+                        and not isinstance(plan, InterpretPlan)):
+                    best_plan, best_cost, best_term = plan, cost, \
+                        candidate.term
+                continue
+            if cost is not None and cost < best_cost:
+                best_plan, best_cost, best_term = plan, cost, \
+                    candidate.term
+        return best_plan, best_cost, best_term, run.report
+
+    # -- the pipeline -------------------------------------------------------
+
+    def optimize(self, query: object, db: Database | None = None,
+                 search: str | None = None) -> OptimizedQuery:
         """Optimize OQL text, an AQUA expression, or a KOLA query term.
 
         ``db`` provides cardinalities for plan choice; without it, the
-        untangled plan is preferred whenever it is recognizable.
+        untangled plan is preferred whenever it is recognizable and
+        ``estimated_cost`` is ``None``.  ``search`` overrides the
+        optimizer's default mode for this call.
         """
+        mode = search if search is not None else self.search
+        if mode not in SEARCH_MODES:
+            raise ValueError(f"unknown search mode {mode!r}; "
+                             f"expected one of {SEARCH_MODES}")
+
         aqua: AquaExpr | None = None
         if isinstance(query, str):
             aqua = parse_oql(query)
@@ -107,6 +275,14 @@ class Optimizer:
             initial = query
         else:
             raise TypeError(f"cannot optimize {query!r}")
+        initial = canon(initial)
+
+        key = self._cache_key(initial, db, mode)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            self._plan_cache_hits += 1
+            return cached
+        self._plan_cache_misses += 1
 
         engine = self.engine
         derivation = Derivation("optimization")
@@ -117,27 +293,21 @@ class Optimizer:
         untangled = run_blocks(hidden_join_blocks(), simplified,
                                self.rulebase, engine, derivation)
 
-        plan: PhysicalPlan = InterpretPlan(untangled)
-        estimated = (plan.cost_estimate(db, self.cost_model)
-                     if db is not None else float("inf"))
+        chosen: Term | None = None
+        report: SaturationReport | None = None
+        if mode == "saturate":
+            plan, estimated, chosen, report = self._saturate_plan(
+                initial, simplified, untangled, db)
+        else:
+            plan, estimated = self._choose_plan(untangled, db)
 
-        join_plan = recognize_join_nest(untangled)
-        if join_plan is not None:
-            if db is None:
-                plan, estimated = join_plan, float("nan")
-            else:
-                join_cost = join_plan.cost_estimate(db, self.cost_model)
-                if join_cost <= estimated:
-                    plan, estimated = join_plan, join_cost
-
-        from repro.optimizer.indexes import recognize_index_scan
-        index_plan = recognize_index_scan(untangled, self.catalog)
-        if index_plan is not None and db is not None:
-            index_cost = index_plan.cost_estimate(db, self.cost_model)
-            if index_cost <= estimated:
-                plan, estimated = index_plan, index_cost
-
-        return OptimizedQuery(source=query, aqua=aqua, initial=initial,
-                              simplified=simplified, untangled=untangled,
-                              plan=plan, derivation=derivation,
-                              estimated_cost=estimated)
+        result = OptimizedQuery(source=query, aqua=aqua, initial=initial,
+                                simplified=simplified, untangled=untangled,
+                                plan=plan, derivation=derivation,
+                                estimated_cost=estimated, search=mode,
+                                chosen=chosen, saturation=report)
+        cache = self._plan_cache
+        if len(cache) >= self.PLAN_CACHE_MAX:
+            del cache[next(iter(cache))]
+        cache[key] = result
+        return result

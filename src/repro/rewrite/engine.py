@@ -747,6 +747,34 @@ class Engine:
         self._rewrite_everywhere_at(term, one_rule, (), results)
         return results
 
+    def rewrites_at(self, node: Term,
+                    rules) -> list[tuple[Rule, Term, dict]]:
+        """All rule firings *at* ``node`` itself — direct matches, chain
+        windows and invocation peels, but no descent into subterms — in
+        priority order, at most one outcome per rule.
+
+        This is the batch-dispatch surface the equality-saturation
+        driver uses: every e-class representative is the root of its own
+        view, so node-local retrieval (one discrimination-trie traversal
+        under compiled dispatch) covers the whole graph without the
+        per-subtree duplication of :meth:`successors`.  Returned terms
+        are canonical replacements for ``node`` as a whole.
+        """
+        node = canon(node)
+        candidates = self._as_candidates(rules)
+        if isinstance(candidates, CompiledRuleSet):
+            return [(one_rule, new_node, bindings)
+                    for _, one_rule, new_node, bindings
+                    in self._iter_compiled_hits(node, candidates)]
+        if isinstance(candidates, RuleIndex):
+            candidates = candidates.candidates(node.op)
+        outcomes: list[tuple[Rule, Term, dict]] = []
+        for one_rule in candidates:
+            outcome = self.try_rule_at(node, one_rule)
+            if outcome is not None:
+                outcomes.append((one_rule, outcome[0], outcome[1]))
+        return outcomes
+
     def successors(self, term: Term, rules) -> list[RewriteResult]:
         """All single-step rewrites of ``term`` by any rule in the pool
         — the union of :meth:`rewrite_everywhere` over every rule, in

@@ -41,6 +41,7 @@ class RuleBase:
         self._rules: dict[str, Rule] = {}
         self._groups: dict[str, list[str]] = {}
         self._generations: dict[str, int] = {}
+        self._generation_total = 0
         self._group_indexes: dict[str, tuple[int, RuleIndex]] = {}
         self._group_compiled: dict[str, tuple[int, CompiledRuleSet]] = {}
 
@@ -48,6 +49,15 @@ class RuleBase:
 
     def _bump(self, group: str) -> None:
         self._generations[group] = self._generations.get(group, 0) + 1
+        self._generation_total += 1
+
+    @property
+    def generation(self) -> int:
+        """A monotone counter over *every* membership change in *any*
+        group — the whole-rulebase fingerprint the optimizer's
+        cross-query plan cache keys on (any rule change invalidates
+        cached plans, conservatively)."""
+        return self._generation_total
 
     def add(self, one_rule: Rule, groups: Iterable[str] = ()) -> Rule:
         """Register a rule, optionally into one or more groups."""

@@ -16,7 +16,20 @@ group                     contents
 ``pool``                  the full extended pool
 ``conditional``           precondition-guarded rules
 ``pair-to-cross``         the spelling normalizers used after hidden-join step 5
+``saturate``              the saturation-safe pool for equality-saturation
+                          search: simplify + fig8 + pair-to-cross +
+                          fig4 + fig5
 ========================  =====================================================
+
+**Saturation safety.**  A rule group is *saturation-safe* when applying
+it inside the budgeted e-graph search is productive: terminating groups
+(``cleanup``, ``simplify``) trivially are, and the hidden-join rules
+are because the e-graph keeps every intermediate form instead of
+committing to one.  The ``_EXPANSIONARY`` pool rules are
+*expansion-only*: sound, but they enlarge terms without bound and only
+burn the e-node budget, so they are excluded from ``saturate`` (and
+from ``simplify``) by default — tag new rules accordingly (see
+``docs/rules-catalog.md``).
 """
 
 from __future__ import annotations
@@ -97,6 +110,27 @@ def standard_rulebase() -> RuleBase:
                  and entry.rule.name not in _EXPANSIONARY
                  and entry.rule.name not in _SHAPE_CHANGING]
     base.extend_group("simplify", simplify)
+
+    # The equality-saturation pool: everything saturation-safe that the
+    # greedy pipeline uses — the terminating simplify group, the
+    # hidden-join rules (17-24: individually expansionary or
+    # shape-changing, which is exactly why greedy sequences them in
+    # blocks and why saturation, which keeps every form, can apply them
+    # freely under an e-node budget), and the pair/cross spelling
+    # normalizers the plan recognizers expect.  ``_EXPANSIONARY`` pool
+    # rules stay out by default: they grow the e-graph without opening
+    # plan shapes; callers wanting them can extend the group (the
+    # generation bump invalidates compiled trees and cached plans).
+    base.extend_group("saturate", [r.name for r in base.group("simplify")])
+    base.extend_group("saturate", [r.name for r in base.group("fig8")])
+    base.extend_group("saturate",
+                      [r.name for r in base.group("pair-to-cross")])
+    # The Figure 4/5 equalities: individually small (no unbounded
+    # growth) and load-bearing — the hidden-join derivation interleaves
+    # them between the fig8 steps, so without them saturation cannot
+    # retrace the untangling from the nested seed alone.
+    base.extend_group("saturate", [r.name for r in base.group("fig4")])
+    base.extend_group("saturate", [r.name for r in base.group("fig5")])
 
     # Warm the per-group dispatch indexes once: every consumer (the
     # optimizer's simplify pass, COKO strategies, benchmarks) then

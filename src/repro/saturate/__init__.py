@@ -1,0 +1,35 @@
+"""Equality-saturation plan search over hash-consed KOLA terms.
+
+Submodules:
+
+* :mod:`repro.saturate.egraph` — e-classes, union-find, congruence
+  closure, representative sampling, represented-term counting;
+* :mod:`repro.saturate.ematch` — rule patterns matched against
+  e-classes (metavariables bind whole classes; RHS instantiated
+  directly as e-nodes);
+* :mod:`repro.saturate.driver` — the budgeted saturation loop: the
+  e-match pass plus an engine-based representative pass per round;
+* :mod:`repro.saturate.extract` — cost-based extraction of the best
+  represented term(s).
+
+The optimizer's ``search="saturate"`` mode
+(:class:`repro.optimizer.optimizer.Optimizer`) is the intended consumer.
+"""
+
+from repro.saturate.driver import (SaturationBudget, SaturationReport,
+                                   SaturationRun, Saturator)
+from repro.saturate.egraph import EGraph
+from repro.saturate.extract import (Extraction, Extractor,
+                                    extract_best, extract_candidates)
+
+__all__ = [
+    "EGraph",
+    "Extraction",
+    "Extractor",
+    "SaturationBudget",
+    "SaturationReport",
+    "SaturationRun",
+    "Saturator",
+    "extract_best",
+    "extract_candidates",
+]

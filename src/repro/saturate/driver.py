@@ -1,0 +1,194 @@
+"""The equality-saturation driver.
+
+Each round runs two complementary match passes over the e-graph:
+
+1. **E-matching** (:mod:`repro.saturate.ematch`) — every rule's LHS is
+   matched against every e-class, metavariables binding to whole
+   classes, and the RHS is instantiated directly as e-nodes.  This is
+   the complete pass: it sees spellings that exist only as e-node
+   recombinations, which is what lets saturation retrace derivations
+   that grow a term before paying off (the hidden-join untangling).
+2. **Representative rewriting** — a bounded set of member terms per
+   class (:meth:`~repro.saturate.egraph.EGraph.sample_terms`) is pushed
+   through :meth:`~repro.rewrite.engine.Engine.rewrites_at`, covering
+   the engine's special application phases (typed-apply checks,
+   precondition oracles, invocation peeling) that the structural
+   e-matcher does not model.
+
+Rewrites inside subterms need no positional bookkeeping in either pass:
+every subterm is the root of its own e-class, and congruence closure
+(:meth:`~repro.saturate.egraph.EGraph.rebuild`) propagates child merges
+into every enclosing context — exactly the duplicated work that naive
+``Engine.successors`` BFS pays once per context.
+
+Budgets make the search total: the pool contains expansionary rules
+(rule 17 and friends grow terms without bound), so the driver stops at
+``max_iterations`` rounds or ``max_enodes`` allocated e-nodes,
+whichever comes first.  The e-graph is valid at every point, so hitting
+a budget degrades to "best plan found so far" rather than failure — the
+optimizer additionally keeps the greedy pipeline's result as a seed, so
+budget exhaustion can never produce a worse plan than greedy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.terms import Term
+from repro.rewrite.engine import Engine, _typed_apply_ok
+from repro.saturate.egraph import EGraph
+from repro.saturate.ematch import EMatcher
+
+
+@dataclass(frozen=True)
+class SaturationBudget:
+    """Resource limits for one saturation run.
+
+    Attributes:
+        max_iterations: saturation rounds (each round e-matches every
+            rule against every e-class once).
+        max_enodes: stop once this many e-nodes have been allocated.
+        reps_per_class: representative terms rewritten per class per
+            round by the engine-based pass (0 disables it).
+    """
+
+    max_iterations: int = 8
+    max_enodes: int = 20_000
+    reps_per_class: int = 2
+
+
+@dataclass
+class SaturationReport:
+    """What a saturation run did (attached to the optimizer output)."""
+
+    iterations: int = 0
+    enodes: int = 0
+    classes: int = 0
+    rewrites_applied: int = 0
+    merges: int = 0
+    saturated: bool = False
+    budget_hit: str | None = None
+
+    def summary(self) -> str:
+        state = ("saturated" if self.saturated
+                 else f"budget hit ({self.budget_hit})"
+                 if self.budget_hit else "iteration cap")
+        return (f"{self.iterations} iteration(s), {self.enodes} e-nodes, "
+                f"{self.classes} classes, "
+                f"{self.rewrites_applied} rewrites applied — {state}")
+
+
+@dataclass
+class SaturationRun:
+    """A finished run: the e-graph, the root class, and the report."""
+
+    egraph: EGraph
+    root: int
+    report: SaturationReport
+    seeds: tuple[Term, ...] = field(default=())
+
+    @property
+    def root_class(self) -> int:
+        return self.egraph.find(self.root)
+
+
+class Saturator:
+    """Applies a rule pool to an e-graph until fixpoint or budget."""
+
+    def __init__(self, engine: Engine, rules,
+                 budget: SaturationBudget | None = None) -> None:
+        self.engine = engine
+        self.rules = rules
+        self.budget = budget or SaturationBudget()
+
+    def run(self, seeds: list[Term] | tuple[Term, ...]) -> SaturationRun:
+        """Saturate starting from ``seeds``.
+
+        All seeds are asserted equal (they must be rule-derivable from
+        one another — the optimizer seeds the initial query plus the
+        greedy pipeline's forms) and merged into one root class.
+        """
+        if not seeds:
+            raise ValueError("saturation needs at least one seed term")
+        budget = self.budget
+        egraph = EGraph()
+        report = SaturationReport()
+        root = egraph.add(seeds[0])
+        for seed in seeds[1:]:
+            root = egraph.merge(root, egraph.add(seed))
+        egraph.rebuild()
+        matcher = EMatcher(egraph, self.rules)
+
+        for iteration in range(budget.max_iterations):
+            if egraph.enodes_allocated >= budget.max_enodes:
+                report.budget_hit = "enodes"
+                break
+            report.iterations = iteration + 1
+            matcher.refresh()
+            progressed = self._ematch_round(egraph, matcher, report,
+                                            budget)
+            if not report.budget_hit and budget.reps_per_class:
+                progressed |= self._representative_round(
+                    egraph, matcher, report, budget)
+            egraph.rebuild()
+            if report.budget_hit:
+                break
+            if not progressed:
+                report.saturated = True
+                break
+
+        root = egraph.find(root)
+        report.enodes = egraph.enodes_allocated
+        report.classes = egraph.class_count()
+        report.merges = egraph.merges
+        return SaturationRun(egraph=egraph, root=root, report=report,
+                             seeds=tuple(seeds))
+
+    # -- the two passes -----------------------------------------------------
+
+    def _ematch_round(self, egraph: EGraph, matcher: EMatcher,
+                      report: SaturationReport,
+                      budget: SaturationBudget) -> bool:
+        """Match every rule against every class, instantiate each RHS
+        as e-nodes, merge.  Returns whether anything changed."""
+        progressed = False
+        for match in matcher.match_all():
+            if match.rule.needs_typed_apply:
+                pair = matcher.ground_pair(match)
+                if pair is None or not _typed_apply_ok(*pair):
+                    continue
+            new_cid = matcher.instantiate(match)
+            if egraph.find(new_cid) != egraph.find(match.cid):
+                progressed = True
+                report.rewrites_applied += 1
+            egraph.merge(match.cid, new_cid)
+            if egraph.enodes_allocated >= budget.max_enodes:
+                report.budget_hit = "enodes"
+                break
+        return progressed
+
+    def _representative_round(self, egraph: EGraph, matcher: EMatcher,
+                              report: SaturationReport,
+                              budget: SaturationBudget) -> bool:
+        """Rewrite sampled member terms through the engine (covers
+        oracle preconditions, typed application and peeling — the
+        phases the structural e-matcher does not model)."""
+        best = egraph.best_terms()
+        matches: list[tuple[int, Term]] = []
+        for cid in egraph.class_ids():
+            for rep in egraph.sample_terms(
+                    cid, budget.reps_per_class, best):
+                for _, new_term, _ in self.engine.rewrites_at(
+                        rep, self.rules):
+                    matches.append((cid, new_term))
+        progressed = False
+        for cid, new_term in matches:
+            new_id = egraph.add(new_term)
+            if egraph.find(new_id) != egraph.find(cid):
+                progressed = True
+                report.rewrites_applied += 1
+            egraph.merge(cid, new_id)
+            if egraph.enodes_allocated >= budget.max_enodes:
+                report.budget_hit = "enodes"
+                break
+        return progressed

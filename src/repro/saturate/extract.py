@@ -1,0 +1,140 @@
+"""Cost-based extraction: the best term an e-graph represents.
+
+After saturation, each e-class stands for (up to exponentially) many
+equal terms; extraction picks one representative per class, bottom-up,
+under a cost function.  The cost function is
+:meth:`repro.optimizer.cost.CostModel.enode_cost` — a context-free
+per-operator approximation of the optimizer's cardinality model (one
+e-node's cost given its children's costs) — memoized per class by the
+fixpoint below.
+
+The computation is the classic Bellman-style relaxation: ``cost(class)
+= min over its e-nodes of enode_cost(op, child costs)``, iterated until
+stable.  Because every e-node cost is strictly positive on top of its
+children's costs, minimal derivations are acyclic, so the subsequent
+top-down build terminates even on cyclic classes (``x = f(x)`` shapes
+from identity-rule merges).  Every class has at least one inserted
+member term, so the fixpoint always converges to a total, finite map.
+
+:func:`extract_candidates` returns a *frontier*, not just the single
+argmin: one best term per root e-node, cheapest first.  The optimizer
+runs plan recognition and the (cardinality-aware, db-dependent) real
+cost model over that frontier — the context-free extraction cost ranks
+candidates, the real model picks the winner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from repro.core.terms import Term
+from repro.rewrite.pattern import canon
+from repro.saturate.egraph import EGraph
+
+if TYPE_CHECKING:  # imported lazily at runtime: repro.optimizer's
+    # package __init__ pulls in the Optimizer, which imports this module
+    from repro.optimizer.cost import CostModel
+
+
+@dataclass(frozen=True)
+class Extraction:
+    """One extracted candidate and its extraction-model cost."""
+
+    term: Term
+    cost: float
+
+
+class Extractor:
+    """Bottom-up, memoized best-member extraction over one e-graph."""
+
+    def __init__(self, egraph: EGraph,
+                 model: "CostModel | None" = None) -> None:
+        from repro.optimizer.cost import CostModel
+        self.egraph = egraph
+        self.model = model or CostModel()
+        self._costs: dict[int, tuple[float, tuple]] = {}
+        self._built: dict[int, Term] = {}
+        self._relax()
+
+    def _relax(self) -> None:
+        """Fixpoint: best (cost, e-node) per class under ``enode_cost``."""
+        egraph, model = self.egraph, self.model
+        costs = self._costs
+        changed = True
+        while changed:
+            changed = False
+            for cid in egraph.class_ids():
+                for node in egraph.enodes_of(cid):
+                    op, label, child_ids = node
+                    child_costs = []
+                    feasible = True
+                    for child in child_ids:
+                        entry = costs.get(egraph.find(child))
+                        if entry is None:
+                            feasible = False
+                            break
+                        child_costs.append(entry[0])
+                    if not feasible:
+                        continue
+                    cost = model.enode_cost(op, label, child_costs)
+                    current = costs.get(cid)
+                    if current is None or cost < current[0]:
+                        costs[cid] = (cost, node)
+                        changed = True
+
+    def cost_of(self, cid: int) -> float:
+        """The extraction cost of class ``cid``'s best member."""
+        return self._costs[self.egraph.find(cid)][0]
+
+    def extract(self, cid: int) -> Term:
+        """The best (cheapest) term represented by class ``cid``."""
+        cid = self.egraph.find(cid)
+        built = self._built.get(cid)
+        if built is not None:
+            return built
+        _, (op, label, child_ids) = self._costs[cid]
+        term = canon(Term(
+            op, tuple(self.extract(child) for child in child_ids), label))
+        self._built[cid] = term
+        return term
+
+    def candidates(self, cid: int, limit: int = 16) -> list[Extraction]:
+        """Up to ``limit`` candidate terms of class ``cid`` — one per
+        e-node (its best-child build), cheapest first, deduplicated."""
+        egraph, model = self.egraph, self.model
+        cid = egraph.find(cid)
+        scored: list[tuple[float, Term]] = []
+        seen: set[Term] = set()
+        for op, label, child_ids in egraph.enodes_of(cid):
+            resolved = [egraph.find(child) for child in child_ids]
+            entries = [self._costs.get(child) for child in resolved]
+            if any(entry is None for entry in entries):
+                continue
+            cost = model.enode_cost(
+                op, label, [entry[0] for entry in entries])
+            term = canon(Term(
+                op, tuple(self.extract(child) for child in resolved),
+                label))
+            if term in seen:
+                continue
+            seen.add(term)
+            scored.append((cost, term))
+        scored.sort(key=lambda pair: (pair[0], pair[1].size()))
+        return [Extraction(term=term, cost=cost)
+                for cost, term in scored[:limit]]
+
+
+def extract_best(egraph: EGraph, cid: int,
+                 model: "CostModel | None" = None) -> Extraction:
+    """Convenience: the single cheapest term of class ``cid``."""
+    extractor = Extractor(egraph, model)
+    return Extraction(term=extractor.extract(cid),
+                      cost=extractor.cost_of(cid))
+
+
+def extract_candidates(egraph: EGraph, cid: int,
+                       model: "CostModel | None" = None,
+                       limit: int = 16) -> list[Extraction]:
+    """Convenience: the candidate frontier of class ``cid``."""
+    return Extractor(egraph, model).candidates(cid, limit)

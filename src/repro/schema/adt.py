@@ -228,3 +228,10 @@ class Database:
     def stats(self) -> dict[str, int]:
         """Collection cardinalities (used by the cost model)."""
         return {name: len(items) for name, items in self._collections.items()}
+
+    def stats_fingerprint(self) -> tuple[tuple[str, int], ...]:
+        """A hashable snapshot of :meth:`stats` — the cache key the
+        cost-model memo and the optimizer's plan cache use, so two
+        databases with identical cardinalities share cached estimates
+        and cached plans."""
+        return tuple(sorted(self.stats().items()))

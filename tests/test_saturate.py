@@ -1,0 +1,339 @@
+"""Equality-saturation search: the driver, cost-based extraction, the
+optimizer's ``search="saturate"`` mode, the cross-query plan cache, the
+cost-model memo, and the uncosted-plan (no-db) regression."""
+
+import pytest
+
+from repro.core.eval import eval_obj
+from repro.optimizer.cost import CostModel, cost_cache_stats
+from repro.optimizer.optimizer import Optimizer
+from repro.optimizer.physical import JoinNestPlan
+from repro.rewrite.engine import Engine
+from repro.saturate import (Extractor, SaturationBudget, Saturator,
+                            extract_best)
+from repro.schema.generator import (GeneratorConfig, generate_database,
+                                    tiny_database)
+from repro.translate.aqua_to_kola import translate_query
+from repro.workloads.hidden_join import HiddenJoinSpec, hidden_join_family
+
+_DB = tiny_database(seed=17)
+
+
+@pytest.fixture(scope="module")
+def saturated_garage(rulebase, queries):
+    engine = Engine()
+    saturator = Saturator(engine, rulebase.group_compiled("saturate"))
+    return saturator.run([queries.kg1])
+
+
+class TestSaturator:
+    def test_reaches_untangled_form(self, saturated_garage, queries):
+        """Saturation from KG1 alone must discover KG2 (the greedy
+        pipeline's five-block product) as an equal form."""
+        run = saturated_garage
+        # The e-matcher merges through e-node recombinations, so KG2 may
+        # be represented without ever being inserted whole — probe
+        # structurally rather than via the insertion map.
+        assert run.egraph.lookup(queries.kg2) == run.root_class
+
+    def test_terminates_with_report(self, saturated_garage):
+        report = saturated_garage.report
+        assert report.iterations >= 1
+        assert report.enodes > 0
+        assert report.rewrites_applied > 0
+        assert report.saturated or report.budget_hit or \
+            report.iterations == SaturationBudget().max_iterations
+
+    def test_all_forms_in_root_class_are_equal(self, saturated_garage,
+                                               queries):
+        """Every representative of the root class evaluates to the
+        garage query's result — saturation only ever merged equals."""
+        run = saturated_garage
+        reference = eval_obj(queries.kg1, _DB)
+        for rep in run.egraph.sample_terms(run.root, 6):
+            assert eval_obj(rep, _DB) == reference
+
+    def test_enode_budget_respected(self, rulebase, queries):
+        budget = SaturationBudget(max_iterations=50, max_enodes=40)
+        saturator = Saturator(Engine(),
+                              rulebase.group_compiled("saturate"), budget)
+        run = saturator.run([queries.kg1])
+        assert run.report.budget_hit == "enodes"
+        # one overshoot round at most: growth stops right after the check
+        assert run.egraph.enodes_allocated < 40 + 200
+
+    def test_iteration_budget_respected(self, rulebase, queries):
+        budget = SaturationBudget(max_iterations=1)
+        saturator = Saturator(Engine(),
+                              rulebase.group_compiled("saturate"), budget)
+        run = saturator.run([queries.kg1])
+        assert run.report.iterations == 1
+
+    def test_seeds_merged_into_one_class(self, rulebase, queries):
+        saturator = Saturator(Engine(),
+                              rulebase.group_compiled("saturate"),
+                              SaturationBudget(max_iterations=1))
+        run = saturator.run([queries.kg1, queries.kg2])
+        assert run.egraph.class_of(queries.kg1) == run.root_class
+        assert run.egraph.class_of(queries.kg2) == run.root_class
+
+    def test_no_seeds_rejected(self, rulebase):
+        saturator = Saturator(Engine(),
+                              rulebase.group_compiled("saturate"))
+        with pytest.raises(ValueError):
+            saturator.run([])
+
+
+class TestExtraction:
+    def test_extracted_term_is_equal(self, saturated_garage, queries):
+        best = extract_best(saturated_garage.egraph,
+                            saturated_garage.root)
+        assert eval_obj(best.term, _DB) == eval_obj(queries.kg1, _DB)
+
+    def test_extraction_prefers_untangled_shape(self, saturated_garage):
+        """The extraction weights price the correlated ``iter`` far
+        above ``join``, so the best term of the garage class is the
+        join/nest form, not the nested original."""
+        best = extract_best(saturated_garage.egraph,
+                            saturated_garage.root)
+        assert "join" in best.term.ops
+        assert "iter" not in best.term.ops
+
+    def test_candidates_sorted_and_unique(self, saturated_garage):
+        extractor = Extractor(saturated_garage.egraph)
+        frontier = extractor.candidates(saturated_garage.root)
+        assert frontier
+        costs = [candidate.cost for candidate in frontier]
+        assert costs == sorted(costs)
+        terms = [candidate.term for candidate in frontier]
+        assert len(terms) == len(set(terms))
+
+    def test_costs_monotone_with_children(self, saturated_garage):
+        """A class's cost strictly exceeds each child's in its chosen
+        e-node (positivity — the acyclicity argument)."""
+        extractor = Extractor(saturated_garage.egraph)
+        egraph = saturated_garage.egraph
+        for cid in egraph.class_ids():
+            cost = extractor.cost_of(cid)
+            _, (_, _, child_ids) = extractor._costs[egraph.find(cid)]
+            for child in child_ids:
+                assert cost > extractor.cost_of(child)
+
+    def test_cyclic_class_extraction_terminates(self, rulebase):
+        """Identity rules create x = id o x classes; extraction must
+        still return a finite term."""
+        from repro.saturate.egraph import EGraph
+        from repro.core.parser import parse_fun
+        from repro.rewrite.pattern import canon
+        egraph = EGraph()
+        x = egraph.add(canon(parse_fun("age")))
+        wrapped = egraph.add(canon(parse_fun("id o age")))
+        egraph.merge(x, wrapped)
+        egraph.rebuild()
+        best = extract_best(egraph, x)
+        assert best.term == canon(parse_fun("age"))
+
+
+class TestOptimizerSaturate:
+    def test_never_worse_than_greedy_on_garage(self, rulebase, db,
+                                               queries):
+        opt = Optimizer(rulebase)
+        greedy = opt.optimize(queries.kg1, db)
+        saturate = opt.optimize(queries.kg1, db, search="saturate")
+        assert saturate.estimated_cost <= greedy.estimated_cost
+        assert isinstance(saturate.plan, JoinNestPlan)
+
+    @pytest.mark.parametrize("depth", [1, 2, 3])
+    def test_never_worse_on_depth_family(self, rulebase, db, depth):
+        opt = Optimizer(rulebase)
+        query = translate_query(hidden_join_family(
+            HiddenJoinSpec(depth=depth)))
+        greedy = opt.optimize(query, db)
+        saturate = opt.optimize(query, db, search="saturate")
+        assert saturate.estimated_cost <= greedy.estimated_cost
+
+    def test_saturate_result_executes_correctly(self, rulebase, queries):
+        opt = Optimizer(rulebase)
+        result = opt.optimize(queries.kg1, _DB, search="saturate")
+        assert result.execute(_DB) == eval_obj(queries.kg1, _DB)
+
+    def test_report_attached(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        result = opt.optimize(queries.kg1, db, search="saturate")
+        assert result.search == "saturate"
+        assert result.saturation is not None
+        assert "e-nodes" in result.saturation.summary()
+        assert "saturation:" in result.explain()
+
+    def test_greedy_mode_has_no_report(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        result = opt.optimize(queries.kg1, db)
+        assert result.search == "greedy"
+        assert result.saturation is None
+
+    def test_default_mode_configurable(self, rulebase, db, queries):
+        opt = Optimizer(rulebase, search="saturate")
+        result = opt.optimize(queries.kg1, db)
+        assert result.search == "saturate"
+
+    def test_unknown_mode_rejected(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        with pytest.raises(ValueError):
+            opt.optimize(queries.kg1, db, search="bfs")
+        with pytest.raises(ValueError):
+            Optimizer(rulebase, search="bfs")
+
+    def test_tight_budget_degrades_to_greedy(self, rulebase, db, queries):
+        """An immediately exhausted budget still yields the greedy plan
+        (its forms are seeds), never something worse."""
+        opt = Optimizer(rulebase, saturation_budget=SaturationBudget(
+            max_iterations=1, max_enodes=1))
+        greedy = opt.optimize(queries.kg1, db)
+        saturate = opt.optimize(queries.kg1, db, search="saturate")
+        assert saturate.estimated_cost <= greedy.estimated_cost
+        assert saturate.saturation.budget_hit == "enodes"
+
+
+class TestPlanCache:
+    def test_repeat_query_hits(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        first = opt.optimize(queries.kg1, db)
+        second = opt.optimize(queries.kg1, db)
+        assert second is first
+        info = opt.plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_equivalent_spellings_share_entry(self, rulebase, db,
+                                              queries):
+        """The key is the *canonical interned* term: the AQUA garage
+        query and its translated KOLA term are one cache entry."""
+        opt = Optimizer(rulebase)
+        opt.optimize(queries.kg1, db)
+        again = opt.optimize(queries.garage_aqua, db)
+        assert again.untangled == queries.kg2
+        assert opt.plan_cache_info()["hits"] == 1
+
+    def test_search_modes_cached_separately(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        greedy = opt.optimize(queries.kg1, db)
+        saturate = opt.optimize(queries.kg1, db, search="saturate")
+        assert saturate is not greedy
+        assert opt.plan_cache_info()["misses"] == 2
+
+    def test_db_stats_change_invalidates(self, rulebase, queries):
+        opt = Optimizer(rulebase)
+        small = tiny_database(seed=17)
+        opt.optimize(queries.kg1, small)
+        bigger = generate_database(GeneratorConfig(
+            n_persons=20, n_vehicles=5, n_addresses=4, seed=17))
+        result = opt.optimize(queries.kg1, bigger)
+        info = opt.plan_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 2
+        assert result.estimated_cost is not None
+
+    def test_same_stats_different_db_object_hits(self, rulebase, queries):
+        """Two databases with identical cardinalities share the entry —
+        the key is the stats fingerprint, not object identity."""
+        opt = Optimizer(rulebase)
+        opt.optimize(queries.kg1, tiny_database(seed=17))
+        opt.optimize(queries.kg1, tiny_database(seed=17))
+        assert opt.plan_cache_info()["hits"] == 1
+
+    def test_rulebase_change_invalidates(self, db, queries):
+        from repro.rules.registry import standard_rulebase
+        base = standard_rulebase()
+        opt = Optimizer(base)
+        opt.optimize(queries.kg1, db)
+        base.extend_group("scratch-group", ["r18"])  # bumps generation
+        opt.optimize(queries.kg1, db)
+        info = opt.plan_cache_info()
+        assert info["hits"] == 0 and info["misses"] == 2
+
+    def test_clear_plan_cache(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        opt.optimize(queries.kg1, db)
+        opt.clear_plan_cache()
+        assert opt.plan_cache_info()["size"] == 0
+        opt.optimize(queries.kg1, db)
+        assert opt.plan_cache_info()["misses"] == 2
+
+    def test_cache_bounded(self, rulebase, db, queries):
+        opt = Optimizer(rulebase)
+        opt.PLAN_CACHE_MAX = 1
+        opt.optimize(queries.kg1, db)
+        opt.optimize(queries.t1k_source, db)
+        assert opt.plan_cache_info()["size"] == 1
+
+
+class TestUncostedPlans:
+    """Regression: without a database the optimizer used to report
+    ``float("nan")`` for recognized join plans — which compares False
+    against everything and printed as ``nan`` in explain()."""
+
+    def test_cost_is_none_without_db(self, rulebase, queries):
+        opt = Optimizer(rulebase)
+        result = opt.optimize(queries.kg1)
+        assert result.estimated_cost is None
+        assert isinstance(result.plan, JoinNestPlan)
+
+    def test_explain_never_prints_nan(self, rulebase, queries):
+        opt = Optimizer(rulebase)
+        text = opt.optimize(queries.kg1).explain()
+        assert "nan" not in text
+        assert "not costed" in text
+        assert "est. cost" in text
+
+    def test_saturate_without_db(self, rulebase, queries):
+        result = Optimizer(rulebase).optimize(queries.kg1,
+                                              search="saturate")
+        assert result.estimated_cost is None
+        assert isinstance(result.plan, JoinNestPlan)
+        assert eval_obj(result.chosen, _DB) == eval_obj(queries.kg1, _DB)
+
+    def test_costed_path_unaffected(self, rulebase, db, queries):
+        result = Optimizer(rulebase).optimize(queries.kg1, db)
+        assert result.estimated_cost == pytest.approx(
+            result.plan.cost_estimate(db, CostModel()))
+
+
+class TestCostMemo:
+    def test_repeat_estimate_hits(self, db, queries):
+        model = CostModel()
+        before = cost_cache_stats()
+        first = model.estimate(queries.kg1, db)
+        second = model.estimate(queries.kg1, db)
+        after = cost_cache_stats()
+        assert first == second
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses + 1
+
+    def test_stats_fingerprint_shared_across_dbs(self, queries):
+        """Same cardinalities, different Database objects: one memo
+        entry (the key is the fingerprint)."""
+        model = CostModel()
+        first = model.estimate(queries.kg1, tiny_database(seed=17))
+        before = cost_cache_stats()
+        second = model.estimate(queries.kg1, tiny_database(seed=17))
+        assert first == second
+        assert cost_cache_stats().hits == before.hits + 1
+
+    def test_different_stats_miss(self, queries):
+        model = CostModel()
+        model.estimate(queries.kg1, tiny_database(seed=17))
+        before = cost_cache_stats()
+        model.estimate(queries.kg1, generate_database(GeneratorConfig(
+            n_persons=30, n_vehicles=5, n_addresses=4, seed=17)))
+        assert cost_cache_stats().misses == before.misses + 1
+
+    def test_tuning_params_part_of_key(self, db, queries):
+        loose = CostModel(selectivity=0.9)
+        tight = CostModel(selectivity=0.1)
+        assert loose.estimate(queries.kg1, db) != \
+            tight.estimate(queries.kg1, db)
+
+    def test_cache_bounded(self, db, queries):
+        model = CostModel()
+        model.ESTIMATE_CACHE_MAX = 2
+        for query in (queries.kg1, queries.kg2, queries.k3, queries.k4):
+            model.estimate(query, db)
+        assert model.estimate_cache_info()["size"] <= 2
