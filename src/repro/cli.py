@@ -4,6 +4,8 @@ Commands:
 
 ``eval``       evaluate a KOLA query against a generated database
 ``optimize``   run the full optimizer on OQL text or a KOLA query
+``optimize-batch``  optimize a generated query corpus over a worker
+               pool (see :mod:`repro.parallel.batch`)
 ``untangle``   run the five-step hidden-join strategy, printing the
                derivation
 ``verify``     check a rule (given as ``lhs == rhs``) with the
@@ -62,6 +64,24 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="greedy",
                          help="plan search: greedy pipeline (default) "
                          "or equality saturation over an e-graph")
+
+    batch_cmd = sub.add_parser(
+        "optimize-batch",
+        help="optimize a generated query corpus over a worker pool")
+    batch_cmd.add_argument("--distinct", type=int, default=100,
+                           help="distinct queries in the corpus")
+    batch_cmd.add_argument("--traffic", type=int, default=None,
+                           help="total optimize calls (default: one "
+                           "pass over the distinct set)")
+    batch_cmd.add_argument("--workers", type=int, default=None,
+                           help="pool size; <=1 runs in-process")
+    batch_cmd.add_argument("--search", choices=("greedy", "saturate"),
+                           default="greedy")
+    batch_cmd.add_argument("--persons", type=int, default=40)
+    batch_cmd.add_argument("--vehicles", type=int, default=25)
+    batch_cmd.add_argument("--seed", type=int, default=2026)
+    batch_cmd.add_argument("--show", type=int, default=3,
+                           help="print the first N optimized plans")
 
     unt_cmd = sub.add_parser("untangle",
                              help="five-step hidden-join strategy")
@@ -126,6 +146,31 @@ def cmd_optimize(args) -> int:
     print(optimized.explain())
     if args.execute:
         print("result:", value_repr(optimized.execute(db), limit=20))
+    return 0
+
+
+def cmd_optimize_batch(args) -> int:
+    from repro.parallel.batch import optimize_many
+    from repro.workloads.corpus import (CorpusConfig, corpus_stream,
+                                        generate_corpus)
+    db = _database(args)
+    corpus = generate_corpus(CorpusConfig(distinct=args.distinct,
+                                          seed=args.seed))
+    traffic = args.traffic if args.traffic is not None else len(corpus)
+    stream = corpus_stream(corpus, traffic, seed=args.seed)
+    report = optimize_many(stream, db, workers=args.workers,
+                           search=args.search)
+    print(report.summary())
+    for info in report.per_worker:
+        cache = info["plan_cache"]
+        print(f"  worker {info['worker']}: {info['processed']} queries, "
+              f"plan cache {cache['hits']}/{cache['hits'] + cache['misses']}"
+              f" hits, size {cache['size']}")
+    for batch_result in report.results[:max(0, args.show)]:
+        print()
+        print(f"-- query #{batch_result.index} "
+              f"(worker {batch_result.worker}) --")
+        print(batch_result.result.explain())
     return 0
 
 
@@ -210,6 +255,7 @@ def cmd_decompile(args) -> int:
 _COMMANDS = {
     "eval": cmd_eval,
     "optimize": cmd_optimize,
+    "optimize-batch": cmd_optimize_batch,
     "untangle": cmd_untangle,
     "verify": cmd_verify,
     "prove": cmd_prove,

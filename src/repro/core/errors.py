@@ -40,6 +40,12 @@ class UnknownOperatorError(TermError):
     """An operator name is not present in the signature registry."""
 
 
+class PortableTermError(TermError):
+    """A portable term payload (:func:`repro.core.terms.from_portable`)
+    is malformed: wrong container shape, unknown operator, bad arity or
+    sort, an unportable label, or a cyclic node graph."""
+
+
 class UnknownPrimitiveError(EvalError):
     """A schema primitive was invoked but is not defined by the database schema."""
 

@@ -25,12 +25,14 @@ errors (projecting a non-pair, iterating a non-set...) raise
 from __future__ import annotations
 
 import operator
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from repro.core.errors import EvalError
 from repro.core.terms import Term
 from repro.core.values import KPair, as_bool, as_pair, as_set, kset
-from repro.schema.adt import Database
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (import cycle)
+    from repro.schema.adt import Database
 
 _COMPARISONS: dict[str, Callable[[object, object], bool]] = {
     "eq": operator.eq,

@@ -46,7 +46,8 @@ import enum
 import weakref
 from typing import Hashable, Iterator
 
-from repro.core.errors import TermError, UnknownOperatorError
+from repro.core.errors import (PortableTermError, TermError,
+                               UnknownOperatorError)
 
 
 class Sort(enum.Enum):
@@ -108,7 +109,7 @@ class Term:
     """
 
     __slots__ = ("op", "args", "label", "_hash", "_size", "_depth",
-                 "_ground", "_ops", "_canon", "__weakref__")
+                 "_ground", "_ops", "_canon", "_portable", "__weakref__")
 
     op: str
     args: tuple["Term", ...]
@@ -244,6 +245,44 @@ class Term:
         """True when the term contains no metavariables (O(1), cached)."""
         return self._ground
 
+    # -- portability -------------------------------------------------------
+
+    def to_portable(self) -> tuple:
+        """A process-portable wire form of this term.
+
+        Interned terms are per-process singletons backed by a weak cons
+        table, so they must not cross a process boundary as live
+        objects — the receiving process would hold nodes outside *its*
+        table, breaking the identity-equality invariant.  The portable
+        form is built from tuples and scalars only; :func:`from_portable`
+        re-interns it bottom-up on the other side, restoring every
+        hash-consing invariant (identity equality, O(1) size/depth/ops
+        caches) for free because re-interning *is* reconstruction.
+
+        The encoding is deterministic (frozenset labels are emitted in
+        sorted order) and shared subterms are encoded once, so the
+        payload is a DAG exactly like the interned term it mirrors.
+        Pickling a :class:`Term` routes through this form automatically
+        (see :meth:`__reduce__`).
+
+        The payload is memoized on the term (terms are immutable and
+        interned, so it can never go stale), which makes repeated
+        shipping of the same query — the hot path of batch
+        optimization — a slot read.
+        """
+        cached = getattr(self, "_portable", None)
+        if cached is not None:
+            return cached
+        payload = (_PORTABLE_TAG, PORTABLE_VERSION, _encode_node(self))
+        object.__setattr__(self, "_portable", payload)
+        return payload
+
+    def __reduce__(self):
+        # Pickle via the portable wire form: unpickling re-interns in
+        # the receiving process, so spawn-based multiprocessing (and
+        # any other serialization) preserves hash-consing.
+        return (from_portable, (self.to_portable(),))
+
 
 def mk(op: str, *args: Term, label: Hashable = None) -> Term:
     """Build a term, validating arity and argument sorts.
@@ -277,6 +316,229 @@ def mk(op: str, *args: Term, label: Hashable = None) -> Term:
     if not sig.needs_label and label is not None:
         raise TermError(f"operator {op!r} does not take a label payload")
     return Term(op, tuple(args), label)
+
+
+# -- the portable wire form ---------------------------------------------
+
+#: Tag and version prefixed to every portable payload; bumped only if
+#: the encoding itself changes shape.
+_PORTABLE_TAG = "kola-term"
+PORTABLE_VERSION = 1
+
+#: Label scalar types carried through the wire form unchanged.  Exact
+#: type membership — ``bool`` is listed before the ``int`` check it
+#: would otherwise alias into.
+_PORTABLE_SCALARS = (bool, int, float, str, type(None))
+
+
+def _encode_label(value: Hashable) -> object:
+    """Encode a label payload as tagged tuples over scalars.
+
+    Scalars pass through bare; containers and enums are tagged 2-tuples
+    (``("tuple", ...)``, ``("frozenset", ...)``, ``("sort", ...)``), so
+    a decoded payload can never confuse a structured label with a
+    scalar one.  Frozensets are emitted in a deterministic order."""
+    kind = type(value)
+    if kind is tuple:
+        return ("tuple", tuple(_encode_label(item) for item in value))
+    if kind is frozenset:
+        items = tuple(_encode_label(item) for item in value)
+        return ("frozenset", tuple(sorted(items, key=repr)))
+    if kind is Sort:
+        return ("sort", value.value)
+    if kind in _PORTABLE_SCALARS:
+        return value
+    from repro.core.bags import KBag
+    from repro.core.lists import KList
+    from repro.core.values import KPair
+    if kind is KPair:
+        return ("pair", (_encode_label(value.fst),
+                         _encode_label(value.snd)))
+    if kind is KBag:
+        pairs = tuple((_encode_label(element), count)
+                      for element, count in value.counts().items())
+        return ("bag", tuple(sorted(pairs, key=repr)))
+    if kind is KList:
+        return ("list", tuple(_encode_label(item)
+                              for item in value.items()))
+    raise PortableTermError(
+        f"label payload of type {kind.__name__} ({value!r}) has no "
+        "portable encoding")
+
+
+def _decode_label(payload: object) -> Hashable:
+    if type(payload) in _PORTABLE_SCALARS:
+        return payload
+    if isinstance(payload, (tuple, list)) and len(payload) == 2:
+        tag, body = payload
+        if tag == "sort":
+            try:
+                return Sort(body)
+            except ValueError:
+                raise PortableTermError(
+                    f"unknown sort value {body!r} in portable label"
+                    ) from None
+        if tag in ("tuple", "frozenset", "list"):
+            if not isinstance(body, (tuple, list)):
+                raise PortableTermError(
+                    f"portable {tag} label body must be a sequence, "
+                    f"got {body!r}")
+            items = tuple(_decode_label(item) for item in body)
+            if tag == "tuple":
+                return items
+            if tag == "frozenset":
+                return frozenset(items)
+            from repro.core.lists import KList
+            return KList(items)
+        if tag == "pair":
+            if not isinstance(body, (tuple, list)) or len(body) != 2:
+                raise PortableTermError(
+                    f"portable pair label body must be a 2-sequence, "
+                    f"got {body!r}")
+            from repro.core.values import KPair
+            return KPair(_decode_label(body[0]), _decode_label(body[1]))
+        if tag == "bag":
+            if not isinstance(body, (tuple, list)):
+                raise PortableTermError(
+                    f"portable bag label body must be a sequence, "
+                    f"got {body!r}")
+            from repro.core.bags import KBag
+            counts: dict = {}
+            for entry in body:
+                if not isinstance(entry, (tuple, list)) or len(entry) != 2:
+                    raise PortableTermError(
+                        f"portable bag entry must be an "
+                        f"(element, count) pair, got {entry!r}")
+                counts[_decode_label(entry[0])] = entry[1]
+            try:
+                return KBag(counts)
+            except Exception as error:
+                raise PortableTermError(
+                    f"portable bag label rejected: {error}") from error
+    raise PortableTermError(f"malformed portable label {payload!r}")
+
+
+def _encode_node(root: Term) -> tuple:
+    """Flat post-order node table: each entry is ``(op, child_indices,
+    label)``, children referring to earlier entries; the last entry is
+    the root.  Flat (not nested) so arbitrarily deep terms survive
+    pickling, and shared (interned) subterms are encoded exactly once —
+    the table is a DAG just like the term it mirrors."""
+    index: dict[Term, int] = {}
+    nodes: list[tuple] = []
+    stack = [root]
+    while stack:
+        node = stack[-1]
+        if node in index:
+            stack.pop()
+            continue
+        pending = [child for child in node.args if child not in index]
+        if pending:
+            stack.extend(pending)
+            continue
+        stack.pop()
+        nodes.append((node.op,
+                      tuple(index[child] for child in node.args),
+                      _encode_label(node.label)))
+        index[node] = len(nodes) - 1
+    return tuple(nodes)
+
+
+def _decode_node(table: object) -> Term:
+    """Re-intern a flat node table bottom-up.
+
+    Every node goes through :func:`mk`, so a malformed payload —
+    unknown operator, wrong arity, argument of the wrong sort, missing
+    or extra label — is rejected with the same checks ordinary
+    construction gets, surfaced as :class:`PortableTermError`.  Child
+    references must point strictly backwards in the table, which rules
+    out cycles by construction."""
+    if not isinstance(table, (tuple, list)) or not table:
+        raise PortableTermError(
+            f"portable term node table must be a non-empty sequence, "
+            f"got {table!r}")
+    done: list[Term] = []
+    for position, node in enumerate(table):
+        if not isinstance(node, (tuple, list)) or len(node) != 3:
+            raise PortableTermError(
+                f"portable term node must be an (op, children, label) "
+                f"triple, got {node!r}")
+        op, children, label = node
+        if not isinstance(op, str):
+            raise PortableTermError(
+                f"portable term operator must be a string, got {op!r}")
+        if not isinstance(children, (tuple, list)):
+            raise PortableTermError(
+                f"portable term children must be a sequence of node "
+                f"indices, got {children!r}")
+        args = []
+        for child in children:
+            if (not isinstance(child, int) or isinstance(child, bool)
+                    or not 0 <= child < position):
+                raise PortableTermError(
+                    f"portable term child reference {child!r} at node "
+                    f"{position} must be an index of an earlier node")
+            args.append(done[child])
+        try:
+            done.append(mk(op, *args, label=_decode_label(label)))
+        except PortableTermError:
+            raise
+        except TermError as error:
+            raise PortableTermError(
+                f"portable payload rejected at operator {op!r}: {error}"
+                ) from error
+    return done[-1]
+
+
+#: Bounded decode memo: payload -> interned term, LRU evicted.  Batch
+#: workers decode the same query and result payloads over and over; a
+#: hit skips the node-table walk (and its per-node ``mk`` validation)
+#: entirely.  Only fully-hashable payloads that decoded successfully
+#: are cached, so the memo is invisible to error behavior.
+_DECODE_MEMO: dict = {}
+_DECODE_MEMO_MAX = 8192
+
+
+def from_portable(payload: object) -> Term:
+    """Re-intern a :meth:`Term.to_portable` payload in this process.
+
+    The result is interned exactly as if it had been built with
+    :func:`mk` bottom-up: structurally equal payloads decode to the
+    *same* term object, with all construction-time caches (size, depth,
+    ops, groundness) intact.
+
+    Raises:
+        PortableTermError: the payload is not a well-formed portable
+            term (wrong container shape, unknown version, unknown
+            operator, bad arity/sort, unportable label, or cycles).
+    """
+    memo = _DECODE_MEMO
+    try:
+        cached = memo.pop(payload, None)
+    except TypeError:  # unhashable (list-form) payload: decode fully
+        cached = None
+        memo = None
+    if cached is not None:
+        memo[payload] = cached  # refresh LRU recency
+        return cached
+    if not isinstance(payload, (tuple, list)) or len(payload) != 3:
+        raise PortableTermError(
+            f"portable term payload must be a (tag, version, node) "
+            f"triple, got {payload!r}")
+    tag, version, node = payload
+    if tag != _PORTABLE_TAG:
+        raise PortableTermError(
+            f"not a portable term payload (tag {tag!r})")
+    if version != PORTABLE_VERSION:
+        raise PortableTermError(
+            f"unsupported portable term version {version!r} "
+            f"(this build reads version {PORTABLE_VERSION})")
+    term = _decode_node(node)
+    if memo is not None:
+        if len(memo) >= _DECODE_MEMO_MAX:
+            del memo[next(iter(memo))]
+        memo[payload] = term
+    return term
 
 
 def sort_of(term: Term) -> Sort:

@@ -97,6 +97,15 @@ class Instance:
     def __hash__(self) -> int:
         return hash((Instance, self.adt, self.oid))
 
+    def __reduce__(self):
+        # Identity travels in the constructor args so a pickled cyclic
+        # object graph (persons referencing persons) can hash this
+        # instance before its attribute state arrives.
+        return (Instance, (self.adt, self.oid), self._attrs)
+
+    def __setstate__(self, state: dict) -> None:
+        self._attrs = dict(state)
+
     def __repr__(self) -> str:
         return f"{self.adt}#{self.oid}"
 

@@ -55,12 +55,13 @@ class CostModel:
     fingerprint, selectivity, fanout)``: e-graph extraction and the
     plan-choice loop cost the same subterms O(e-nodes) times, and
     interning makes the key a pair of identity probes.  The memo lives
-    on the instance (bounded FIFO); process-wide traffic is visible via
-    :func:`cost_cache_stats` and per-instance via
+    on the instance (bounded LRU — hits refresh recency, so hot
+    estimates survive skewed traffic); process-wide traffic is visible
+    via :func:`cost_cache_stats` and per-instance via
     :meth:`estimate_cache_info`.
     """
 
-    #: Cap on memoized estimates per model instance (FIFO eviction).
+    #: Cap on memoized estimates per model instance (LRU eviction).
     ESTIMATE_CACHE_MAX = 4096
 
     selectivity: float = DEFAULT_SELECTIVITY
@@ -81,8 +82,9 @@ class CostModel:
         global _COST_HITS, _COST_MISSES
         key = (query, db.stats_fingerprint(),
                self.selectivity, self.fanout)
-        cached = self._estimate_cache.get(key)
+        cached = self._estimate_cache.pop(key, None)
         if cached is not None:
+            self._estimate_cache[key] = cached  # refresh recency
             _COST_HITS += 1
             return cached
         _COST_MISSES += 1

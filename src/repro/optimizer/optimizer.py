@@ -32,7 +32,11 @@ Two **search modes** drive stage 5:
 Results are memoized in a cross-call **plan cache** keyed on the
 interned initial KOLA term, the rulebase generation, the database's
 stats fingerprint and the search mode: re-optimizing a repeated query
-(the serving hot path) is a dictionary hit.
+(the serving hot path) is a dictionary hit.  The cache is a
+hash-sharded LRU (:class:`~repro.parallel.cache.ShardedLRUCache`) —
+LRU so skewed traffic keeps its hot plans cached, sharded so the batch
+layer (:mod:`repro.parallel.batch`) can place the shards in worker
+processes and scale aggregate capacity with the pool.
 
 The result is an :class:`OptimizedQuery` holding every intermediate
 form, the full derivation (each step justified by a rule), and the
@@ -127,18 +131,25 @@ class Optimizer:
         search: default search mode, ``"greedy"`` or ``"saturate"``
             (overridable per :meth:`optimize` call).
         saturation_budget: budgets for saturate-mode runs.
+        plan_cache_shards: shard count of the plan cache (the global
+            capacity bound ``PLAN_CACHE_MAX`` is unaffected).
     """
 
-    #: Cap on cached optimize results (FIFO eviction).
+    #: Cap on cached optimize results (LRU eviction, across all shards).
     PLAN_CACHE_MAX = 1024
+
+    #: Default plan-cache shard count.
+    PLAN_CACHE_SHARDS = 4
 
     def __init__(self, rulebase: RuleBase | None = None,
                  cost_model: CostModel | None = None,
                  catalog: "IndexCatalog | None" = None,
                  engine: Engine | None = None,
                  search: str = "greedy",
-                 saturation_budget: SaturationBudget | None = None) -> None:
+                 saturation_budget: SaturationBudget | None = None,
+                 plan_cache_shards: int | None = None) -> None:
         from repro.optimizer.indexes import IndexCatalog
+        from repro.parallel.cache import ShardedLRUCache
         if search not in SEARCH_MODES:
             raise ValueError(f"unknown search mode {search!r}; "
                              f"expected one of {SEARCH_MODES}")
@@ -148,18 +159,17 @@ class Optimizer:
         self.engine = engine if engine is not None else Engine()
         self.search = search
         self.saturation_budget = saturation_budget or SaturationBudget()
-        self._plan_cache: dict = {}
-        self._plan_cache_hits = 0
-        self._plan_cache_misses = 0
+        self._plan_cache = ShardedLRUCache(
+            self.PLAN_CACHE_MAX,
+            shards=plan_cache_shards or self.PLAN_CACHE_SHARDS)
 
     # -- plan cache ---------------------------------------------------------
 
     def plan_cache_info(self) -> dict:
         """Size and traffic of the cross-query plan cache."""
-        return {"size": len(self._plan_cache),
-                "max_size": self.PLAN_CACHE_MAX,
-                "hits": self._plan_cache_hits,
-                "misses": self._plan_cache_misses}
+        info = self._plan_cache.info()
+        info["max_size"] = self.PLAN_CACHE_MAX
+        return info
 
     def clear_plan_cache(self) -> None:
         """Drop all cached optimize results (keeps the counters)."""
@@ -280,9 +290,7 @@ class Optimizer:
         key = self._cache_key(initial, db, mode)
         cached = self._plan_cache.get(key)
         if cached is not None:
-            self._plan_cache_hits += 1
             return cached
-        self._plan_cache_misses += 1
 
         engine = self.engine
         derivation = Derivation("optimization")
@@ -306,8 +314,5 @@ class Optimizer:
                                 plan=plan, derivation=derivation,
                                 estimated_cost=estimated, search=mode,
                                 chosen=chosen, saturation=report)
-        cache = self._plan_cache
-        if len(cache) >= self.PLAN_CACHE_MAX:
-            del cache[next(iter(cache))]
-        cache[key] = result
+        self._plan_cache.put(key, result, max_size=self.PLAN_CACHE_MAX)
         return result

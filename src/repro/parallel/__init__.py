@@ -1,0 +1,28 @@
+"""Parallel batch optimization: process pools over portable terms.
+
+Public surface:
+
+* :func:`~repro.parallel.batch.optimize_many` — optimize a query
+  corpus over a spawn-safe worker pool (or in-process fallback).
+* :class:`~repro.parallel.batch.BatchOptimizer` — the reusable pool
+  behind it, for callers that want warm workers across batches.
+* :class:`~repro.parallel.cache.LRUCache` /
+  :class:`~repro.parallel.cache.ShardedLRUCache` — the bounded LRU
+  caches the serving layers share.
+"""
+
+from repro.parallel.cache import (LRUCache, ShardedLRUCache,
+                                  merge_cache_info)
+
+__all__ = [
+    "LRUCache", "ShardedLRUCache", "merge_cache_info",
+    "optimize_many", "BatchOptimizer", "BatchReport", "BatchResult",
+]
+
+
+def __getattr__(name):  # lazy: batch pulls in the optimizer stack
+    if name in ("optimize_many", "BatchOptimizer", "BatchReport",
+                "BatchResult"):
+        from repro.parallel import batch
+        return getattr(batch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,390 @@
+"""Batch optimization over a spawn-safe process pool.
+
+:func:`optimize_many` fans a query corpus over worker processes, each
+holding one persistent :class:`~repro.optimizer.optimizer.Optimizer`
+whose caches stay warm for the whole batch (and across batches when a
+:class:`BatchOptimizer` is reused).  Design points:
+
+* **Shard-affinity routing.**  Each query is routed to a fixed worker
+  by a stable hash of its portable payload (:func:`route_of`), so the
+  per-worker plan caches act as the shards of one batch-wide
+  :class:`~repro.parallel.cache.ShardedLRUCache`: a repeated query
+  always lands on the worker that cached it, and aggregate cache
+  capacity scales with the pool.  This matters beyond CPU parallelism —
+  a corpus with more distinct queries than one cache's capacity
+  thrashes a single process but fits in the pool's combined shards.
+
+* **Largest-first dispatch.**  Within each worker's queue, chunks are
+  ordered by decreasing term size so the heaviest rewrites start first
+  (shorter makespan when sizes are skewed), and chunking amortizes
+  queue IPC over several queries per message — in both directions:
+  workers reply with one message per chunk, not per query.
+
+* **Portable wire form.**  Queries ship as
+  :meth:`~repro.core.terms.Term.to_portable` payloads and results
+  return as payload dicts (:mod:`repro.parallel.portable`); terms
+  re-intern on each side, so hash-consing invariants hold in every
+  process.
+
+* **Graceful degradation.**  ``workers <= 1``, a pool that fails to
+  start, or a worker that dies mid-batch all fall back to an
+  in-process optimizer — the batch always completes, and results are
+  identical either way because plan choice is deterministic.
+
+The per-query results come back as full
+:class:`~repro.optimizer.optimizer.OptimizedQuery` objects; the
+:class:`BatchReport` adds merged per-worker cache statistics.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import time
+import zlib
+from dataclasses import dataclass, field
+
+from repro.aqua.terms import AquaExpr
+from repro.core.terms import Term
+from repro.optimizer.optimizer import (SEARCH_MODES, OptimizedQuery,
+                                       Optimizer)
+from repro.parallel.cache import merge_cache_info
+from repro.parallel.portable import decode_result
+from repro.parallel.worker import worker_main, worker_stats
+from repro.rewrite.pattern import canon
+from repro.rules.registry import standard_rulebase
+from repro.translate.aqua_to_kola import translate_query
+from repro.translate.oql import parse_oql
+
+#: Queries per task-queue message.
+DEFAULT_CHUNK_SIZE = 8
+
+#: Upper bound on the default worker count (explicit ``workers=`` wins).
+DEFAULT_MAX_WORKERS = 4
+
+
+def route_of(payload: tuple, workers: int) -> int:
+    """The worker a portable payload routes to — a stable cross-process
+    hash (``zlib.crc32`` of the payload's repr; builtin ``hash`` is
+    per-process-randomized for strings, so it cannot shard a cache
+    whose shards live in different processes)."""
+    return zlib.crc32(repr(payload).encode("utf-8")) % workers
+
+
+def _initial_term(query: object) -> Term:
+    """Normalize a caller query (OQL text, AQUA, or KOLA term) to the
+    canonical initial term — in the parent, so only terms ship."""
+    if isinstance(query, str):
+        return canon(translate_query(parse_oql(query)))
+    if isinstance(query, AquaExpr):
+        return canon(translate_query(query))
+    if isinstance(query, Term):
+        return canon(query)
+    raise TypeError(f"cannot batch-optimize {query!r}")
+
+
+@dataclass
+class BatchResult:
+    """One query's outcome within a batch."""
+
+    index: int                  # position in the input corpus
+    query: object               # the caller's original query object
+    result: OptimizedQuery
+    worker: int                 # worker id, or -1 for in-process
+
+
+@dataclass
+class BatchReport:
+    """A finished batch: per-query results plus merged pool stats."""
+
+    results: list[BatchResult]
+    workers: int                # pool size (1 for in-process runs)
+    mode: str                   # "pool" or "in-process"
+    search: str
+    elapsed: float              # wall-clock seconds for the batch
+    plan_cache: dict            # merged across workers
+    per_worker: list[dict] = field(default_factory=list)
+    errors: list[tuple[int, str]] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def throughput(self) -> float:
+        """Queries per second over the batch's wall clock."""
+        return len(self.results) / self.elapsed if self.elapsed else 0.0
+
+    def summary(self) -> str:
+        cache = self.plan_cache
+        probes = cache.get("hits", 0) + cache.get("misses", 0)
+        return (f"{len(self.results)} queries, {self.workers} worker(s) "
+                f"[{self.mode}], {self.elapsed:.2f}s "
+                f"({self.throughput():.1f} q/s) — plan cache "
+                f"{cache.get('hits', 0)}/{probes} hits, "
+                f"size {cache.get('size', 0)}/{cache.get('max_size', 0)}")
+
+
+class BatchOptimizer:
+    """A reusable batch front-end: one pool, warm across batches.
+
+    The pool starts lazily on the first :meth:`optimize_many` call and
+    lives until :meth:`close` (or context-manager exit).  ``workers``
+    defaults to ``min(DEFAULT_MAX_WORKERS, cpu count)``; ``workers <= 1``
+    skips the pool entirely and runs in-process with one persistent
+    optimizer (still warm across batches).
+    """
+
+    def __init__(self, db=None, *, workers: int | None = None,
+                 search: str = "greedy", budget=None,
+                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+        if search not in SEARCH_MODES:
+            raise ValueError(f"unknown search mode {search!r}; "
+                             f"expected one of {SEARCH_MODES}")
+        if workers is None:
+            workers = min(DEFAULT_MAX_WORKERS, os.cpu_count() or 1)
+        self.db = db
+        self.workers = max(1, workers)
+        self.search = search
+        self.budget = budget
+        self.chunk_size = max(1, chunk_size)
+        self.mode = "in-process"
+        self.start_error: str | None = None  # why the pool fell back
+        self._procs: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._local: Optimizer | None = None
+        self._rulebase = standard_rulebase()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "BatchOptimizer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @property
+    def _fallback(self) -> Optimizer:
+        """The in-process optimizer (fallback runs, replans, reruns)."""
+        if self._local is None:
+            self._local = Optimizer(search=self.search,
+                                    saturation_budget=self.budget)
+        return self._local
+
+    def start(self) -> bool:
+        """Ensure the pool is up; ``False`` means in-process mode."""
+        if self._procs:
+            return True
+        if self.workers <= 1:
+            return False
+        try:
+            ctx = multiprocessing.get_context("spawn")
+            self._result_queue = ctx.Queue()
+            for worker_id in range(self.workers):
+                task_queue = ctx.Queue()
+                proc = ctx.Process(
+                    target=worker_main,
+                    args=(worker_id, task_queue, self._result_queue,
+                          self.db, self.search, self.budget),
+                    daemon=True)
+                proc.start()
+                self._task_queues.append(task_queue)
+                self._procs.append(proc)
+        except Exception as exc:
+            self.start_error = f"{type(exc).__name__}: {exc}"
+            if os.environ.get("REPRO_BATCH_DEBUG"):  # pragma: no cover
+                import traceback
+                traceback.print_exc()
+            self.close()
+            return False
+        self.mode = "pool"
+        return True
+
+    def warmup(self) -> bool:
+        """Start the pool and block until every worker is serving.
+
+        A spawned worker pays its startup cost (interpreter boot,
+        package imports, rulebase compilation) before it reads its
+        first task; ``warmup`` performs one stats round-trip per worker
+        so that cost is paid *now* rather than inside the first batch.
+        Returns ``False`` when running in-process (nothing to warm).
+        """
+        if not self.start():
+            return False
+        for task_queue in self._task_queues:
+            task_queue.put(("stats", None))
+        pending = set(range(self.workers))
+        while pending:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                for worker_id, proc in enumerate(self._procs):
+                    if not proc.is_alive():
+                        pending.discard(worker_id)
+                continue
+            if message[0] == "stats":
+                pending.discard(message[1])
+        return True
+
+    def close(self) -> None:
+        """Shut the pool down (idempotent; in-process state is kept)."""
+        for task_queue in self._task_queues:
+            try:
+                task_queue.put(None)
+            except Exception:
+                pass
+        for proc in self._procs:
+            proc.join(timeout=5)
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1)
+        self._procs = []
+        self._task_queues = []
+        self._result_queue = None
+        self.mode = "in-process"
+
+    # -- batch runs ---------------------------------------------------------
+
+    def optimize_many(self, queries) -> BatchReport:
+        """Optimize every query; results come back in input order."""
+        started = time.perf_counter()
+        queries = list(queries)
+        terms = [_initial_term(query) for query in queries]
+        if not queries:
+            return BatchReport(results=[], workers=self.workers,
+                               mode=self.mode, search=self.search,
+                               elapsed=time.perf_counter() - started,
+                               plan_cache=merge_cache_info([]))
+        if self.start():
+            return self._run_pool(queries, terms, started)
+        return self._run_in_process(queries, terms, started)
+
+    def _run_in_process(self, queries: list, terms: list[Term],
+                        started: float) -> BatchReport:
+        optimizer = self._fallback
+        results = [BatchResult(index, query,
+                               optimizer.optimize(term, self.db,
+                                                  search=self.search),
+                               worker=-1)
+                   for index, (query, term)
+                   in enumerate(zip(queries, terms))]
+        stats = worker_stats(optimizer, len(queries))
+        stats["worker"] = -1
+        return BatchReport(results=results, workers=1, mode="in-process",
+                           search=self.search,
+                           elapsed=time.perf_counter() - started,
+                           plan_cache=stats["plan_cache"],
+                           per_worker=[stats])
+
+    def _run_pool(self, queries: list, terms: list[Term],
+                  started: float) -> BatchReport:
+        payloads = [term.to_portable() for term in terms]
+
+        # Shard-affinity assignment, largest term first per worker.
+        assignment: list[list[int]] = [[] for _ in range(self.workers)]
+        for index, payload in enumerate(payloads):
+            assignment[route_of(payload, self.workers)].append(index)
+        outstanding: dict[int, set[int]] = {}
+        for worker_id, indices in enumerate(assignment):
+            indices.sort(key=lambda i: terms[i].size(), reverse=True)
+            outstanding[worker_id] = set(indices)
+            for pos in range(0, len(indices), self.chunk_size):
+                chunk = [(i, payloads[i])
+                         for i in indices[pos:pos + self.chunk_size]]
+                self._task_queues[worker_id].put(("chunk", chunk))
+            self._task_queues[worker_id].put(("stats", None))
+
+        encoded: dict[int, tuple[int, dict]] = {}
+        stats_by_worker: dict[int, dict] = {}
+        stats_pending = set(range(self.workers))
+        errors: list[tuple[int, str]] = []
+        rerun: set[int] = set()
+
+        while any(outstanding.values()) or stats_pending:
+            try:
+                message = self._result_queue.get(timeout=1.0)
+            except queue_module.Empty:
+                for worker_id, proc in enumerate(self._procs):
+                    if proc.is_alive():
+                        continue
+                    if outstanding[worker_id] or worker_id in stats_pending:
+                        # Dead worker: reclaim its tasks for the parent.
+                        rerun |= outstanding[worker_id]
+                        outstanding[worker_id] = set()
+                        stats_pending.discard(worker_id)
+                continue
+            kind = message[0]
+            if kind == "results":
+                _, worker_id, items = message
+                for index, outcome in items:
+                    if outcome[0] == "ok":
+                        encoded[index] = (worker_id, outcome[1])
+                    else:
+                        errors.append((index, outcome[1]))
+                        rerun.add(index)
+                    outstanding[worker_id].discard(index)
+            elif kind == "stats":
+                _, worker_id, info = message
+                info["worker"] = worker_id
+                stats_by_worker[worker_id] = info
+                stats_pending.discard(worker_id)
+
+        results: list[BatchResult | None] = [None] * len(queries)
+        for index, (worker_id, payload) in encoded.items():
+            result = decode_result(payload, self._rulebase,
+                                   source=terms[index])
+            if payload["plan"][0] == "replan":
+                target = (result.chosen if result.chosen is not None
+                          else result.untangled)
+                plan, cost = self._fallback._choose_plan(target, self.db)
+                result.plan, result.estimated_cost = plan, cost
+            results[index] = BatchResult(index, queries[index], result,
+                                         worker=worker_id)
+        for index in sorted(rerun):
+            # Deterministic rerun: a genuine failure raises here too.
+            result = self._fallback.optimize(terms[index], self.db,
+                                             search=self.search)
+            results[index] = BatchResult(index, queries[index], result,
+                                         worker=-1)
+
+        per_worker = [stats_by_worker[wid]
+                      for wid in sorted(stats_by_worker)]
+        if rerun and self._local is not None:
+            local = worker_stats(self._local, len(rerun))
+            local["worker"] = -1
+            per_worker.append(local)
+        plan_cache = merge_cache_info(
+            [info["plan_cache"] for info in per_worker])
+        return BatchReport(results=results, workers=self.workers,
+                           mode="pool", search=self.search,
+                           elapsed=time.perf_counter() - started,
+                           plan_cache=plan_cache, per_worker=per_worker,
+                           errors=errors)
+
+
+def optimize_many(queries, db=None, *, workers: int | None = None,
+                  search: str = "greedy", budget=None,
+                  chunk_size: int = DEFAULT_CHUNK_SIZE) -> BatchReport:
+    """One-shot batch optimization (pool started and torn down inside).
+
+    Args:
+        queries: iterable of OQL strings, AQUA expressions or KOLA terms.
+        db: database for cost-based plan choice (shipped to workers).
+        workers: pool size; ``None`` means
+            ``min(DEFAULT_MAX_WORKERS, cpu count)``; ``<= 1`` runs
+            in-process.
+        search: ``"greedy"`` or ``"saturate"``.
+        budget: :class:`~repro.saturate.driver.SaturationBudget` for
+            saturate-mode runs.
+        chunk_size: queries per worker task message.
+    """
+    batch = BatchOptimizer(db, workers=workers, search=search,
+                           budget=budget, chunk_size=chunk_size)
+    try:
+        return batch.optimize_many(queries)
+    finally:
+        batch.close()

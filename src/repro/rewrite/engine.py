@@ -254,7 +254,7 @@ class Engine:
     per-rule fire counts are identical in every configuration.
     """
 
-    #: Cap on memoized normal forms per engine (FIFO eviction).
+    #: Cap on memoized normal forms per engine (LRU eviction).
     NF_CACHE_MAX = 4096
 
     def __init__(self, oracle: PropertyOracle = NO_ORACLE, *,
@@ -662,6 +662,10 @@ class Engine:
                 # Replay the memoized steps so fire counts and the
                 # derivation come out identical to a fresh run; only
                 # the traversal work (nodes, attempts) is skipped.
+                # Re-inserting refreshes recency: eviction is LRU, so
+                # hot normal forms survive skewed traffic.
+                del self._nf_cache[key]
+                self._nf_cache[key] = cached
                 self.stats.nf_cache_hits += 1
                 for one_rule, before, after, step_path in cached[1]:
                     self.stats.count_rule(one_rule.name)
@@ -697,7 +701,8 @@ class Engine:
 
     def _nf_finish(self, key, steps_taken,
                    outcome: NormalizeResult) -> NormalizeResult:
-        """Memoize a converged ``normalize`` run (FIFO-bounded)."""
+        """Memoize a converged ``normalize`` run (LRU-bounded: hits
+        refresh recency, the dict head is the least-recent entry)."""
         if key is not None:
             cache = self._nf_cache
             if key not in cache:

@@ -28,6 +28,15 @@ whichever comes first.  The e-graph is valid at every point, so hitting
 a budget degrades to "best plan found so far" rather than failure — the
 optimizer additionally keeps the greedy pipeline's result as a seed, so
 budget exhaustion can never produce a worse plan than greedy.
+
+A **backoff scheduler** (after egg's ``BackoffScheduler``) keeps
+unproductive rules from dominating rounds: a rule that yields no new
+e-nodes for ``backoff_threshold`` consecutive rounds is banned for a
+cooldown that doubles on every repeat offense, and banned rules are
+skipped during matching.  A fixpoint is only declared *saturated* when
+a round with **no** rules banned makes no progress — an idle round
+with bans outstanding lifts the bans and retries instead, so backoff
+never changes what saturation can reach, only how fast it gets there.
 """
 
 from __future__ import annotations
@@ -50,11 +59,18 @@ class SaturationBudget:
         max_enodes: stop once this many e-nodes have been allocated.
         reps_per_class: representative terms rewritten per class per
             round by the engine-based pass (0 disables it).
+        backoff_threshold: consecutive rounds a rule may run without
+            producing a new e-node before it is banned (0 disables
+            backoff entirely).
+        backoff_cooldown: rounds of the first ban; each later ban of
+            the same rule lasts twice as long as its previous one.
     """
 
     max_iterations: int = 8
     max_enodes: int = 20_000
     reps_per_class: int = 2
+    backoff_threshold: int = 2
+    backoff_cooldown: int = 1
 
 
 @dataclass
@@ -68,14 +84,22 @@ class SaturationReport:
     merges: int = 0
     saturated: bool = False
     budget_hit: str | None = None
+    #: Backoff-scheduler ban events (a rule entering cooldown).
+    rule_bans: int = 0
+    #: Rule-rounds skipped because the rule was banned.
+    banned_skips: int = 0
 
     def summary(self) -> str:
         state = ("saturated" if self.saturated
                  else f"budget hit ({self.budget_hit})"
                  if self.budget_hit else "iteration cap")
+        backoff = (f", {self.rule_bans} rule ban(s) "
+                   f"({self.banned_skips} rule-rounds skipped)"
+                   if self.rule_bans else "")
         return (f"{self.iterations} iteration(s), {self.enodes} e-nodes, "
                 f"{self.classes} classes, "
-                f"{self.rewrites_applied} rewrites applied — {state}")
+                f"{self.rewrites_applied} rewrites applied{backoff}"
+                f" — {state}")
 
 
 @dataclass
@@ -119,23 +143,58 @@ class Saturator:
         egraph.rebuild()
         matcher = EMatcher(egraph, self.rules)
 
+        # Backoff-scheduler state, all keyed by rule name: rounds of
+        # consecutive unproductivity, the round index a ban ends at,
+        # and the length the rule's *next* ban will have.
+        streak: dict[str, int] = {}
+        banned_until: dict[str, int] = {}
+        next_cooldown: dict[str, int] = {}
+
         for iteration in range(budget.max_iterations):
             if egraph.enodes_allocated >= budget.max_enodes:
                 report.budget_hit = "enodes"
                 break
             report.iterations = iteration + 1
             matcher.refresh()
+            active = [rule for rule in matcher.rules
+                      if banned_until.get(rule.name, 0) <= iteration]
+            banned = {rule.name for rule in matcher.rules} \
+                - {rule.name for rule in active}
+            report.banned_skips += len(banned)
+            produced: set[str] = set()
             progressed = self._ematch_round(egraph, matcher, report,
-                                            budget)
+                                            budget, active, produced)
             if not report.budget_hit and budget.reps_per_class:
                 progressed |= self._representative_round(
-                    egraph, matcher, report, budget)
+                    egraph, matcher, report, budget, banned, produced)
             egraph.rebuild()
             if report.budget_hit:
                 break
-            if not progressed:
+            if not progressed and not banned:
+                # A full round with every rule active changed nothing:
+                # that is a genuine fixpoint.
                 report.saturated = True
                 break
+            if not progressed:
+                # An idle round proves nothing while rules were
+                # skipped: lift every ban and run a full round before
+                # declaring a fixpoint.
+                banned_until.clear()
+                continue
+            if budget.backoff_threshold > 0:
+                for rule in active:
+                    name = rule.name
+                    if name in produced:
+                        streak[name] = 0
+                        continue
+                    streak[name] = streak.get(name, 0) + 1
+                    if streak[name] >= budget.backoff_threshold:
+                        length = next_cooldown.get(
+                            name, max(1, budget.backoff_cooldown))
+                        banned_until[name] = iteration + 1 + length
+                        next_cooldown[name] = length * 2
+                        streak[name] = 0
+                        report.rule_bans += 1
 
         root = egraph.find(root)
         report.enodes = egraph.enodes_allocated
@@ -148,11 +207,14 @@ class Saturator:
 
     def _ematch_round(self, egraph: EGraph, matcher: EMatcher,
                       report: SaturationReport,
-                      budget: SaturationBudget) -> bool:
-        """Match every rule against every class, instantiate each RHS
-        as e-nodes, merge.  Returns whether anything changed."""
+                      budget: SaturationBudget, rules: list,
+                      produced: set[str]) -> bool:
+        """Match the active ``rules`` against every class, instantiate
+        each RHS as e-nodes, merge.  Rule names that created anything
+        new land in ``produced`` (the backoff scheduler's productivity
+        signal).  Returns whether anything changed."""
         progressed = False
-        for match in matcher.match_all():
+        for match in matcher.match_all(rules):
             if match.rule.needs_typed_apply:
                 pair = matcher.ground_pair(match)
                 if pair is None or not _typed_apply_ok(*pair):
@@ -160,6 +222,7 @@ class Saturator:
             new_cid = matcher.instantiate(match)
             if egraph.find(new_cid) != egraph.find(match.cid):
                 progressed = True
+                produced.add(match.rule.name)
                 report.rewrites_applied += 1
             egraph.merge(match.cid, new_cid)
             if egraph.enodes_allocated >= budget.max_enodes:
@@ -169,23 +232,30 @@ class Saturator:
 
     def _representative_round(self, egraph: EGraph, matcher: EMatcher,
                               report: SaturationReport,
-                              budget: SaturationBudget) -> bool:
+                              budget: SaturationBudget,
+                              banned: set[str],
+                              produced: set[str]) -> bool:
         """Rewrite sampled member terms through the engine (covers
         oracle preconditions, typed application and peeling — the
-        phases the structural e-matcher does not model)."""
+        phases the structural e-matcher does not model).  Firings of
+        ``banned`` rules are dropped; productive rule names land in
+        ``produced``."""
         best = egraph.best_terms()
-        matches: list[tuple[int, Term]] = []
+        matches: list[tuple[int, str, Term]] = []
         for cid in egraph.class_ids():
             for rep in egraph.sample_terms(
                     cid, budget.reps_per_class, best):
-                for _, new_term, _ in self.engine.rewrites_at(
+                for rule, new_term, _ in self.engine.rewrites_at(
                         rep, self.rules):
-                    matches.append((cid, new_term))
+                    if rule.name in banned:
+                        continue
+                    matches.append((cid, rule.name, new_term))
         progressed = False
-        for cid, new_term in matches:
+        for cid, rule_name, new_term in matches:
             new_id = egraph.add(new_term)
             if egraph.find(new_id) != egraph.find(cid):
                 progressed = True
+                produced.add(rule_name)
                 report.rewrites_applied += 1
             egraph.merge(cid, new_id)
             if egraph.enodes_allocated >= budget.max_enodes:

@@ -105,12 +105,14 @@ class EMatcher:
 
     # -- match enumeration --------------------------------------------------
 
-    def match_all(self) -> list[EMatch]:
+    def match_all(self, rules: "list[Rule] | None" = None) -> list[EMatch]:
         """Every (rule, class) match in the graph, rule-priority-major
-        then class-id order (deterministic)."""
+        then class-id order (deterministic).  ``rules`` restricts the
+        pass to a subset of the pool — the saturation driver's backoff
+        scheduler passes the currently unbanned rules."""
         out: list[EMatch] = []
         class_ids = self.egraph.class_ids()
-        for rule in self.rules:
+        for rule in (self.rules if rules is None else rules):
             for cid in class_ids:
                 out.extend(self.match_class(rule, cid))
         return out

@@ -1,7 +1,11 @@
-"""Workload generators: the paper's queries and parametric families."""
+"""Workload generators: the paper's queries, parametric families, and
+seeded batch corpora."""
 
 from repro.workloads.queries import PaperQueries, paper_queries
 from repro.workloads.hidden_join import hidden_join_family, HiddenJoinSpec
+from repro.workloads.corpus import (CorpusConfig, corpus_stream,
+                                    generate_corpus)
 
 __all__ = ["PaperQueries", "paper_queries", "hidden_join_family",
-           "HiddenJoinSpec"]
+           "HiddenJoinSpec", "CorpusConfig", "corpus_stream",
+           "generate_corpus"]
