@@ -6,6 +6,9 @@ Commands:
 ``optimize``   run the full optimizer on OQL text or a KOLA query
 ``optimize-batch``  optimize a generated query corpus over a worker
                pool (see :mod:`repro.parallel.batch`)
+``fuzz``       generate random well-typed queries and differentially
+               check every optimizer configuration against direct
+               evaluation (see :mod:`repro.fuzz`)
 ``untangle``   run the five-step hidden-join strategy, printing the
                derivation
 ``verify``     check a rule (given as ``lhs == rhs``) with the
@@ -82,6 +85,29 @@ def _build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--seed", type=int, default=2026)
     batch_cmd.add_argument("--show", type=int, default=3,
                            help="print the first N optimized plans")
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differentially fuzz the optimizer configuration matrix")
+    fuzz_cmd.add_argument("--count", type=int, default=100,
+                          help="queries to generate (seeds seed..seed+N-1)")
+    fuzz_cmd.add_argument("--seconds", type=float, default=None,
+                          help="wall-clock budget; stops early when spent")
+    fuzz_cmd.add_argument("--seed", type=int, default=0,
+                          help="first generator seed (replay: rerun with "
+                          "the seed a failure reports and --count 1)")
+    fuzz_cmd.add_argument("--max-depth", type=int, default=None,
+                          help="generator recursion budget")
+    fuzz_cmd.add_argument("--configs", choices=("all", "sequential"),
+                          default="all",
+                          help="'sequential' drops the two batch configs")
+    fuzz_cmd.add_argument("--workers", type=int, default=1,
+                          help="batch-config pool size (1 = in-process)")
+    fuzz_cmd.add_argument("--no-shrink", action="store_true",
+                          help="report divergences unshrunk")
+    fuzz_cmd.add_argument("--corpus-dir", default=None,
+                          help="persist shrunk divergences as corpus "
+                          "entries in this directory")
 
     unt_cmd = sub.add_parser("untangle",
                              help="five-step hidden-join strategy")
@@ -174,6 +200,35 @@ def cmd_optimize_batch(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from pathlib import Path
+
+    from repro.fuzz.corpus import from_divergence, save
+    from repro.fuzz.generator import FuzzConfig
+    from repro.fuzz.oracle import (DifferentialOracle, default_matrix,
+                                   sequential_matrix)
+    configs = (sequential_matrix() if args.configs == "sequential"
+               else default_matrix(batch_workers=args.workers))
+    fuzz_config = FuzzConfig()
+    if args.max_depth is not None:
+        fuzz_config = FuzzConfig(max_depth=args.max_depth)
+    with DifferentialOracle(configs=configs,
+                            shrink=not args.no_shrink) as oracle:
+        report = oracle.run(count=args.count, seed=args.seed,
+                            seconds=args.seconds, fuzz_config=fuzz_config)
+    print(report.summary())
+    if args.corpus_dir and report.divergences:
+        directory = Path(args.corpus_dir)
+        for i, divergence in enumerate(report.divergences):
+            stem = (f"seed{divergence.seed}" if divergence.seed is not None
+                    else f"q{i}")
+            path = save(from_divergence(
+                divergence, name=f"fuzz-{stem}-{divergence.config}"),
+                directory)
+            print(f"saved reproducer: {path}")
+    return 0 if report.ok else 1
+
+
 def cmd_untangle(args) -> int:
     from repro.coko.hidden_join import untangle
     from repro.rules.registry import standard_rulebase
@@ -256,6 +311,7 @@ _COMMANDS = {
     "eval": cmd_eval,
     "optimize": cmd_optimize,
     "optimize-batch": cmd_optimize_batch,
+    "fuzz": cmd_fuzz,
     "untangle": cmd_untangle,
     "verify": cmd_verify,
     "prove": cmd_prove,

@@ -372,6 +372,26 @@ class _Parser:
                 return C.true()
             if value == "F":
                 return C.false()
+            if value == "Bag" and self.at("{"):
+                from repro.core.bags import KBag
+                self.next()
+                items: list[object] = []
+                while not self.at("}"):
+                    items.append(self.literal_value())
+                    if self.at(","):
+                        self.next()
+                self.expect("}")
+                return C.lit(KBag.of(items))
+            if value == "List" and self.at("["):
+                from repro.core.lists import KList
+                self.next()
+                elements: list[object] = []
+                while not self.at("]"):
+                    elements.append(self.literal_value())
+                    if self.at(","):
+                        self.next()
+                self.expect("]")
+                return C.lit(KList(elements))
             if value in _RESERVED:
                 raise ParseError(f"{value!r} is not an object expression")
             return C.setname(value)
@@ -421,6 +441,28 @@ class _Parser:
             right = self.literal_value()
             self.expect("]")
             return KPair(left, right)
+        if value == "Bag":
+            from repro.core.bags import KBag
+            self.next()
+            self.expect("{")
+            items: list[object] = []
+            while not self.at("}"):
+                items.append(self.literal_value())
+                if self.at(","):
+                    self.next()
+            self.expect("}")
+            return KBag.of(items)
+        if value == "List":
+            from repro.core.lists import KList
+            self.next()
+            self.expect("[")
+            elements: list[object] = []
+            while not self.at("]"):
+                elements.append(self.literal_value())
+                if self.at(","):
+                    self.next()
+            self.expect("]")
+            return KList(elements)
         raise ParseError(f"bad literal value {value!r}")
 
 

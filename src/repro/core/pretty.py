@@ -157,6 +157,8 @@ def _render(term: Term) -> tuple[str, int]:
 
 
 def _render_literal(value: object) -> str:
+    from repro.core.bags import KBag
+    from repro.core.lists import KList
     from repro.core.values import KPair
     if value is True:
         return "T"
@@ -170,6 +172,12 @@ def _render_literal(value: object) -> str:
             return "{}"
         return "{" + ", ".join(sorted(_render_literal(v)
                                       for v in value)) + "}"
+    if isinstance(value, KBag):
+        return "Bag{" + ", ".join(sorted(_render_literal(v)
+                                         for v in value)) + "}"
+    if isinstance(value, KList):
+        return "List[" + ", ".join(_render_literal(v)
+                                   for v in value) + "]"
     if isinstance(value, str):
         return f'"{value}"'
     return repr(value)

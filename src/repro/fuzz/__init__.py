@@ -1,0 +1,30 @@
+"""Type-directed KOLA query fuzzing with a differential oracle.
+
+The package turns the verification stack's "hand-picked paper queries"
+into an executable generator (Csmith/SQLsmith-style differential
+testing, adapted to a combinator algebra):
+
+* :mod:`repro.fuzz.generator` — seeded, type-directed random synthesis
+  of arbitrary well-typed ground KOLA queries against any schema;
+* :mod:`repro.fuzz.oracle` — a differential harness checking that every
+  optimizer configuration (engine tier x search mode x batch front-end)
+  agrees with direct evaluation on every generated query;
+* :mod:`repro.fuzz.shrink` — a well-typedness-preserving delta-debugging
+  shrinker reducing any diverging query to a minimal reproducer;
+* :mod:`repro.fuzz.corpus` — persistence of minimal reproducers as a
+  replayable regression corpus (``tests/corpus/``);
+* :mod:`repro.fuzz.strategies` — the generator exposed as Hypothesis
+  strategies for the property-test suites.
+"""
+
+from repro.fuzz.generator import FuzzConfig, QueryGenerator
+from repro.fuzz.oracle import (DifferentialOracle, Divergence, OracleConfig,
+                               OracleReport, bag_equal, default_matrix)
+from repro.fuzz.shrink import shrink
+
+__all__ = [
+    "FuzzConfig", "QueryGenerator",
+    "DifferentialOracle", "Divergence", "OracleConfig", "OracleReport",
+    "bag_equal", "default_matrix",
+    "shrink",
+]

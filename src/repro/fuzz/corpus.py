@@ -1,0 +1,79 @@
+"""Regression corpus: persisted minimal reproducers.
+
+Every divergence the fuzzer ever finds is shrunk
+(:mod:`repro.fuzz.shrink`) and saved here as one small JSON file under
+``tests/corpus/`` — query as pretty-printed KOLA text (the
+``pretty``/``parse_query`` round-trip is exact, including empty-set
+literals), plus the replay seed, the configuration that diverged, and a
+human note.  Tier-1 (``tests/test_fuzz_corpus.py``) replays every entry
+through the full oracle matrix on every run, so a bug class that
+slipped through once can never slip through silently again — the
+Csmith projects call this the "bug zoo", and it is usually worth more
+than the live fuzzing.
+
+Entries are intentionally plain JSON, hand-editable, and append-only:
+fixing the bug does not delete the reproducer, it just makes the replay
+pass.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+from repro.core.parser import parse_query
+from repro.core.pretty import pretty
+from repro.core.terms import Term
+
+#: Default corpus location, relative to the repository root.
+CORPUS_DIR = Path(__file__).resolve().parents[3] / "tests" / "corpus"
+
+
+@dataclass(frozen=True)
+class Reproducer:
+    """One stored minimal reproducer."""
+
+    name: str                    # file stem, unique within the corpus
+    query: str                   # pretty-printed KOLA query text
+    seed: int | None = None      # generator seed that found it (if any)
+    config: str = ""             # oracle config that diverged ("" = all)
+    note: str = ""               # what went wrong / what rule was at fault
+    found: str = ""              # ISO date the divergence was first seen
+
+    def term(self) -> Term:
+        return parse_query(self.query)
+
+
+def save(repro: Reproducer, directory: Path | None = None) -> Path:
+    """Write ``repro`` to ``<directory>/<name>.json`` (pretty JSON,
+    trailing newline, stable key order — diff-friendly)."""
+    directory = Path(directory) if directory else CORPUS_DIR
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{repro.name}.json"
+    payload = {k: v for k, v in asdict(repro).items() if v not in (None, "")}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load(path: Path) -> Reproducer:
+    data = json.loads(Path(path).read_text())
+    return Reproducer(**data)
+
+
+def load_all(directory: Path | None = None) -> list[Reproducer]:
+    """Every stored reproducer, sorted by name (deterministic replay
+    order).  An empty or missing corpus directory is an empty list."""
+    directory = Path(directory) if directory else CORPUS_DIR
+    if not directory.is_dir():
+        return []
+    return [load(path) for path in sorted(directory.glob("*.json"))]
+
+
+def from_divergence(divergence, name: str, note: str = "",
+                    found: str = "") -> Reproducer:
+    """Package an oracle :class:`~repro.fuzz.oracle.Divergence` as a
+    corpus entry (uses the shrunken minimal term when available)."""
+    return Reproducer(name=name, query=pretty(divergence.minimal),
+                      seed=divergence.seed, config=divergence.config,
+                      note=note, found=found)

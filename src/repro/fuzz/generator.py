@@ -1,0 +1,635 @@
+"""Type-directed random synthesis of well-typed ground KOLA queries.
+
+The Larch-substitute generator (:mod:`repro.larch.gen`) builds random
+*rule instantiations* — schema-free function and predicate terms over a
+small base-type palette.  This module generates whole *queries*: ground
+object expressions over a real :class:`~repro.schema.adt.Schema`, rooted
+at named collections, reaching the query formers the paper queries never
+compose freely (``join``/``nest``/``unnest``/``iter`` nesting, long
+``compose`` chains of schema primitives, bag/list/aggregate mixes).
+
+Generation is type-directed and total: every constructed term is
+well-typed by construction (the tests assert :func:`repro.core.types
+.well_typed` over large samples), and every well-typed ground query
+evaluates without domain errors — comparisons are only generated at
+``Int``/``Str``, so the type system's soundness gap (Python's lack of a
+static ordering constraint) is closed by construction too.
+
+All randomness flows from one ``random.Random(seed)``; equal configs
+produce equal query streams, which is what makes oracle runs and CI
+smoke checks replayable from a seed (see ``docs/testing.md``).
+
+Former weights are tunable: :attr:`FuzzConfig.weights` maps option
+names (``"join"``, ``"chain"``, ``"nested-iter"``...) to multipliers
+over the built-in defaults, so a workload can be steered toward the
+shapes it wants to stress without touching the generator.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core import constructors as C
+from repro.core.errors import KolaError
+from repro.core.terms import Term
+from repro.rewrite.pattern import canon
+from repro.core.types import (BOOL, INT, STR, TCon, Type, list_t, bag_t,
+                              pair_t, parse_type, set_t)
+from repro.core.values import KPair, kset
+from repro.schema.adt import Schema
+from repro.schema.paper_schema import paper_schema
+
+
+class GenerationError(KolaError):
+    """No term of the requested type can be produced."""
+
+
+#: Default relative weights of the generator's options.  Query formers
+#: are weighted up so generated queries reach the shapes the oracle is
+#: built to stress; escape-hatch constants are weighted down.
+DEFAULT_WEIGHTS: dict[str, float] = {
+    "const": 0.6, "setname": 1.0, "id": 1.0, "pi1": 1.0, "pi2": 1.0,
+    "prim": 3.0, "compose": 2.0, "chain": 2.0, "pair": 1.5, "cross": 1.0,
+    "cond": 0.6, "curry_f": 0.6, "setop": 1.0,
+    "iterate": 3.0, "flat": 1.0, "join": 3.0, "nest": 2.5, "unnest": 2.5,
+    "iter": 2.5, "nested-iter": 2.5,
+    "tobag": 1.0, "distinct": 1.0, "bag_iterate": 1.0, "bag_flat": 0.8,
+    "bag_union": 0.8, "bag_join": 1.0,
+    "listify": 0.8, "list_iterate": 0.8, "list_flat": 0.6, "to_set": 0.8,
+    "count": 1.5, "bag_count": 1.0, "ssum": 1.0, "bag_sum": 1.0,
+    "plus": 1.0,
+    "const_p": 0.5, "cmp": 3.0, "eq": 1.5, "isin": 1.5, "subset": 0.8,
+    "inv": 0.8, "neg": 1.0, "conj": 1.2, "disj": 1.2, "oplus": 3.0,
+    "curry_p": 0.8, "pprim": 1.5,
+}
+
+#: Types every position may ground to (no schema knowledge needed).
+_SAFE_PALETTE: tuple[Type, ...] = (
+    INT, INT, STR, BOOL, pair_t(INT, INT), set_t(INT), pair_t(STR, INT),
+)
+
+#: Orderable base types: the only element types comparison predicates
+#: other than eq/neq are generated at (evaluation would raise on
+#: anything Python cannot order).
+_ORDERED = (INT, STR)
+
+
+@dataclass(frozen=True)
+class FuzzConfig:
+    """Knobs for query generation.
+
+    Attributes:
+        seed: RNG seed — equal configs generate equal query streams.
+        max_depth: recursion budget for function/predicate bodies.
+        weights: per-option multipliers over :data:`DEFAULT_WEIGHTS`
+            (option names are the generator's choice labels; 0 disables
+            an option entirely).
+        max_literal_set: largest literal set generated.
+        schema_factory: builds the schema generation is directed by
+            (a factory, so the frozen config stays hashable).
+    """
+
+    seed: int = 0
+    max_depth: int = 4
+    weights: Mapping[str, float] = field(default_factory=dict)
+    max_literal_set: int = 3
+    schema_factory: Callable[[], Schema] = paper_schema
+
+
+class QueryGenerator:
+    """Seeded, type-directed random generator of ground KOLA queries."""
+
+    def __init__(self, config: FuzzConfig | None = None) -> None:
+        self.config = config or FuzzConfig()
+        self.rng = random.Random(self.config.seed)
+        self.schema = self.config.schema_factory()
+        #: collection name -> element type (an ADT constructor).
+        self.collections: dict[str, TCon] = {
+            name: TCon(adt)
+            for name, adt in sorted(self.schema.collections().items())}
+        #: element type -> collection names of that element type.
+        self._collections_of: dict[Type, list[str]] = {}
+        for name, element in self.collections.items():
+            self._collections_of.setdefault(element, []).append(name)
+        #: ADT name -> [(attribute name, parsed result type)].
+        self._attrs: dict[str, list[tuple[str, Type]]] = {
+            adt.name: [(attr.name, parse_type(attr.type_expr))
+                       for attr in adt.attributes]
+            for adt in self.schema.adts()}
+        #: computed predicate name -> parsed argument type.
+        self._pprims: list[tuple[str, Type]] = []
+        for name in sorted(getattr(self.schema, "_computed_preds", {})):
+            arg = self.schema.predicate_signature(name)
+            if arg is not None:
+                self._pprims.append((name, parse_type(arg)))
+
+    # -- public API ---------------------------------------------------------
+
+    def query(self) -> Term:
+        """One random ground query (an object expression), in chain
+        canonical form — so its pretty text parses back to the same
+        term (the parser canonicalizes) and corpus entries round-trip
+        exactly."""
+        source, source_type = self._source()
+        if self.rng.random() < 0.05:
+            return canon(C.test(self.predicate(source_type,
+                                               self.config.max_depth),
+                                source))
+        result_type = self._result_type(source_type)
+        fn = self.function(source_type, result_type, self.config.max_depth)
+        return canon(C.invoke(fn, source))
+
+    def queries(self, count: int) -> list[Term]:
+        """``count`` random queries from this generator's stream."""
+        return [self.query() for _ in range(count)]
+
+    # -- roots --------------------------------------------------------------
+
+    def _source(self) -> tuple[Term, Type]:
+        """A query source: named collections, pairs of them, or an
+        environment-carrying pair for root-level ``iter``."""
+        names = sorted(self.collections)
+        shape = self._weighted_pick(
+            [("single", 4.0), ("pair", 2.0), ("env", 1.0)])
+        first = self.rng.choice(names)
+        if shape == "single":
+            return C.setname(first), set_t(self.collections[first])
+        second = self.rng.choice(names)
+        if shape == "pair":
+            return (C.pairobj(C.setname(first), C.setname(second)),
+                    pair_t(set_t(self.collections[first]),
+                           set_t(self.collections[second])))
+        env_value = self.rng.randint(-3, 9)
+        return (C.pairobj(C.lit(env_value), C.setname(first)),
+                pair_t(INT, set_t(self.collections[first])))
+
+    def _result_type(self, source_type: Type) -> Type:
+        """An interesting result type reachable from ``source_type``."""
+        assert isinstance(source_type, TCon)
+        options: list[tuple[Type, float]] = [(set_t(INT), 1.0), (INT, 1.0)]
+        if source_type.name == "Set":
+            element = source_type.args[0]
+            options += [
+                (source_type, 3.0),
+                (set_t(pair_t(element, INT)), 1.5),
+                (set_t(pair_t(element, set_t(element))), 1.0),
+                (set_t(STR), 1.0),
+            ]
+            for _, attr_type in self._attrs.get(element.name, ()):
+                options.append((set_t(attr_type), 1.5))
+                if attr_type.name == "Set":
+                    options.append(
+                        (set_t(pair_t(attr_type.args[0], element)), 1.0))
+        elif source_type.name == "Pair":
+            left, right = source_type.args
+            if left.name == "Set" and right.name == "Set":
+                a, b = left.args[0], right.args[0]
+                options += [
+                    (set_t(pair_t(a, b)), 3.0),        # join shapes
+                    (set_t(pair_t(b, set_t(a))), 3.0),  # nest shapes
+                    (left, 1.0), (right, 1.0),
+                    (set_t(a), 1.0),
+                ]
+            elif right.name == "Set":                  # env pair for iter
+                a = right.args[0]
+                options += [(set_t(INT), 1.5), (set_t(a), 2.0),
+                            (set_t(pair_t(left, a)), 2.0)]
+        picks, weights = zip(*options)
+        return self.rng.choices(picks, weights=weights, k=1)[0]
+
+    # -- object expressions -------------------------------------------------
+
+    def literal(self, t: Type) -> Term:
+        """A literal object term of type ``t``.
+
+        Raises :class:`GenerationError` for types with no fabricable
+        values (ADT instances); empty collections cover ``Set``/``Bag``/
+        ``List`` of *any* element type.
+        """
+        assert isinstance(t, TCon)
+        if t.name == "Pair":
+            return C.pairobj(self.literal(t.args[0]), self.literal(t.args[1]))
+        return C.lit(self._value(t))
+
+    def object_of(self, t: Type) -> Term:
+        """A ground object expression of type ``t`` — a named collection
+        when one matches (``Set(adt)``), otherwise a literal."""
+        assert isinstance(t, TCon)
+        if t.name == "Set":
+            names = self._collections_of.get(t.args[0])
+            if names and (not self._literalizable(t.args[0])
+                          or self.rng.random() < 0.7):
+                return C.setname(self.rng.choice(names))
+        return self.literal(t)
+
+    def _value(self, t: TCon, filled: bool = False) -> object:
+        """A random value of type ``t``.
+
+        ``filled`` forces contained collections non-empty: elements of a
+        *collection literal* must all infer the same structural type
+        (:meth:`Inferencer._literal_type` rejects heterogeneous
+        literals), and an empty inner set types differently from a
+        non-empty one — so inside any collection value every nested
+        collection is either uniformly filled or the container stays
+        empty altogether.
+        """
+        rng = self.rng
+        if t == INT:
+            return rng.randint(-4, 9)
+        if t == STR:
+            return rng.choice(("a", "b", "c", "Boston", "Saab"))
+        if t == BOOL:
+            return rng.random() < 0.5
+        if t.name in ("Set", "Bag", "List"):
+            element = t.args[0]
+            if self._fillable(element):
+                low = 1 if filled else 0
+                size = rng.randint(low, max(low, self.config.max_literal_set))
+                items = [self._value(element, filled=True)
+                         for _ in range(size)]
+            else:
+                if filled:
+                    raise GenerationError(
+                        f"cannot fill a collection of {element!r}")
+                items = []
+            if t.name == "Set":
+                return kset(items)
+            if t.name == "Bag":
+                from repro.core.bags import KBag
+                return KBag.of(items)
+            from repro.core.lists import KList
+            return KList(items)
+        if t.name == "Pair":
+            return KPair(self._value(t.args[0], filled),
+                         self._value(t.args[1], filled))
+        raise GenerationError(f"no literal values of type {t!r}")
+
+    def _fillable(self, t: Type) -> bool:
+        """Can non-empty values of ``t`` be fabricated (all the way
+        down)?  ADT instances cannot — they only exist in a database."""
+        assert isinstance(t, TCon)
+        if t in (INT, STR, BOOL):
+            return True
+        if t.name == "Pair":
+            return all(self._fillable(a) for a in t.args)
+        return t.name in ("Set", "Bag", "List") and self._fillable(t.args[0])
+
+    def _literalizable(self, t: Type) -> bool:
+        """Can :meth:`literal` build a term of type ``t``?"""
+        assert isinstance(t, TCon)
+        if t in (INT, STR, BOOL):
+            return True
+        if t.name == "Pair":
+            return all(self._literalizable(a) for a in t.args)
+        # collections literalize regardless of element type (empty form)
+        return t.name in ("Set", "Bag", "List")
+
+    # -- functions ----------------------------------------------------------
+
+    def function(self, domain: Type, codomain: Type,
+                 depth: int | None = None) -> Term:
+        """A random function term of type ``Fun(domain, codomain)``."""
+        if depth is None:
+            depth = self.config.max_depth
+        options = self._function_options(domain, codomain, max(depth, 0))
+        while options:
+            name = self._weighted_pick(
+                [(name, weight) for name, weight, _ in options])
+            index = next(i for i, o in enumerate(options) if o[0] == name)
+            _, _, builder = options.pop(index)
+            try:
+                return builder()
+            except GenerationError:
+                continue
+        return self._fallback_function(domain, codomain)
+
+    def _function_options(self, domain: Type, codomain: Type, depth: int,
+                          ) -> list[tuple[str, float, Callable[[], Term]]]:
+        assert isinstance(domain, TCon) and isinstance(codomain, TCon)
+        rng = self.rng
+        options: list[tuple[str, float, Callable[[], Term]]] = []
+
+        def add(name: str, builder: Callable[[], Term],
+                base: float = 1.0) -> None:
+            weight = base * self._weight(name)
+            if weight > 0:
+                options.append((name, weight, builder))
+
+        if self._literalizable(codomain) or (
+                codomain.name == "Set"
+                and codomain.args[0] in self._collections_of):
+            add("const", lambda: C.const_f(self.object_of(codomain)))
+        if domain == codomain:
+            add("id", C.id_, base=2.0)
+        if domain.name == "Pair":
+            left, right = domain.args
+            if left == codomain:
+                add("pi1", C.pi1)
+            if right == codomain:
+                add("pi2", C.pi2)
+        if domain.name in self._attrs:
+            for attr, result in self._attrs[domain.name]:
+                if result == codomain:
+                    add("prim", lambda attr=attr: C.prim(attr), base=2.0)
+        if (domain.name == "Pair" and codomain.name == "Set"
+                and domain.args == (codomain, codomain)):
+            add("setop", lambda: C.setop(rng.choice(
+                ("union", "intersect", "difference"))))
+        if (domain.name == "Set" and domain.args[0].name == "Set"
+                and codomain == domain.args[0]):
+            add("flat", C.flat)
+        if codomain == INT:
+            if domain.name == "Set":
+                add("count", C.count)
+            if domain.name == "Bag":
+                add("bag_count", C.bag_count)
+            if domain == set_t(INT):
+                add("ssum", C.ssum)
+            if domain == bag_t(INT):
+                add("bag_sum", C.bag_sum)
+            if domain == pair_t(INT, INT):
+                add("plus", C.plus)
+        if (domain.name == "Set" and codomain.name == "Bag"
+                and domain.args == codomain.args):
+            add("tobag", C.tobag)
+        if (domain.name == "Bag" and codomain.name == "Set"
+                and domain.args == codomain.args):
+            add("distinct", C.distinct)
+        if (domain.name == "Bag" and domain.args[0].name == "Bag"
+                and codomain == domain.args[0]):
+            add("bag_flat", C.bag_flat)
+        if (domain.name == "Pair" and codomain.name == "Bag"
+                and domain.args == (codomain, codomain)):
+            add("bag_union", C.bag_union)
+        if (domain.name == "List" and codomain.name == "Set"
+                and domain.args == codomain.args):
+            add("to_set", C.to_set)
+        if (domain.name == "List" and domain.args[0].name == "List"
+                and codomain == domain.args[0]):
+            add("list_flat", C.list_flat)
+        if depth <= 0:
+            return options
+
+        # -- recursive formers ------------------------------------------
+        add("compose", lambda: self._compose(domain, codomain, depth, 1))
+        add("chain", lambda: self._compose(
+            domain, codomain, depth, rng.randint(2, 3)))
+        if codomain.name == "Pair":
+            c_left, c_right = codomain.args
+            add("pair", lambda: C.pair(
+                self.function(domain, c_left, depth - 1),
+                self.function(domain, c_right, depth - 1)))
+            if domain.name == "Pair":
+                d_left, d_right = domain.args
+                add("cross", lambda: C.cross(
+                    self.function(d_left, c_left, depth - 1),
+                    self.function(d_right, c_right, depth - 1)))
+        add("cond", lambda: C.cond(
+            self.predicate(domain, depth - 1),
+            self.function(domain, codomain, depth - 1),
+            self.function(domain, codomain, depth - 1)))
+        add("curry_f", lambda: self._curry_f(domain, codomain, depth))
+        if domain.name == "Set" and codomain.name == "Set":
+            element, result = domain.args[0], codomain.args[0]
+            add("iterate", lambda: C.iterate(
+                self.predicate(element, depth - 1),
+                self.function(element, result, depth - 1)), base=1.5)
+        if (domain.name == "Pair" and codomain.name == "Set"
+                and domain.args[0].name == "Set"
+                and domain.args[1].name == "Set"):
+            a, b = domain.args[0].args[0], domain.args[1].args[0]
+            result = codomain.args[0]
+            add("join", lambda: C.join(
+                self.predicate(pair_t(a, b), depth - 1),
+                self.function(pair_t(a, b), result, depth - 1)))
+            if (result.name == "Pair" and result.args[0] == b
+                    and result.args[1].name == "Set"):
+                value = result.args[1].args[0]
+                add("nest", lambda: C.nest(
+                    self.function(a, b, depth - 1),
+                    self.function(a, value, depth - 1)), base=3.0)
+        if (domain.name == "Set" and codomain.name == "Set"
+                and codomain.args[0].name == "Pair"):
+            element = domain.args[0]
+            key, value = codomain.args[0].args
+            add("unnest", lambda: C.unnest(
+                self.function(element, key, depth - 1),
+                self.function(element, set_t(value), depth - 1)))
+        if (domain.name == "Pair" and domain.args[1].name == "Set"
+                and codomain.name == "Set"):
+            env, element = domain.args[0], domain.args[1].args[0]
+            result = codomain.args[0]
+            add("iter", lambda: C.iter_(
+                self.predicate(pair_t(env, element), depth - 1),
+                self.function(pair_t(env, element), result, depth - 1)))
+        if domain.name in self._attrs and codomain.name == "Set":
+            result = codomain.args[0]
+            set_attrs = [(attr, t) for attr, t in self._attrs[domain.name]
+                         if t.name == "Set"]
+            if set_attrs:
+                attr, attr_type = rng.choice(set_attrs)
+                inner = pair_t(domain, attr_type.args[0])
+                add("nested-iter", lambda: C.compose(
+                    C.iter_(self.predicate(inner, depth - 1),
+                            self.function(inner, result, depth - 1)),
+                    C.pair(C.id_(), C.prim(attr))))
+        if domain.name == "Bag" and codomain.name == "Bag":
+            element, result = domain.args[0], codomain.args[0]
+            add("bag_iterate", lambda: C.bag_iterate(
+                self.predicate(element, depth - 1),
+                self.function(element, result, depth - 1)))
+        if domain.name == "List" and codomain.name == "List":
+            element, result = domain.args[0], codomain.args[0]
+            add("list_iterate", lambda: C.list_iterate(
+                self.predicate(element, depth - 1),
+                self.function(element, result, depth - 1)))
+        if (domain.name == "Set" and codomain.name == "List"
+                and domain.args == codomain.args):
+            add("listify", lambda: C.listify(
+                self.function(domain.args[0], INT, depth - 1)))
+        return options
+
+    def _compose(self, domain: Type, codomain: Type, depth: int,
+                 extra_stages: int) -> Term:
+        """``f_n o ... o f_1`` through ``extra_stages`` intermediate
+        types (right-associated, the engine's chain normal form)."""
+        stages: list[Type] = [domain]
+        for _ in range(extra_stages):
+            stages.append(self._mid_type(stages[-1], codomain))
+        stages.append(codomain)
+        # each extra stage eats depth, or chain-heavy shapes explode
+        part_depth = max(0, depth - extra_stages)
+        parts = [self.function(stages[i], stages[i + 1], part_depth)
+                 for i in range(len(stages) - 1)]
+        return C.compose_chain(*reversed(parts))
+
+    def _mid_type(self, domain: Type, codomain: Type) -> Type:
+        """An intermediate type for a composition stage out of
+        ``domain`` (heading, eventually, for ``codomain``)."""
+        assert isinstance(domain, TCon)
+        candidates: list[Type] = [domain, codomain]
+        candidates.extend(_SAFE_PALETTE)
+        if domain.name in self._attrs:
+            candidates.extend(t for _, t in self._attrs[domain.name])
+            candidates.append(pair_t(domain, domain))
+        if domain.name == "Set":
+            element = domain.args[0]
+            candidates += [domain, bag_t(element), list_t(element),
+                           pair_t(domain, domain), set_t(set_t(element))]
+            if element.name in self._attrs:
+                candidates.extend(
+                    set_t(t) for _, t in self._attrs[element.name])
+        if domain.name == "Pair":
+            candidates.extend(domain.args)
+        if domain.name in ("Bag", "List"):
+            candidates.append(set_t(domain.args[0]))
+        return self.rng.choice(candidates)
+
+    def _curry_f(self, domain: Type, codomain: Type, depth: int) -> Term:
+        key_type = self.rng.choice(_SAFE_PALETTE)
+        inner = self.function(pair_t(key_type, domain), codomain, depth - 1)
+        return C.curry_f(inner, self.object_of(key_type))
+
+    def _fallback_function(self, domain: Type, codomain: Type) -> Term:
+        """A depth-0 function of any producible signature.
+
+        Structural: identity, projections, schema primitives, constant
+        functions of literalizable codomains — raising
+        :class:`GenerationError` only when ``codomain`` is genuinely
+        unreachable from ``domain`` (an ADT with no value source).
+        """
+        assert isinstance(domain, TCon) and isinstance(codomain, TCon)
+        if domain == codomain:
+            return C.id_()
+        if self._literalizable(codomain):
+            return C.const_f(self.literal(codomain))
+        if (codomain.name == "Set"
+                and codomain.args[0] in self._collections_of):
+            return C.const_f(self.object_of(codomain))
+        if domain.name in self._attrs:
+            for attr, result in self._attrs[domain.name]:
+                if result == codomain:
+                    return C.prim(attr)
+        if codomain.name == "Pair":
+            return C.pair(self._fallback_function(domain, codomain.args[0]),
+                          self._fallback_function(domain, codomain.args[1]))
+        if domain.name == "Pair":
+            left, right = domain.args
+            for side, proj in ((left, C.pi1), (right, C.pi2)):
+                try:
+                    inner = self._fallback_function(side, codomain)
+                except GenerationError:
+                    continue
+                if inner.op == "id":
+                    return proj()
+                return C.compose(inner, proj())
+        raise GenerationError(
+            f"cannot reach {codomain!r} from {domain!r}")
+
+    # -- predicates ---------------------------------------------------------
+
+    def predicate(self, domain: Type, depth: int | None = None) -> Term:
+        """A random predicate term of type ``Pred(domain)``."""
+        if depth is None:
+            depth = self.config.max_depth
+        assert isinstance(domain, TCon)
+        options = self._predicate_options(domain, max(depth, 0))
+        while options:
+            name = self._weighted_pick(
+                [(name, weight) for name, weight, _ in options])
+            index = next(i for i, o in enumerate(options) if o[0] == name)
+            _, _, builder = options.pop(index)
+            try:
+                return builder()
+            except GenerationError:
+                continue
+        return C.const_p(C.lit(self.rng.random() < 0.5))
+
+    def _predicate_options(self, domain: TCon, depth: int,
+                           ) -> list[tuple[str, float, Callable[[], Term]]]:
+        rng = self.rng
+        options: list[tuple[str, float, Callable[[], Term]]] = []
+
+        def add(name: str, builder: Callable[[], Term],
+                base: float = 1.0) -> None:
+            weight = base * self._weight(name)
+            if weight > 0:
+                options.append((name, weight, builder))
+
+        add("const_p", lambda: C.const_p(C.lit(rng.random() < 0.5)))
+        if domain.name == "Pair":
+            left, right = domain.args
+            if left == right:
+                add("eq", lambda: rng.choice((C.eq, C.neq))())
+                if left in _ORDERED:
+                    add("cmp", lambda: rng.choice(
+                        (C.lt, C.leq, C.gt, C.geq))())
+            if right == set_t(left):
+                add("isin", C.isin)
+            if left.name == "Set" and left == right:
+                add("subset", C.subset)
+        for name, arg_type in self._pprims:
+            if arg_type == domain:
+                add("pprim", lambda name=name: C.pprim(name))
+        if depth <= 0:
+            return options
+        if domain.name == "Pair":
+            left, right = domain.args
+            add("inv", lambda: C.inv(
+                self.predicate(pair_t(right, left), depth - 1)))
+        add("neg", lambda: C.neg(self.predicate(domain, depth - 1)))
+        add("conj", lambda: C.conj(self.predicate(domain, depth - 1),
+                                   self.predicate(domain, depth - 1)))
+        add("disj", lambda: C.disj(self.predicate(domain, depth - 1),
+                                   self.predicate(domain, depth - 1)))
+        add("oplus", lambda: self._oplus(domain, depth), base=1.5)
+        add("curry_p", lambda: self._curry_p(domain, depth))
+        return options
+
+    def _oplus(self, domain: TCon, depth: int) -> Term:
+        """``p (+) f`` — the workhorse predicate shape (``gt @ <age,
+        Kf(25)>``): the function maps into a comparison-friendly type."""
+        mids: list[Type] = [pair_t(INT, INT), pair_t(INT, INT),
+                            pair_t(STR, STR), BOOL]
+        if domain.name in self._attrs:
+            for _, result in self._attrs[domain.name]:
+                if result in _ORDERED:
+                    mids.append(pair_t(result, result))
+                if result.name == "Set":
+                    mids.append(pair_t(result.args[0], result))
+        if domain.name == "Pair":
+            for side in domain.args:
+                if side in _ORDERED:
+                    mids.append(pair_t(side, side))
+        mid = self.rng.choice(mids)
+        if mid == BOOL:
+            # p ? Bool needs a Pred(Bool): eq against a constant
+            mid = pair_t(BOOL, BOOL)
+        return C.oplus(self.predicate(mid, depth - 1),
+                       self.function(domain, mid, depth - 1))
+
+    def _curry_p(self, domain: TCon, depth: int) -> Term:
+        key_type = self.rng.choice(_SAFE_PALETTE)
+        inner = self.predicate(pair_t(key_type, domain), depth - 1)
+        return C.curry_p(inner, self.object_of(key_type))
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _weight(self, name: str) -> float:
+        default = DEFAULT_WEIGHTS.get(name, 1.0)
+        return self.config.weights.get(name, 1.0) * default
+
+    def _weighted_pick(self, weighted: list[tuple[str, float]]) -> str:
+        names = [name for name, _ in weighted]
+        weights = [weight for _, weight in weighted]
+        return self.rng.choices(names, weights=weights, k=1)[0]
+
+
+def generate_queries(count: int, seed: int = 0,
+                     config: FuzzConfig | None = None) -> list[Term]:
+    """``count`` queries from a fresh generator (convenience wrapper)."""
+    if config is None:
+        config = FuzzConfig(seed=seed)
+    return QueryGenerator(config).queries(count)

@@ -1,0 +1,145 @@
+"""Well-typedness-preserving delta-debugging shrinker.
+
+A diverging fuzzer query is typically tens of nodes of noise around a
+few nodes of signal (the redex the unsound rewrite fired on).  This
+module reduces it: repeatedly try smaller same-sort replacements at
+every position, keep a candidate only if it is still well-typed against
+the schema *and* still diverges, and stop at a local minimum — classic
+ddmin adapted to a sorted term algebra.
+
+Two reduction moves, tried smallest-first at each position:
+
+1. **atom substitution** — replace the subterm with a minimal same-sort
+   atom (``lit`` constants for OBJ, ``id``/``Kf`` for FUN, ``Kp`` for
+   PRED).  Sorts come from :data:`repro.core.signature.REGISTRY`, the
+   same tables the generator draws from.
+2. **child promotion** — replace the subterm with one of its own
+   same-sort arguments (hoists ``f`` out of ``f o g``, a branch out of
+   a conditional, one conjunct out of ``con``...).
+
+Well-typedness is re-checked per candidate (a same-*sort* replacement
+is not automatically a same-*type* one), so every intermediate — and
+the final minimal reproducer — is a valid query any oracle config can
+replay.  The shrinker never evaluates terms itself; the caller's
+``diverges`` predicate owns evaluation and must return ``False`` for
+candidates it cannot judge (for example, evaluation errors).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+from repro.core import constructors as C
+from repro.core.signature import REGISTRY, Sort
+from repro.core.terms import Term
+from repro.core.types import TypeInferenceError, well_typed
+from repro.schema.adt import Schema
+
+#: Minimal atoms per sort, tried in order (first well-typed diverging
+#: one wins).  Several OBJ atoms because the type checker will reject
+#: most of them at any given hole.
+_ATOMS: dict[Sort, tuple] = {
+    Sort.OBJ: (lambda: C.lit(0), lambda: C.lit("a"),
+               lambda: C.lit(False), lambda: C.lit(frozenset())),
+    Sort.FUN: (C.id_, lambda: C.const_f(C.lit(0)),
+               lambda: C.const_f(C.lit(frozenset()))),
+    Sort.PRED: (lambda: C.const_p(C.true()),
+                lambda: C.const_p(C.false())),
+}
+
+
+def sort_of(term: Term) -> Sort:
+    """The sort of ``term``'s head operator (OBJ for unregistered
+    ops — literal-like leaves)."""
+    entry = REGISTRY.get(term.op)
+    return entry.result_sort if entry is not None else Sort.OBJ
+
+
+def _size(term: Term) -> int:
+    return 1 + sum(_size(arg) for arg in term.args)
+
+
+def _positions(term: Term, path: tuple[int, ...] = ()
+               ) -> Iterator[tuple[tuple[int, ...], Term]]:
+    """All subterm positions, preorder — outermost first, so the
+    biggest reductions are attempted before leaf fiddling."""
+    yield path, term
+    for i, arg in enumerate(term.args):
+        if isinstance(arg, Term):
+            yield from _positions(arg, path + (i,))
+
+
+def _replace(term: Term, path: tuple[int, ...], sub: Term) -> Term:
+    """``term`` with the subterm at ``path`` replaced by ``sub``."""
+    if not path:
+        return sub
+    head, rest = path[0], path[1:]
+    args = list(term.args)
+    args[head] = _replace(args[head], rest, sub)
+    return Term(term.op, tuple(args), term.label)
+
+
+def _reductions(sub: Term) -> Iterator[Term]:
+    """Candidate replacements for ``sub``, smallest-first."""
+    sort = sort_of(sub)
+    for make in _ATOMS.get(sort, ()):
+        atom = make()
+        if atom != sub:
+            yield atom
+    # promote same-sort children (and grandchildren, one level deep —
+    # hoists the body out of iterate/join/oplus wrappers)
+    seen = {sub}
+    candidates = []
+    for arg in sub.args:
+        if isinstance(arg, Term):
+            candidates.append(arg)
+            candidates.extend(a for a in arg.args if isinstance(a, Term))
+    for child in sorted(candidates, key=_size):
+        if child not in seen and sort_of(child) == sort:
+            seen.add(child)
+            yield child
+
+
+def _typechecks(query: Term, schema: Schema) -> bool:
+    try:
+        return well_typed(query, schema)
+    except TypeInferenceError:
+        return False
+
+
+def shrink(query: Term, diverges: Callable[[Term], bool],
+           schema: Schema, *, max_attempts: int = 2_000) -> Term:
+    """Reduce ``query`` to a minimal term for which ``diverges`` still
+    holds, preserving well-typedness against ``schema`` throughout.
+
+    Greedy first-improvement descent: scan positions outermost-first,
+    take the first smaller well-typed diverging replacement, restart.
+    Terminates at a local minimum (no single replacement both
+    typechecks and diverges) or after ``max_attempts`` candidate
+    evaluations, whichever comes first.  The input itself is returned
+    unchanged if it does not diverge.
+    """
+    if not diverges(query):
+        return query
+    best = query
+    attempts = 0
+    improved = True
+    while improved and attempts < max_attempts:
+        improved = False
+        for path, sub in _positions(best):
+            for candidate_sub in _reductions(sub):
+                if _size(candidate_sub) >= _size(sub):
+                    continue
+                candidate = _replace(best, path, candidate_sub)
+                attempts += 1
+                if attempts > max_attempts:
+                    return best
+                if not _typechecks(candidate, schema):
+                    continue
+                if diverges(candidate):
+                    best = candidate
+                    improved = True
+                    break
+            if improved:
+                break
+    return best

@@ -64,6 +64,13 @@ class SaturationBudget:
             backoff entirely).
         backoff_cooldown: rounds of the first ban; each later ban of
             the same rule lasts twice as long as its previous one.
+        max_match_visits: pattern-walk steps the e-matcher may spend
+            per round.  ``max_enodes`` bounds what a round *adds* but
+            not what it *explores* — chain-heavy classes admit
+            exponentially many failed decompositions, so exploration
+            needs its own deterministic cap.  Exhaustion truncates the
+            round (recorded as ``match_truncations``), never aborts
+            the run.
     """
 
     max_iterations: int = 8
@@ -71,6 +78,7 @@ class SaturationBudget:
     reps_per_class: int = 2
     backoff_threshold: int = 2
     backoff_cooldown: int = 1
+    max_match_visits: int = 1_000_000
 
 
 @dataclass
@@ -88,6 +96,8 @@ class SaturationReport:
     rule_bans: int = 0
     #: Rule-rounds skipped because the rule was banned.
     banned_skips: int = 0
+    #: Rounds whose e-match pass ran out of pattern-walk credits.
+    match_truncations: int = 0
 
     def summary(self) -> str:
         state = ("saturated" if self.saturated
@@ -96,10 +106,12 @@ class SaturationReport:
         backoff = (f", {self.rule_bans} rule ban(s) "
                    f"({self.banned_skips} rule-rounds skipped)"
                    if self.rule_bans else "")
+        truncated = (f", {self.match_truncations} truncated "
+                     f"e-match round(s)" if self.match_truncations else "")
         return (f"{self.iterations} iteration(s), {self.enodes} e-nodes, "
                 f"{self.classes} classes, "
                 f"{self.rewrites_applied} rewrites applied{backoff}"
-                f" — {state}")
+                f"{truncated} — {state}")
 
 
 @dataclass
@@ -141,7 +153,8 @@ class Saturator:
         for seed in seeds[1:]:
             root = egraph.merge(root, egraph.add(seed))
         egraph.rebuild()
-        matcher = EMatcher(egraph, self.rules)
+        matcher = EMatcher(egraph, self.rules,
+                           max_visits=budget.max_match_visits)
 
         # Backoff-scheduler state, all keyed by rule name: rounds of
         # consecutive unproductivity, the round index a ban ends at,
@@ -228,6 +241,8 @@ class Saturator:
             if egraph.enodes_allocated >= budget.max_enodes:
                 report.budget_hit = "enodes"
                 break
+        if matcher.truncated:
+            report.match_truncations += 1
         return progressed
 
     def _representative_round(self, egraph: EGraph, matcher: EMatcher,

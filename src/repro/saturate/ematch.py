@@ -87,11 +87,23 @@ class EMatcher:
     """Matches a rule pool against every class of one e-graph."""
 
     def __init__(self, egraph: EGraph, rules,
-                 max_bindings: int = 24, max_chain: int = 10) -> None:
+                 max_bindings: int = 24, max_chain: int = 10,
+                 max_visits: int = 1_000_000) -> None:
         self.egraph = egraph
         self.rules = rule_list(rules)
         self.max_bindings = max_bindings
         self.max_chain = max_chain
+        #: Per-:meth:`match_all` budget of pattern-walk steps.  Chain
+        #: patterns against chain-heavy classes can enumerate
+        #: exponentially many decompositions (every peel point x every
+        #: respelling) even when few of them *match* — ``max_bindings``
+        #: only caps successes, so failed exploration needs its own
+        #: bound.  Exhaustion truncates the round deterministically
+        #: (same enumeration order every run); saturation stays sound,
+        #: it just discovers fewer equalities that round.
+        self.max_visits = max_visits
+        self._visits = max_visits
+        self.truncated = False
         self._sorts: dict[int, Sort] = {}
         self._best: dict[int, Term] = {}
         self.refresh()
@@ -111,11 +123,25 @@ class EMatcher:
         pass to a subset of the pool — the saturation driver's backoff
         scheduler passes the currently unbanned rules."""
         out: list[EMatch] = []
+        self._visits = self.max_visits
+        self.truncated = False
         class_ids = self.egraph.class_ids()
         for rule in (self.rules if rules is None else rules):
+            if self._visits <= 0:
+                break
             for cid in class_ids:
+                if self._visits <= 0:
+                    break
                 out.extend(self.match_class(rule, cid))
         return out
+
+    def _spend(self) -> bool:
+        """Consume one pattern-walk credit; ``False`` ends the walk."""
+        if self._visits <= 0:
+            self.truncated = True
+            return False
+        self._visits -= 1
+        return True
 
     def match_class(self, rule: Rule, cid: int) -> list[EMatch]:
         """All matches of ``rule``'s LHS against class ``cid``
@@ -145,7 +171,7 @@ class EMatcher:
 
         def walk(fn_cid: int, prefix: tuple[int, ...],
                  arg_cid: int) -> None:
-            if len(prefix) >= self.max_chain:
+            if len(prefix) >= self.max_chain or not self._spend():
                 return
             for left, tail in self._compose_enodes(fn_cid):
                 peeled = prefix + (egraph.find(left),)
@@ -215,6 +241,8 @@ class EMatcher:
     def _match_pattern(self, pattern: Term, cid: int,
                        bindings: dict, depth: int) -> list[dict]:
         """Bindings under which ``pattern`` matches class ``cid``."""
+        if not self._spend():
+            return []
         egraph = self.egraph
         cid = egraph.find(cid)
         if pattern.op == "meta":
@@ -262,6 +290,8 @@ class EMatcher:
         class.  Yields ``(bindings, suffix)`` pairs; ``suffix`` is the
         unconsumed chain-tail class of a prefix-window match (only when
         ``allow_suffix``) or ``None`` for an exact match."""
+        if not self._spend():
+            return []
         egraph = self.egraph
         cid = egraph.find(cid)
         if depth > self.max_chain:
@@ -301,6 +331,8 @@ class EMatcher:
                 allow_suffix: bool, depth: int,
                 results: list) -> None:
         """A bare function metavariable eats 1..n chain factors."""
+        if not self._spend():
+            return
         egraph = self.egraph
         cid = egraph.find(cid)
         if len(taken) >= self.max_chain or len(results) >= self.max_bindings:

@@ -1,0 +1,181 @@
+"""Edge cases in the parallel serving layer: degenerate cache
+capacities, single-shard sharding, empty stat merges, and the
+dead-worker reclaim path in the batch pool loop."""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+
+import pytest
+
+from repro.core.parser import parse_query
+from repro.optimizer.optimizer import Optimizer
+from repro.parallel.batch import BatchOptimizer
+from repro.parallel.cache import (LRUCache, ShardedLRUCache,
+                                  merge_cache_info)
+from repro.schema.generator import tiny_database
+
+# ---------------------------------------------------------------------------
+# LRUCache
+
+
+def test_lru_capacity_one_keeps_only_most_recent():
+    cache = LRUCache(max_size=1)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert len(cache) == 1
+    assert cache.evictions == 1
+    assert cache.get("a") is None
+    assert cache.get("b") == 2
+    assert (cache.hits, cache.misses) == (1, 1)
+
+
+def test_lru_get_refreshes_recency_put_refreshes_too():
+    cache = LRUCache(max_size=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == 1          # "a" is now most recent
+    cache.put("c", 3)                   # evicts "b", not "a"
+    assert cache.keys() == ["a", "c"]
+    cache.put("a", 10)                  # refresh via put
+    assert cache.keys() == ["c", "a"]
+    assert cache.get("a") == 10
+
+
+def test_lru_peek_and_evict_edges():
+    cache = LRUCache(max_size=2)
+    cache.evict_lru()                   # no-op on empty cache
+    assert cache.evictions == 0
+    cache.put("a", 1)
+    assert cache.peek("a") == 1
+    assert cache.peek("missing", "dflt") == "dflt"
+    assert (cache.hits, cache.misses) == (0, 0)  # peek never counts
+    cache.clear()
+    assert len(cache) == 0
+    with pytest.raises(ValueError):
+        LRUCache(max_size=0)
+
+
+def test_lru_put_with_override_bound():
+    cache = LRUCache(max_size=10)
+    for key in range(5):
+        cache.put(key, key)
+    cache.put("last", 99, max_size=2)   # tighter per-call bound
+    assert len(cache) == 2
+    assert cache.keys() == [4, "last"]
+
+
+# ---------------------------------------------------------------------------
+# ShardedLRUCache
+
+
+def test_single_shard_degenerates_to_exact_lru():
+    sharded = ShardedLRUCache(max_size=2, shards=1)
+    reference = LRUCache(max_size=2)
+    for key, value in [("a", 1), ("b", 2), ("a", 3), ("c", 4)]:
+        sharded.put(key, value)
+        reference.put(key, value)
+    assert sharded.shard(0).keys() == reference.keys()
+    assert len(sharded) == len(reference) == 2
+    assert sharded.get("b") is reference.get("b") is None
+    info = sharded.info()
+    assert info["shards"] == 1
+    assert info["size"] == 2
+
+
+def test_sharded_global_bound_holds_under_skew():
+    """All keys landing in one shard must not grow the cache past the
+    global budget: the fullest shard pays the eviction."""
+    sharded = ShardedLRUCache(max_size=3, shards=4)
+    shard = sharded.shard_of("k0")
+    keys = [f"k{i}" for i in range(40)]
+    skewed = [k for k in keys if sharded.shard_of(k) == shard][:6]
+    assert len(skewed) >= 4             # hash skew exists at this scale
+    for key in skewed:
+        sharded.put(key, key)
+    assert len(sharded) <= 3
+    assert sharded.get(skewed[-1]) == skewed[-1]
+    with pytest.raises(ValueError):
+        ShardedLRUCache(max_size=4, shards=0)
+
+
+# ---------------------------------------------------------------------------
+# merge_cache_info
+
+
+def test_merge_cache_info_empty_is_all_zero():
+    merged = merge_cache_info([])
+    assert merged == {"size": 0, "max_size": 0, "hits": 0, "misses": 0,
+                      "evictions": 0}
+
+
+def test_merge_cache_info_sums_and_ignores_unknown_keys():
+    merged = merge_cache_info([
+        {"size": 1, "max_size": 8, "hits": 3, "misses": 1,
+         "evictions": 0, "worker": 7, "shards": 2},
+        {"size": 2, "hits": 1},
+    ])
+    assert merged == {"size": 3, "max_size": 8, "hits": 4, "misses": 1,
+                      "evictions": 0}
+
+
+# ---------------------------------------------------------------------------
+# dead-worker reclaim
+
+
+class _DeadProc:
+    """A worker process that died before producing anything."""
+
+    def is_alive(self) -> bool:
+        return False
+
+
+class _SinkQueue:
+    """Task queue for a dead worker: accepts and drops everything."""
+
+    def put(self, item) -> None:
+        pass
+
+
+class _EmptyQueue:
+    """Result queue that never yields: every get times out."""
+
+    def get(self, timeout=None):
+        raise queue_module.Empty
+
+
+def test_dead_worker_tasks_are_reclaimed_in_process():
+    """If a pool worker dies with tasks outstanding, ``_run_pool`` must
+    notice (result-queue timeout + liveness probe), reclaim the
+    worker's whole assignment, and rerun it through the in-process
+    fallback — same results as sequential optimization, worker ``-1``.
+    """
+    db = tiny_database(seed=17)
+    queries = ["count ! P", "iterate(Kp(T), id) ! V", "id ! A"]
+    terms = [parse_query(q) for q in queries]
+
+    batcher = BatchOptimizer(db, workers=1)
+    batcher._procs = [_DeadProc()]
+    batcher._task_queues = [_SinkQueue()]
+    batcher._result_queue = _EmptyQueue()
+    try:
+        report = batcher._run_pool(list(queries), terms,
+                                   time.perf_counter())
+    finally:
+        batcher._procs = []
+        batcher._task_queues = []
+        batcher._result_queue = None
+
+    assert len(report.results) == len(queries)
+    sequential = Optimizer()
+    for index, (query, term) in enumerate(zip(queries, terms)):
+        outcome = report.results[index]
+        assert outcome is not None
+        assert outcome.worker == -1
+        assert outcome.query == query
+        expected = sequential.optimize(term, db).execute(db)
+        assert outcome.result.execute(db) == expected
+    # the rerun's in-process stats are reported as pseudo-worker -1
+    assert report.per_worker and report.per_worker[-1]["worker"] == -1
+    assert report.plan_cache["size"] >= 0

@@ -1,0 +1,65 @@
+"""Regression corpus replay: every stored reproducer in
+``tests/corpus/`` goes back through the *full* differential-oracle
+matrix on every tier-1 run.  A shape that diverged (or nearly did)
+once can never regress silently."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pretty import pretty
+from repro.fuzz.corpus import (CORPUS_DIR, Reproducer, from_divergence,
+                               load, load_all, save)
+from repro.fuzz.oracle import (DifferentialOracle, Divergence,
+                               default_matrix, is_well_typed)
+from repro.schema.paper_schema import paper_schema
+
+ENTRIES = load_all()
+
+
+@pytest.fixture(scope="module")
+def oracle():
+    with DifferentialOracle(configs=default_matrix(),
+                            shrink=False) as shared:
+        yield shared
+
+
+def test_corpus_is_not_empty():
+    assert ENTRIES, f"no corpus entries under {CORPUS_DIR}"
+    assert len({e.name for e in ENTRIES}) == len(ENTRIES)
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_parses_and_is_well_typed(entry):
+    term = entry.term()
+    assert pretty(term) == entry.query, "corpus text is not canonical"
+    assert is_well_typed(term, paper_schema()), entry.query
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_has_no_divergence(entry, oracle):
+    divergences = oracle.check(entry.term(), seed=entry.seed)
+    assert not divergences, "\n".join(d.report() for d in divergences)
+
+
+def test_save_load_roundtrip(tmp_path):
+    entry = Reproducer(name="tmp-roundtrip", query="id ! P", seed=9,
+                       config="compiled-greedy", note="n", found="2026-08-06")
+    path = save(entry, tmp_path)
+    assert load(path) == entry
+    assert load_all(tmp_path) == [entry]
+    assert load_all(tmp_path / "missing") == []
+
+
+def test_from_divergence_uses_minimal_term(tmp_path):
+    from repro.core.parser import parse_query
+    div = Divergence(config="compiled-greedy",
+                     query=parse_query("id o count ! P"),
+                     expected=8, actual=1, seed=77,
+                     shrunk=parse_query("count ! P"))
+    entry = from_divergence(div, "tmp-div", note="why", found="2026-08-06")
+    assert entry.query == "count ! P"
+    assert entry.seed == 77
+    assert entry.config == "compiled-greedy"
+    saved = save(entry, tmp_path)
+    assert load(saved) == entry

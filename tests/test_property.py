@@ -21,14 +21,17 @@ from repro.aqua.terms import (App, Attr, BinCmp, BoolOp, Const, In, Lam,
 from repro.core import constructors as C
 from repro.core.eval import apply_fn, eval_obj
 from repro.core.eval import test_pred as check_pred
-from repro.core.parser import parse_fun, parse_obj, parse_pred
+from repro.core.parser import parse_fun, parse_obj, parse_pred, parse_query
 from repro.core.pretty import pretty
 from repro.core.terms import Sort
 from repro.core.types import INT, Inferencer, TCon, fun_t, pair_t, set_t
 from repro.core.values import KPair, freeze, kset
+from repro.fuzz.strategies import kola_queries
 from repro.larch.gen import TermGenerator
 from repro.rewrite.pattern import canon
-from repro.schema.generator import GeneratorConfig, generate_database
+from repro.schema.generator import (GeneratorConfig, generate_database,
+                                    tiny_database)
+from repro.schema.paper_schema import paper_schema
 
 _SETTINGS = settings(max_examples=40, deadline=None,
                      suppress_health_check=[HealthCheck.too_slow])
@@ -217,6 +220,41 @@ def test_optimizer_end_to_end_preserves_meaning(query, rulebase_session):
     optimizer = Optimizer(rulebase_session)
     optimized = optimizer.optimize(query, _DB)
     assert optimized.execute(_DB) == aqua_eval(query, _DB)
+
+
+# -- generator-backed whole-query invariants ----------------------------------
+#
+# kola_queries() maps hypothesis-drawn integers through the seeded
+# type-directed generator, so a falsifying example shrinks to a replay
+# seed (`python -m repro.cli fuzz --seed N --count 1`).
+
+_TINY_DB = tiny_database(seed=17)
+
+
+def _direct(query):
+    if query.op == "test":
+        return check_pred(query.args[0], eval_obj(query.args[1], _TINY_DB),
+                          _TINY_DB)
+    return eval_obj(query, _TINY_DB)
+
+
+@given(query=kola_queries())
+@_SETTINGS
+def test_fuzz_queries_are_well_typed_and_round_trip(query):
+    from repro.core.types import well_typed
+    assert well_typed(query, paper_schema())
+    assert parse_query(pretty(query)) == query
+
+
+@given(query=kola_queries())
+@_SETTINGS
+def test_optimizer_preserves_fuzz_query_meaning(query, rulebase_session):
+    """End-to-end optimization of arbitrary generated queries — not just
+    the translated OQL fragment above — never changes results."""
+    from repro.optimizer.optimizer import Optimizer
+    optimizer = Optimizer(rulebase_session)
+    optimized = optimizer.optimize(query, _TINY_DB)
+    assert optimized.execute(_TINY_DB) == _direct(query)
 
 
 # -- session-scoped fixture bridge (hypothesis needs plain args) -------------------------
