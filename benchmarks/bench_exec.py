@@ -1,0 +1,282 @@
+"""Fused execution benchmark: loop pipelines vs the tree-walking
+evaluator.
+
+Two claims are measured (this file supersedes the old
+``bench_compiled_eval.py`` closure ablation — the closure compiler is
+now the fallback tier *inside* the fused backend):
+
+1. **Bulk speedup** — on the bulk iterate/join/nest workload (the
+   garage join-nest query plus iterate/unnest chains over a sized
+   database) the fused generator pipeline must beat direct evaluation
+   by at least **2x** wall clock.  The mechanism is fusion: direct
+   evaluation materializes a full intermediate set at every combinator
+   boundary, while the fused pipeline's Dedup-elimination pass lets
+   each element flow through the whole chain in one loop — and the
+   join probe replaces the evaluator's quadratic predicate sweep with
+   an index probe.  The columnar fast path is reported as a second,
+   unbarred series (its wins depend on numpy availability and
+   attribute-chain shapes).
+2. **Parity** — a fixed-seed fuzz stream of generated queries (500 in
+   the full run) must be *bit-identical* between direct evaluation and
+   both fused modes: same values, same types (a ``KBag`` never comes
+   back as a ``kset``), and ``EvalError`` outcomes must agree.  Any
+   divergence fails the run and prints the offending query.
+
+Run directly for the JSON artifact (written to ``BENCH_exec.json`` at
+the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_exec.py
+
+``--quick`` runs the CI smoke variant: a smaller database and a
+120-query parity stream, enforcing parity and pipeline coverage but
+not the timing bar (CI hosts are too noisy for wall-clock assertions).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.eval import eval_obj
+from repro.core.errors import EvalError
+from repro.core.parser import parse_obj
+from repro.exec import compile_executable
+from repro.fuzz.generator import FuzzConfig, QueryGenerator
+from repro.schema.generator import (GeneratorConfig, generate_database,
+                                    tiny_database)
+
+#: ISSUE acceptance bar: fused wall clock vs direct evaluation on the
+#: bulk workload (aggregate over BULK_QUERIES).
+MIN_SPEEDUP = 2.0
+
+#: Queries in the fixed-seed parity stream (full run).
+PARITY_COUNT = 500
+PARITY_SEED = 2026
+
+#: The bulk iterate/join/nest workload the speedup bar is measured on.
+#: Join/nest shapes dominate by design: that is where fusion's index
+#: probes beat the evaluator's per-pair predicate sweep.
+BULK_QUERIES = {
+    "garage KG2 (join-nest)":
+        "nest(pi1, pi2) o (unnest(pi1, pi2) >< id)"
+        " o <join(in @ (id >< cars), (id >< grgs)), pi1> ! [V, P]",
+    "equi self-join":
+        "join(eq @ (city o addr >< city o addr), <age o pi1, age o pi2>)"
+        " ! [P, P]",
+    "iterate chain + unnest":
+        "count o unnest(city o addr, grgs)"
+        " o iterate(gt @ <age, Kf(20)>, id) ! P",
+    "count-correlated":
+        "iterate(Kp(T), <id, count o iter(gt @ <age o pi2, age o pi1>,"
+        " pi2) o <id, Kf(P)>>) ! P",
+}
+
+#: Scan-shaped queries reported (unbarred) for the columnar series.
+SCAN_QUERIES = {
+    "t1 (map chain)": "iterate(Kp(T), city o addr) ! P",
+    "t2k (select+map)":
+        "iterate(Cp(lt, 25), id) o iterate(Kp(T), age) ! P",
+}
+
+
+def sized_db(n_persons: int, n_vehicles: int, seed: int = 1):
+    """Standalone twin of ``benchmarks.conftest.sized_db`` (this file
+    also runs directly, outside pytest's rootdir path)."""
+    return generate_database(GeneratorConfig(
+        n_persons=n_persons, n_vehicles=n_vehicles,
+        n_addresses=max(5, n_persons // 4), seed=seed))
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def _time(fn, repeat: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat * 1000
+
+
+def measure_queries(db, *, repeat: int = 3) -> dict:
+    """Per-query timings for eval / fused / columnar, with results
+    asserted identical before anything is timed."""
+    rows = []
+    for name, text in {**BULK_QUERIES, **SCAN_QUERIES}.items():
+        query = parse_obj(text)
+        fused = compile_executable(query)
+        columnar = compile_executable(query, columnar=True)
+        reference = eval_obj(query, db)
+        identical = (
+            type(fused.run(db)) is type(reference)
+            and fused.run(db) == reference
+            and type(columnar.run(db)) is type(reference)
+            and columnar.run(db) == reference)
+        eval_ms = _time(lambda: eval_obj(query, db), repeat)
+        fused_ms = _time(lambda: fused.run(db), repeat)
+        columnar_ms = _time(lambda: columnar.run(db), repeat)
+        rows.append({
+            "query": name,
+            "bulk": name in BULK_QUERIES,
+            "fully_lowered": fused.fully_lowered,
+            "identical": identical,
+            "eval_ms": round(eval_ms, 3),
+            "fused_ms": round(fused_ms, 3),
+            "columnar_ms": round(columnar_ms, 3),
+            "fused_speedup": round(eval_ms / fused_ms, 2),
+            "columnar_speedup": round(eval_ms / columnar_ms, 2),
+        })
+    bulk = [row for row in rows if row["bulk"]]
+    bulk_eval = sum(row["eval_ms"] for row in bulk)
+    bulk_fused = sum(row["fused_ms"] for row in bulk)
+    return {
+        "rows": rows,
+        "bulk_eval_ms": round(bulk_eval, 3),
+        "bulk_fused_ms": round(bulk_fused, 3),
+        "bulk_speedup": round(bulk_eval / bulk_fused, 2),
+    }
+
+
+def _outcome(run):
+    try:
+        return "ok", run()
+    except EvalError:
+        return "error", EvalError
+
+
+def measure_parity(db, *, count: int = PARITY_COUNT,
+                   seed: int = PARITY_SEED) -> dict:
+    """Fixed-seed generated stream: direct evaluation vs both fused
+    modes, bit-identical (type-strict) or the run fails."""
+    generator = QueryGenerator(FuzzConfig(seed=seed))
+    checked = good = 0
+    errors = 0
+    divergences = []
+    for _ in range(count):
+        query = generator.query()
+        expected_outcome, expected = _outcome(
+            lambda: eval_obj(query, db))
+        if expected_outcome == "error":
+            errors += 1
+        for mode, columnar in (("fused", False), ("columnar", True)):
+            checked += 1
+            outcome, got = _outcome(
+                lambda: compile_executable(query, columnar=columnar)
+                .run(db))
+            same = (outcome == expected_outcome
+                    and (outcome == "error"
+                         or (type(got) is type(expected)
+                             and got == expected)))
+            if same:
+                good += 1
+            elif len(divergences) < 5:
+                from repro.core.pretty import pretty
+                divergences.append({"mode": mode, "query": pretty(query)})
+    return {
+        "seed": seed, "queries": count, "checked": checked,
+        "good": good, "eval_errors": errors,
+        "divergences": divergences, "ok": good == checked,
+    }
+
+
+def _print_report(report: dict) -> None:
+    timings = report["timings"]
+    print(f"database: |P| = {report['config']['persons']}, "
+          f"|V| = {report['config']['vehicles']}")
+    print(f"{'query':<26} {'eval ms':>9} {'fused ms':>9} "
+          f"{'colmn ms':>9} {'fused x':>8} {'colmn x':>8}")
+    for row in timings["rows"]:
+        tag = "" if row["fully_lowered"] else "  [fallback]"
+        print(f"{row['query']:<26} {row['eval_ms']:>9.2f} "
+              f"{row['fused_ms']:>9.2f} {row['columnar_ms']:>9.2f} "
+              f"{row['fused_speedup']:>8.1f} "
+              f"{row['columnar_speedup']:>8.1f}{tag}")
+    print(f"  bulk workload: {timings['bulk_eval_ms']:.1f} ms eval vs "
+          f"{timings['bulk_fused_ms']:.1f} ms fused = "
+          f"{timings['bulk_speedup']}x (bar: {report['min_speedup']}x)")
+    parity = report["parity"]
+    print(f"  parity: {parity['good']}/{parity['checked']} bit-identical"
+          f" over {parity['queries']} generated queries x 2 modes "
+          f"(seed {parity['seed']}, {parity['eval_errors']} raise "
+          f"EvalError in both)")
+
+
+def _failures(report: dict, enforce_speedup: bool) -> list[str]:
+    problems = []
+    for row in report["timings"]["rows"]:
+        if not row["identical"]:
+            problems.append(f"{row['query']}: fused result differs "
+                            "from direct evaluation")
+        if row["bulk"] and not row["fully_lowered"]:
+            problems.append(f"{row['query']}: bulk query fell back to "
+                            "closure evaluation (not loop-lowered)")
+    if not report["parity"]["ok"]:
+        problems.append(
+            f"{report['parity']['checked'] - report['parity']['good']} "
+            f"fuzz divergence(s): {report['parity']['divergences']}")
+    if (enforce_speedup
+            and report["timings"]["bulk_speedup"] < report["min_speedup"]):
+        problems.append(
+            f"bulk fused speedup {report['timings']['bulk_speedup']}x "
+            f"below the {report['min_speedup']}x bar")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    banner("Fused execution — loop pipelines vs tree-walking evaluation")
+    if quick:
+        persons, vehicles, parity_count, repeat = 120, 75, 120, 2
+    else:
+        persons, vehicles, parity_count, repeat = 400, 250, PARITY_COUNT, 3
+    db = sized_db(persons, vehicles, seed=2026)
+    report = {
+        "config": {"persons": persons, "vehicles": vehicles,
+                   "repeat": repeat, "quick": quick},
+        "min_speedup": MIN_SPEEDUP,
+        "timings": measure_queries(db, repeat=repeat),
+        "parity": measure_parity(tiny_database(),
+                                 count=parity_count),
+    }
+    _print_report(report)
+    if not quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_exec.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    problems = _failures(report, enforce_speedup=not quick)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("OK: results bit-identical"
+              + ("" if quick else ", bulk speedup bar met"))
+    return 1 if problems else 0
+
+
+# -- pytest entry points -------------------------------------------------
+
+
+def test_exec_parity_smoke():
+    """Acceptance: every benchmark query and a 60-query fuzz stream are
+    bit-identical between direct evaluation and both fused modes."""
+    db = sized_db(40, 25, seed=2026)
+    timings = measure_queries(db, repeat=1)
+    assert all(row["identical"] for row in timings["rows"]), timings
+    parity = measure_parity(tiny_database(), count=60)
+    assert parity["ok"], parity["divergences"]
+
+
+def test_bulk_queries_fully_lowered():
+    """The bulk workload must run on the loop pipeline, not the
+    closure fallback — otherwise the speedup claim measures nothing."""
+    for text in BULK_QUERIES.values():
+        plan = compile_executable(parse_obj(text))
+        assert plan.fully_lowered, text
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,6 +4,9 @@ Commands:
 
 ``eval``       evaluate a KOLA query against a generated database
 ``optimize``   run the full optimizer on OQL text or a KOLA query
+``run``        optimize *and execute* a query on a chosen backend
+               (fused loop pipelines by default), reporting measured
+               vs. estimated cost
 ``optimize-batch``  optimize a generated query corpus over a worker
                pool (see :mod:`repro.parallel.batch`)
 ``fuzz``       generate random well-typed queries and differentially
@@ -67,6 +70,28 @@ def _build_parser() -> argparse.ArgumentParser:
                          default="greedy",
                          help="plan search: greedy pipeline (default) "
                          "or equality saturation over an e-graph")
+
+    run_cmd = sub.add_parser(
+        "run",
+        help="optimize and execute a query, reporting measured vs. "
+             "estimated cost")
+    run_cmd.add_argument("query")
+    run_cmd.add_argument("--kola", action="store_true",
+                         help="input is KOLA text, not OQL")
+    run_cmd.add_argument("--backend", choices=("plan", "fused", "columnar"),
+                         default="fused",
+                         help="execution backend: physical plan, fused "
+                         "loop pipeline (default), or fused + cached "
+                         "columns")
+    run_cmd.add_argument("--search", choices=("greedy", "saturate"),
+                         default="greedy")
+    run_cmd.add_argument("--repeat", type=int, default=3,
+                         help="timed runs to average over")
+    run_cmd.add_argument("--explain", action="store_true",
+                         help="also print the executed plan/pipeline")
+    run_cmd.add_argument("--persons", type=int, default=40)
+    run_cmd.add_argument("--vehicles", type=int, default=25)
+    run_cmd.add_argument("--seed", type=int, default=2026)
 
     batch_cmd = sub.add_parser(
         "optimize-batch",
@@ -172,6 +197,46 @@ def cmd_optimize(args) -> int:
     print(optimized.explain())
     if args.execute:
         print("result:", value_repr(optimized.execute(db), limit=20))
+    return 0
+
+
+def cmd_run(args) -> int:
+    import time
+
+    from repro.optimizer.optimizer import Optimizer
+    db = _database(args)
+    source = parse_obj(args.query) if args.kola else args.query
+    optimized = Optimizer().optimize(source, db, search=args.search)
+    repeat = max(1, args.repeat)
+
+    result = optimized.execute(db, backend=args.backend)  # warm + verify
+    start = time.perf_counter()
+    for _ in range(repeat):
+        optimized.execute(db, backend=args.backend)
+    measured_ms = (time.perf_counter() - start) / repeat * 1000
+
+    print("query    :", pretty(optimized.initial))
+    print("executed :", pretty(optimized.best_term))
+    print("backend  :", args.backend)
+    if args.backend in ("fused", "columnar"):
+        executable = optimized.executable(
+            columnar=args.backend == "columnar")
+        coverage = ("fully lowered" if executable.fully_lowered
+                    else "partially lowered (closure fallback)")
+        print("pipeline :", coverage)
+    estimated = ("(not costed)" if optimized.estimated_cost is None
+                 else f"{optimized.estimated_cost:.1f} model units")
+    print("est. cost:", estimated)
+    print(f"measured : {measured_ms:.3f} ms/run "
+          f"(averaged over {repeat} runs)")
+    print("result   :", value_repr(result, limit=20))
+    if args.explain:
+        print()
+        if args.backend in ("fused", "columnar"):
+            print(optimized.executable(
+                columnar=args.backend == "columnar").explain())
+        else:
+            print(optimized.plan.explain())
     return 0
 
 
@@ -310,6 +375,7 @@ def cmd_decompile(args) -> int:
 _COMMANDS = {
     "eval": cmd_eval,
     "optimize": cmd_optimize,
+    "run": cmd_run,
     "optimize-batch": cmd_optimize_batch,
     "fuzz": cmd_fuzz,
     "untangle": cmd_untangle,

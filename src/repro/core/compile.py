@@ -3,319 +3,63 @@
 The tree-walking evaluator (:mod:`repro.core.eval`) re-dispatches on
 every operator at every invocation — fine for rule checking, wasteful
 for a plan that runs the same function over thousands of elements.
-:func:`compile_fn` / :func:`compile_pred` translate a *ground* KOLA term
-once into a nest of Python closures; dispatch happens at compile time,
-evaluation is then direct calls.
+This module compiles a *ground* KOLA term once into a nest of Python
+closures; dispatch happens at compile time, evaluation is then direct
+calls.
 
-The compiled form is semantically identical to the evaluator (asserted
-by property tests) and measures 1.1-2x faster depending on how much of
-the work is dispatch vs. set manipulation
-(``benchmarks/bench_compiled_eval.py``).  Database-dependent
-leaves (``prim``, ``setname``) close over the database passed at compile
-time, so a compiled query is bound to one database — recompile to retarget.
+It is a thin facade over the db-late scalar compiler the fused
+execution backend is built on (:mod:`repro.exec.scalar`).  Databases
+are bound at **execution** time, never at compile time:
+
+* :func:`compile_query` returns a ``db -> value`` runner — compile a
+  query once, run it against any database with the right schema
+  (``tests/test_compile.py::TestRetargeting``);
+* :func:`compile_fn` / :func:`compile_pred` return one-argument
+  callables; the optional ``db`` argument is a *call-site default*
+  closed into the returned callable for convenience, not a compile-time
+  specialization — the underlying closure is shared and db-free.
+
+Consequently a term that needs a database (``prim``, ``setname``,
+``pprim``) compiles fine and raises :class:`~repro.core.errors.EvalError`
+only when *run* without one — the same moment the evaluator would.
 """
 
 from __future__ import annotations
 
-import operator
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
-from repro.core.bags import KBag, as_bag
-from repro.core.errors import EvalError
-from repro.core.lists import KList, as_list, stable_sort_key
 from repro.core.terms import Term
-from repro.core.values import KPair, as_bool, as_pair, as_set, kset
-from repro.schema.adt import Database
+from repro.exec.scalar import scalar_fn, scalar_obj, scalar_pred
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.schema.adt import Database
 
 Fn = Callable[[object], object]
 Pred = Callable[[object], bool]
-
-_CMP = {"eq": operator.eq, "neq": operator.ne, "lt": operator.lt,
-        "leq": operator.le, "gt": operator.gt, "geq": operator.ge}
-_SETOPS = {"union": operator.or_, "intersect": operator.and_,
-           "difference": operator.sub}
+Runner = Callable[["Database | None"], object]
 
 
-def compile_query(query: Term, db: Database | None = None) -> Callable[[], object]:
+def compile_query(query: Term) -> Runner:
     """Compile a whole query (an ``invoke``/``test``/object term) to a
-    zero-argument callable."""
-    if query.op == "invoke":
-        fn = compile_fn(query.args[0], db)
-        arg = compile_query(query.args[1], db)
-        return lambda: fn(arg())
-    if query.op == "test":
-        pred = compile_pred(query.args[0], db)
-        arg = compile_query(query.args[1], db)
-        return lambda: pred(arg())
-    if query.op == "lit":
-        value = query.label
-        return lambda: value
-    if query.op == "setname":
-        if db is None:
-            raise EvalError(f"collection {query.label!r} needs a database")
-        value = db.collection(query.label)
-        return lambda: value
-    if query.op == "pairobj":
-        left = compile_query(query.args[0], db)
-        right = compile_query(query.args[1], db)
-        return lambda: KPair(left(), right())
-    raise EvalError(f"cannot compile object expression {query.op!r}")
+    ``db -> value`` runner.  The database is an argument of every run,
+    so one compiled query retargets across databases."""
+    runner = scalar_obj(query)
+
+    def run(db: "Database | None" = None) -> object:
+        return runner(db)
+
+    return run
 
 
-def compile_fn(term: Term, db: Database | None = None) -> Fn:
-    """Compile a function-sorted ground term to a Python callable."""
-    op = term.op
-    args = term.args
-
-    if op == "id":
-        return lambda x: x
-    if op == "pi1":
-        return lambda x: as_pair(x, "pi1").fst
-    if op == "pi2":
-        return lambda x: as_pair(x, "pi2").snd
-    if op == "prim":
-        if db is None:
-            raise EvalError(f"primitive {term.label!r} needs a database")
-        name = term.label
-        apply_prim = db.apply_prim
-        return lambda x: apply_prim(name, x)
-    if op == "setop":
-        set_op = _SETOPS[term.label]
-        label = term.label
-        return lambda x: set_op(as_set(as_pair(x, label).fst, label),
-                                as_set(as_pair(x, label).snd, label))
-
-    if op == "compose":
-        outer = compile_fn(args[0], db)
-        inner = compile_fn(args[1], db)
-        return lambda x: outer(inner(x))
-    if op == "pair":
-        left = compile_fn(args[0], db)
-        right = compile_fn(args[1], db)
-        return lambda x: KPair(left(x), right(x))
-    if op == "cross":
-        left = compile_fn(args[0], db)
-        right = compile_fn(args[1], db)
-        return lambda x: (lambda p: KPair(left(p.fst), right(p.snd)))(
-            as_pair(x, "cross"))
-    if op == "const_f":
-        value_thunk = compile_query(args[0], db)
-        value = value_thunk()
-        return lambda x: value
-    if op == "curry_f":
-        fn = compile_fn(args[0], db)
-        key = compile_query(args[1], db)()
-        return lambda x: fn(KPair(key, x))
-    if op == "cond":
-        pred = compile_pred(args[0], db)
-        then_fn = compile_fn(args[1], db)
-        else_fn = compile_fn(args[2], db)
-        return lambda x: then_fn(x) if pred(x) else else_fn(x)
-
-    if op == "flat":
-        def _flat(x: object) -> frozenset:
-            result: set = set()
-            for inner in as_set(x, "flat"):
-                result.update(as_set(inner, "flat element"))
-            return kset(result)
-        return _flat
-    if op == "iterate":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-        return lambda x: kset(fn(item) for item in as_set(x, "iterate")
-                              if pred(item))
-    if op == "iter":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-
-        def _iter(x: object) -> frozenset:
-            pair_value = as_pair(x, "iter")
-            env = pair_value.fst
-            return kset(fn(KPair(env, y))
-                        for y in as_set(pair_value.snd, "iter")
-                        if pred(KPair(env, y)))
-        return _iter
-    if op == "join":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-
-        def _join(x: object) -> frozenset:
-            pair_value = as_pair(x, "join")
-            left = as_set(pair_value.fst, "join")
-            right = as_set(pair_value.snd, "join")
-            return kset(fn(KPair(a, b)) for a in left for b in right
-                        if pred(KPair(a, b)))
-        return _join
-    if op == "nest":
-        key_fn = compile_fn(args[0], db)
-        val_fn = compile_fn(args[1], db)
-
-        def _nest(x: object) -> frozenset:
-            pair_value = as_pair(x, "nest")
-            groups: dict[object, set] = {
-                key: set() for key in as_set(pair_value.snd, "nest")}
-            for item in as_set(pair_value.fst, "nest"):
-                key = key_fn(item)
-                if key in groups:
-                    groups[key].add(val_fn(item))
-            return kset(KPair(key, kset(members))
-                        for key, members in groups.items())
-        return _nest
-    if op == "unnest":
-        key_fn = compile_fn(args[0], db)
-        set_fn = compile_fn(args[1], db)
-
-        def _unnest(x: object) -> frozenset:
-            result = set()
-            for item in as_set(x, "unnest"):
-                key = key_fn(item)
-                for member in as_set(set_fn(item), "unnest inner"):
-                    result.add(KPair(key, member))
-            return kset(result)
-        return _unnest
-
-    # -- bags ------------------------------------------------------------------
-    if op == "tobag":
-        return lambda x: KBag.of(as_set(x, "tobag"))
-    if op == "distinct":
-        return lambda x: as_bag(x, "distinct").support()
-    if op == "bag_iterate":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-        return lambda x: as_bag(x, "bag_iterate").filter(pred).map(fn)
-    if op == "bag_flat":
-        return lambda x: as_bag(x, "bag_flat").flatten()
-    if op == "bag_union":
-        return lambda x: as_bag(as_pair(x, "bag_union").fst,
-                                "bag_union").additive_union(
-            as_bag(as_pair(x, "bag_union").snd, "bag_union"))
-    if op == "bag_join":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-
-        def _bag_join(x: object) -> KBag:
-            pair_value = as_pair(x, "bag_join")
-            counts: dict[object, int] = {}
-            for a, a_count in as_bag(pair_value.fst,
-                                     "bag_join").counts().items():
-                for b, b_count in as_bag(pair_value.snd,
-                                         "bag_join").counts().items():
-                    if pred(KPair(a, b)):
-                        image = fn(KPair(a, b))
-                        counts[image] = counts.get(image, 0) \
-                            + a_count * b_count
-            return KBag(counts)
-        return _bag_join
-
-    # -- lists -----------------------------------------------------------------
-    if op == "listify":
-        key_fn = compile_fn(args[0], db)
-        return lambda x: KList(sorted(
-            as_set(x, "listify"),
-            key=lambda item: stable_sort_key(key_fn(item), item)))
-    if op == "list_iterate":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-        return lambda x: as_list(x, "list_iterate").filter(pred).map(fn)
-    if op == "list_flat":
-        return lambda x: as_list(x, "list_flat").flatten()
-    if op == "list_cat":
-        return lambda x: as_list(as_pair(x, "list_cat").fst,
-                                 "list_cat").concat(
-            as_list(as_pair(x, "list_cat").snd, "list_cat"))
-    if op == "to_set":
-        return lambda x: as_list(x, "to_set").support()
-
-    # -- aggregates ---------------------------------------------------------------
-    if op == "count":
-        return lambda x: len(as_set(x, "count"))
-    if op == "bag_count":
-        return lambda x: len(as_bag(x, "bag_count"))
-    if op == "ssum":
-        def _ssum(x: object) -> object:
-            total = 0
-            for item in as_set(x, "ssum"):
-                if not isinstance(item, (int, float)):
-                    raise EvalError(f"ssum over non-number {item!r}")
-                total += item
-            return total
-        return _ssum
-    if op == "bag_sum":
-        def _bag_sum(x: object) -> object:
-            total = 0
-            for item, mult in as_bag(x, "bag_sum").counts().items():
-                if not isinstance(item, (int, float)):
-                    raise EvalError(f"bag_sum over non-number {item!r}")
-                total += item * mult
-            return total
-        return _bag_sum
-    if op == "plus":
-        def _plus(x: object) -> object:
-            pair_value = as_pair(x, "plus")
-            if not isinstance(pair_value.fst, (int, float)) \
-                    or not isinstance(pair_value.snd, (int, float)):
-                raise EvalError(f"plus over non-numbers {pair_value!r}")
-            return pair_value.fst + pair_value.snd
-        return _plus
-
-    raise EvalError(f"cannot compile function operator {op!r}")
+def compile_fn(term: Term, db: "Database | None" = None) -> Fn:
+    """Compile a function-sorted ground term to a Python callable.
+    ``db`` is the database the calls will run against (bound per
+    returned callable, not per compilation)."""
+    fn = scalar_fn(term)
+    return lambda x: fn(x, db)
 
 
-def compile_pred(term: Term, db: Database | None = None) -> Pred:
+def compile_pred(term: Term, db: "Database | None" = None) -> Pred:
     """Compile a predicate-sorted ground term to a Python callable."""
-    op = term.op
-    args = term.args
-
-    if op in _CMP:
-        compare = _CMP[op]
-        name = op
-
-        def _cmp(x: object) -> bool:
-            pair_value = as_pair(x, name)
-            try:
-                return bool(compare(pair_value.fst, pair_value.snd))
-            except TypeError as exc:
-                raise EvalError(f"{name} applied to incomparable "
-                                f"values: {exc}")
-        return _cmp
-    if op == "isin":
-        return lambda x: (lambda p: p.fst in as_set(p.snd, "in"))(
-            as_pair(x, "in"))
-    if op == "subset":
-        return lambda x: (lambda p: as_set(p.fst, "subset")
-                          <= as_set(p.snd, "subset"))(as_pair(x, "subset"))
-    if op == "pprim":
-        if db is None:
-            raise EvalError(f"predicate {term.label!r} needs a database")
-        name = term.label
-        test_pprim = db.test_pprim
-        return lambda x: test_pprim(name, x)
-
-    if op == "oplus":
-        pred = compile_pred(args[0], db)
-        fn = compile_fn(args[1], db)
-        return lambda x: pred(fn(x))
-    if op == "conj":
-        left = compile_pred(args[0], db)
-        right = compile_pred(args[1], db)
-        return lambda x: left(x) and right(x)
-    if op == "disj":
-        left = compile_pred(args[0], db)
-        right = compile_pred(args[1], db)
-        return lambda x: left(x) or right(x)
-    if op == "inv":
-        pred = compile_pred(args[0], db)
-        return lambda x: (lambda p: pred(KPair(p.snd, p.fst)))(
-            as_pair(x, "inv"))
-    if op == "neg":
-        pred = compile_pred(args[0], db)
-        return lambda x: not pred(x)
-    if op == "const_p":
-        value = as_bool(compile_query(args[0], db)(), "Kp")
-        return lambda x: value
-    if op == "curry_p":
-        pred = compile_pred(args[0], db)
-        key = compile_query(args[1], db)()
-        return lambda x: pred(KPair(key, x))
-
-    raise EvalError(f"cannot compile predicate operator {op!r}")
+    pred = scalar_pred(term)
+    return lambda x: pred(x, db)

@@ -24,30 +24,20 @@ errors (projecting a non-pair, iterating a non-set...) raise
 
 from __future__ import annotations
 
-import operator
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
 from repro.core.errors import EvalError
+from repro.core.prims import COMPARISONS, SETOPS, compare
 from repro.core.terms import Term
 from repro.core.values import KPair, as_bool, as_pair, as_set, kset
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only (import cycle)
     from repro.schema.adt import Database
 
-_COMPARISONS: dict[str, Callable[[object, object], bool]] = {
-    "eq": operator.eq,
-    "neq": operator.ne,
-    "lt": operator.lt,
-    "leq": operator.le,
-    "gt": operator.gt,
-    "geq": operator.ge,
-}
-
-_SETOPS: dict[str, Callable[[frozenset, frozenset], frozenset]] = {
-    "union": operator.or_,
-    "intersect": operator.and_,
-    "difference": operator.sub,
-}
+# Shared with the closure compiler and the fused backend — one source of
+# primitive semantics across every execution path (repro.core.prims).
+_COMPARISONS = COMPARISONS
+_SETOPS = SETOPS
 
 
 def eval_obj(term: Term, db: Database | None = None) -> object:
@@ -264,10 +254,7 @@ def test_pred(term: Term, value: object, db: Database | None = None) -> bool:
     # -- primitives -----------------------------------------------------------
     if op in _COMPARISONS:
         pair_value = as_pair(value, op)
-        try:
-            return bool(_COMPARISONS[op](pair_value.fst, pair_value.snd))
-        except TypeError as exc:
-            raise EvalError(f"{op} applied to incomparable values: {exc}")
+        return compare(op, pair_value.fst, pair_value.snd)
     if op == "isin":
         pair_value = as_pair(value, "in")
         return pair_value.fst in as_set(pair_value.snd, "in")

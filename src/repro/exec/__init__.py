@@ -1,0 +1,32 @@
+"""The fused executable plan backend.
+
+Optimized KOLA terms are *lowered* into a small loop IR
+(:mod:`repro.exec.ir`), *fused* so producer–consumer pipelines touch
+each element once (:mod:`repro.exec.fuse`), and *emitted* as Python
+generator closures (:mod:`repro.exec.emit`) with an optional columnar
+fast path for bulk scans (:mod:`repro.exec.columnar`).
+
+The three stages are independently testable, but almost every caller
+wants the composition::
+
+    plan = compile_executable(term)      # lower + fuse + emit, once
+    plan.run(db_a)                       # bind a database at run time
+    plan.run(db_b)                       # ... and retarget freely
+
+Database bindings happen at *execution* time (``run(db)``), never at
+compile time, so one compiled plan serves any database with the same
+schema — the contract the plan-serving daemon will rely on.
+
+Lowering is total: terms outside the loop-pipeline fragment fall back
+to compiled-closure evaluation (:mod:`repro.exec.scalar`), so
+``compile_executable`` accepts *any* ground query the evaluator does
+and is bit-identical to :func:`repro.core.eval.eval_obj` (enforced by
+the differential oracle's ``fused-exec`` configurations and the
+property suites in ``tests/test_exec_property.py``).
+"""
+
+from repro.exec.emit import ExecutablePlan, compile_executable
+from repro.exec.fuse import fuse
+from repro.exec.lower import lower_query
+
+__all__ = ["ExecutablePlan", "compile_executable", "fuse", "lower_query"]

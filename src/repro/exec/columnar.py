@@ -1,0 +1,178 @@
+"""The columnar fast path for bulk scans over named collections.
+
+A fused pipeline whose scan is a named collection frequently starts
+with attribute-chain maps (``city o addr``) and constant comparisons
+(``Cp(lt, 25)``).  This module recognizes that prefix and replaces the
+per-element closure calls with **cached column extraction**: for each
+``(collection, attribute-path)`` the full column is materialized once
+per database and reused by every plan that scans it.  Numeric columns
+are additionally filtered with numpy's vectorized comparisons when
+numpy is importable — strictly an accelerator, never a dependency, and
+gated so that results stay *bit-identical* to the scalar path:
+
+* integer columns vectorize only when they fit an int64 array (arbitrary
+  precision falls back to the Python loop);
+* float columns vectorize only when every value is an actual ``float``
+  (mixed int/float columns would silently round large ints during the
+  float64 cast);
+* survivors are always yielded from the original Python values — numpy
+  scalars never escape into results.
+
+Only ``Map``s *before* the first ``Filter`` are consumed (the
+evaluator applies map closures to every scanned element, so whole-column
+extraction matches its error behavior exactly); filters are combined
+with per-element short-circuit in the fallback loop so an element
+rejected by an earlier filter is never shown to a later one — again
+matching the scalar path's error behavior.
+
+The column cache is keyed weakly by database, so dropping a database
+drops its columns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+from weakref import WeakKeyDictionary
+
+from repro.core.errors import EvalError
+from repro.core.prims import COMPARISONS, compare
+from repro.core.terms import Term
+from repro.exec.ir import Filter, Map, Scan
+from repro.rewrite.pattern import flatten_compose
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.schema.adt import Database
+
+try:  # pragma: no cover - exercised only where numpy is installed
+    import numpy as _np
+except Exception:  # pragma: no cover - the pure-Python environment
+    _np = None
+
+#: db -> {(collection label, attribute path): tuple of column values}
+_COLUMN_CACHE: "WeakKeyDictionary[Database, dict]" = WeakKeyDictionary()
+
+
+def clear_cache() -> None:
+    """Drop every cached column (tests and memory pressure)."""
+    _COLUMN_CACHE.clear()
+
+
+def cache_stats() -> tuple[int, int]:
+    """(number of cached databases, number of cached columns)."""
+    return (len(_COLUMN_CACHE),
+            sum(len(columns) for columns in _COLUMN_CACHE.values()))
+
+
+def attr_chain(term: Term) -> tuple[str, ...] | None:
+    """A pure attribute path (composition of ``prim``/``id`` factors),
+    in application order, or ``None``."""
+    labels: list[str] = []
+    for factor in reversed(flatten_compose(term)):
+        if factor.op == "prim":
+            labels.append(factor.label)
+        elif factor.op != "id":
+            return None
+    return tuple(labels)
+
+
+def column(db: "Database", label: str, path: tuple[str, ...]) -> tuple:
+    """The column of ``path`` values over collection ``label``, cached
+    per database.  Longer paths derive from their prefix columns, so
+    ``addr`` and ``city o addr`` share the ``addr`` extraction."""
+    columns = _COLUMN_CACHE.setdefault(db, {})
+    key = (label, path)
+    cached = columns.get(key)
+    if cached is not None:
+        return cached
+    if not path:
+        values = tuple(db.collection(label))
+    else:
+        prefix = column(db, label, path[:-1])
+        attribute = path[-1]
+        values = tuple(db.apply_prim(attribute, item) for item in prefix)
+    columns[key] = values
+    return values
+
+
+def _const_compare(pred: Term) -> tuple[str, object] | None:
+    """``Cp(cmp, k)`` with a numeric/str literal ``k`` -> ``(op, k)``
+    (tests ``compare(op, k, x)`` per element)."""
+    if pred.op != "curry_p":
+        return None
+    comparison, obj = pred.args
+    if comparison.op not in COMPARISONS or obj.op != "lit":
+        return None
+    constant = obj.label
+    if isinstance(constant, bool) or not isinstance(constant,
+                                                    (int, float, str)):
+        return None
+    return comparison.op, constant
+
+
+def columnar_scan(scan: Scan, ops):
+    """Try to serve a scan prefix from cached columns.
+
+    Returns ``(base_stream, remaining_ops)`` or ``None`` when the
+    pipeline has no columnar-friendly prefix.
+    """
+    if scan.kind != "set" or scan.source.op != "setname":
+        return None
+    label = scan.source.label
+
+    path: tuple[str, ...] = ()
+    filters: list[tuple[str, object]] = []
+    consumed = 0
+    for op in ops:
+        if isinstance(op, Map) and not filters:
+            chain = attr_chain(op.fn)
+            if chain is None:
+                break
+            path += chain
+            consumed += 1
+        elif isinstance(op, Filter):
+            shape = _const_compare(op.pred)
+            if shape is None:
+                break
+            filters.append(shape)
+            consumed += 1
+        else:
+            break
+    if not path and not filters:
+        return None
+
+    def base(db):
+        if db is None:
+            raise EvalError(f"named collection {label!r} needs a database")
+        values = column(db, label, path)
+        if not filters:
+            return iter(values)
+        mask = _vector_mask(filters, values)
+        if mask is not None:
+            return (item for item, keep in zip(values, mask) if keep)
+        return (item for item in values
+                if all(compare(op, constant, item)
+                       for op, constant in filters))
+
+    return base, tuple(ops[consumed:])
+
+
+def _vector_mask(filters, values):
+    """A combined numpy boolean mask, or ``None`` when vectorization
+    cannot be bit-identical to the scalar path."""
+    if _np is None or not values:
+        return None
+    if all(type(item) is int for item in values):
+        dtype = _np.int64
+    elif all(type(item) is float for item in values):
+        dtype = _np.float64
+    else:
+        return None
+    try:
+        array = _np.asarray(values, dtype=dtype)
+    except OverflowError:
+        return None
+    mask = None
+    for op, constant in filters:
+        step = COMPARISONS[op](constant, array)
+        mask = step if mask is None else (mask & step)
+    return mask

@@ -1,0 +1,342 @@
+"""Emission: the fused loop IR -> Python generator closures.
+
+Each pipeline becomes a ``db -> value`` runner built from three kinds
+of parts:
+
+* a **base** iterator for the source (a coerced scan, a join probe
+  loop, or a grouping pass);
+* one generator **stage** per surviving IR op, with consecutive
+  ``Map``/``Filter`` runs coalesced into a single per-element step loop
+  so a fused ``iterate o iterate o ...`` chain costs one Python frame
+  per element, not one per combinator;
+* a **sink** that materializes the stream (``kset`` / ``KBag.of`` /
+  ``KList`` / the streaming aggregates).
+
+Everything the stages call is a db-late scalar closure from
+:mod:`repro.exec.scalar`, so the emitted plan binds its database per
+``run(db)`` call — compile once, execute anywhere.
+
+When ``columnar=True``, scans over named collections route through
+:mod:`repro.exec.columnar`, which replaces leading attribute-chain
+``Map``s and constant-comparison ``Filter``s with cached column
+extraction (vectorized when numpy is importable, plain loops when not
+— results are bit-identical either way).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Iterator
+
+from repro.core.bags import KBag, as_bag
+from repro.core.errors import EvalError
+from repro.core.lists import KList, as_list, stable_sort_key
+from repro.core.terms import Term
+from repro.core.values import KPair, as_set, kset
+from repro.exec.fuse import fuse
+from repro.exec.ir import (Compute, Dedup, Filter, Flatten, JoinProbe,
+                           LoweredQuery, Map, NestGroup, Pipeline, Scan,
+                           Sort, UnnestFlatten, WrapEnv, render)
+from repro.exec.lower import lower_query
+from repro.exec.scalar import scalar_fn, scalar_obj, scalar_pred
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.schema.adt import Database
+
+#: A compiled pipeline: bind a database, get the query's value.
+Runner = Callable[["Database | None"], object]
+#: A compiled stream: bind a database, get an element iterator.
+Stream = Callable[["Database | None"], Iterator[object]]
+
+
+@dataclass(frozen=True)
+class ExecutablePlan:
+    """A query compiled down to loops, awaiting a database.
+
+    ``run(db)`` executes; the same plan may be run against any number
+    of databases (bindings are execution-time, never baked in).
+    ``explain()`` renders the fused IR the plan was emitted from.
+    """
+
+    term: Term
+    lowered: LoweredQuery
+    columnar: bool = False
+    fused: bool = True
+    runner: Runner = field(default=None, repr=False, compare=False)
+
+    def run(self, db: "Database | None" = None) -> object:
+        return self.runner(db)
+
+    def explain(self) -> str:
+        return render(self.lowered)
+
+    @property
+    def fully_lowered(self) -> bool:
+        return self.lowered.fully_lowered
+
+
+def compile_executable(term: Term, *, columnar: bool = False,
+                       fused: bool = True) -> ExecutablePlan:
+    """lower + fuse + emit, once.  ``fused=False`` keeps every
+    materialization boundary (for differential tests and benchmarks)."""
+    lowered = lower_query(term)
+    if fused:
+        lowered = fuse(lowered)
+    runner = _emit_query(lowered, columnar)
+    return ExecutablePlan(term, lowered, columnar, fused, runner)
+
+
+# -- query / pipeline ---------------------------------------------------------
+
+def _emit_query(lowered: LoweredQuery, columnar: bool) -> Runner:
+    run_pipeline = _emit_pipeline(lowered.pipeline, columnar)
+    post = scalar_fn(lowered.post) if lowered.post is not None else None
+    post_pred = (scalar_pred(lowered.post_pred)
+                 if lowered.post_pred is not None else None)
+
+    def runner(db=None):
+        value = run_pipeline(db)
+        if post is not None:
+            value = post(value, db)
+        if post_pred is not None:
+            value = post_pred(value, db)
+        return value
+
+    return runner
+
+
+def _emit_pipeline(pipeline: Pipeline, columnar: bool) -> Runner:
+    if isinstance(pipeline.source, Compute):
+        return scalar_obj(pipeline.source.term)
+    stream = _emit_stream(pipeline, columnar)
+    sink = pipeline.sink
+    if sink == "set":
+        return lambda db: kset(stream(db))
+    if sink == "bag":
+        return lambda db: KBag.of(stream(db))
+    if sink == "list":
+        return lambda db: KList(stream(db))
+    if sink in ("count", "bag_count"):
+        return lambda db: sum(1 for _ in stream(db))
+    if sink in ("ssum", "bag_sum"):
+        return _numeric_sum(stream, sink)
+    raise EvalError(f"cannot materialize sink {sink!r}")  # pragma: no cover
+
+
+def _numeric_sum(stream: Stream, sink: str) -> Runner:
+    def runner(db=None):
+        total = 0
+        for item in stream(db):
+            if not isinstance(item, (int, float)):
+                raise EvalError(f"{sink} over non-number {item!r}")
+            total += item
+        return total
+    return runner
+
+
+# -- streams ------------------------------------------------------------------
+
+def _emit_stream(pipeline: Pipeline, columnar: bool) -> Stream:
+    source = pipeline.source
+    ops = pipeline.ops
+    if isinstance(source, Scan):
+        base, ops = _emit_scan(source, ops, columnar)
+    elif isinstance(source, JoinProbe):
+        base = _emit_join(source, columnar)
+    elif isinstance(source, NestGroup):
+        base = _emit_nest(source, columnar)
+    else:  # pragma: no cover - Compute handled by _emit_pipeline
+        raise EvalError("cannot stream an opaque computed source")
+
+    stages = _emit_ops(ops)
+    if not stages:
+        return base
+
+    def stream(db):
+        iterator = base(db)
+        for stage in stages:
+            iterator = stage(iterator, db)
+        return iterator
+
+    return stream
+
+
+_COERCE = {"set": as_set, "bag": as_bag, "list": as_list}
+
+
+def _emit_scan(scan: Scan, ops, columnar: bool):
+    if columnar:
+        from repro.exec.columnar import columnar_scan
+        fast = columnar_scan(scan, ops)
+        if fast is not None:
+            return fast
+    thunk = scalar_obj(scan.source)
+    coerce = _COERCE[scan.kind]
+    return (lambda db: iter(coerce(thunk(db), "scan"))), ops
+
+
+def _emit_join(probe: JoinProbe, columnar: bool) -> Stream:
+    left_stream = _emit_stream(probe.left, columnar)
+    right_stream = _emit_stream(probe.right, columnar)
+    image = scalar_fn(probe.fn)
+
+    if probe.membership_fn is not None:
+        member = scalar_fn(probe.membership_fn)
+
+        def membership_base(db):
+            index = set(left_stream(db))
+            for b in right_stream(db):
+                for a in as_set(member(b, db), "in"):
+                    if a in index:
+                        yield image(KPair(a, b), db)
+        return membership_base
+
+    if probe.eq_keys is not None:
+        left_key = scalar_fn(probe.eq_keys[0])
+        right_key = scalar_fn(probe.eq_keys[1])
+
+        def hash_base(db):
+            buckets: dict[object, list] = {}
+            for a in left_stream(db):
+                buckets.setdefault(left_key(a, db), []).append(a)
+            for b in right_stream(db):
+                for a in buckets.get(right_key(b, db), ()):
+                    yield image(KPair(a, b), db)
+        return hash_base
+
+    pred = scalar_pred(probe.pred)
+
+    def nested_base(db):
+        left_items = list(left_stream(db))
+        for b in right_stream(db):
+            for a in left_items:
+                pair = KPair(a, b)
+                if pred(pair, db):
+                    yield image(pair, db)
+    return nested_base
+
+
+def _emit_nest(group: NestGroup, columnar: bool) -> Stream:
+    source_stream = _emit_stream(group.source, columnar)
+    keys_stream = _emit_stream(group.keys, columnar)
+    key_of = scalar_fn(group.key_fn)
+    val_of = scalar_fn(group.val_fn)
+
+    def base(db):
+        groups: dict[object, set] = {key: set() for key in keys_stream(db)}
+        for x in source_stream(db):
+            key = key_of(x, db)
+            if key in groups:
+                groups[key].add(val_of(x, db))
+        for key, members in groups.items():
+            yield KPair(key, kset(members))
+    return base
+
+
+# -- op stages ----------------------------------------------------------------
+
+def _emit_ops(ops) -> list:
+    """One stage per op, with consecutive Map/Filter runs coalesced."""
+    stages: list = []
+    steps: list = []
+
+    def flush():
+        if steps:
+            stages.append(_elementwise(tuple(steps)))
+            steps.clear()
+
+    for op in ops:
+        if isinstance(op, Map):
+            steps.append((True, scalar_fn(op.fn)))
+        elif isinstance(op, Filter):
+            steps.append((False, scalar_pred(op.pred)))
+        else:
+            flush()
+            stages.append(_emit_stage(op))
+    flush()
+    return stages
+
+
+def _elementwise(steps):
+    if len(steps) == 1:
+        is_map, closure = steps[0]
+        if is_map:
+            return lambda iterator, db: (closure(x, db) for x in iterator)
+        return lambda iterator, db: (x for x in iterator if closure(x, db))
+
+    def stage(iterator, db):
+        for x in iterator:
+            keep = True
+            for is_map, closure in steps:
+                if is_map:
+                    x = closure(x, db)
+                elif not closure(x, db):
+                    keep = False
+                    break
+            if keep:
+                yield x
+    return stage
+
+
+def _emit_stage(op):
+    if isinstance(op, Dedup):
+        return _dedup_stage
+    if isinstance(op, WrapEnv):
+        env_thunk = scalar_obj(op.env)
+
+        def wrap_stage(iterator, db):
+            env = env_thunk(db)
+            return (KPair(env, y) for y in iterator)
+        return wrap_stage
+    if isinstance(op, Flatten):
+        return _FLATTEN_STAGES[op.kind]
+    if isinstance(op, UnnestFlatten):
+        key_of = scalar_fn(op.key_fn)
+        set_of = scalar_fn(op.set_fn)
+
+        def unnest_stage(iterator, db):
+            for x in iterator:
+                key = key_of(x, db)
+                for member in as_set(set_of(x, db), "unnest inner"):
+                    yield KPair(key, member)
+        return unnest_stage
+    if isinstance(op, Sort):
+        key_of = scalar_fn(op.key_fn)
+
+        def sort_stage(iterator, db):
+            return iter(sorted(
+                iterator,
+                key=lambda x: stable_sort_key(key_of(x, db), x)))
+        return sort_stage
+    raise EvalError(f"cannot emit IR op {op!r}")  # pragma: no cover
+
+
+def _dedup_stage(iterator, db):
+    seen: set = set()
+    for x in iterator:
+        if x not in seen:
+            seen.add(x)
+            yield x
+
+
+def _flatten_set(iterator, db):
+    for x in iterator:
+        yield from as_set(x, "flat element")
+
+
+def _flatten_bag(iterator, db):
+    for x in iterator:
+        if not isinstance(x, KBag):
+            raise EvalError(f"bag_flat over non-bag member {x!r}")
+        yield from x
+
+
+def _flatten_list(iterator, db):
+    for x in iterator:
+        if not isinstance(x, KList):
+            raise EvalError(f"list_flat over non-list member {x!r}")
+        yield from x
+
+
+_FLATTEN_STAGES = {"set": _flatten_set, "bag": _flatten_bag,
+                   "list": _flatten_list}

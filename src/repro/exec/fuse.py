@@ -1,0 +1,154 @@
+"""Fusion: deleting the set-materialization boundaries lowering
+inserted wherever they provably cannot change the result.
+
+Lowering (:mod:`repro.exec.lower`) puts a :class:`~repro.exec.ir.Dedup`
+after every set-producing combinator — one per intermediate set the
+tree-walking evaluator would materialize.  This pass removes a Dedup
+when either analysis discharges it:
+
+1. **No duplicates upstream.**  A set-kind ``Scan`` and a ``NestGroup``
+   emit distinct elements; ``Filter``/``WrapEnv`` preserve
+   distinctness (WrapEnv pairs an injective constant onto each
+   element); ``Map``/``Flatten``/``UnnestFlatten`` may introduce
+   duplicates.  A Dedup reached only by duplicate-free ops is a no-op.
+
+2. **Duplicate-insensitive downstream.**  If everything between a Dedup
+   and the next Dedup (or a ``set`` sink) is elementwise or flattening
+   — ``Map``, ``Filter``, ``WrapEnv``, ``Flatten``, ``UnnestFlatten``
+   — then duplicates slipping past cost repeated work but cannot change
+   the final *set*: the image of a stream under pure per-element ops
+   depends only on its support.  The guarded Dedup before any
+   duplicate-*sensitive* point (``count``/``ssum`` sinks, bag and list
+   regions, ``Sort``) always survives.
+
+The two rules together are what collapse an
+``iterate o iterate o join`` chain into a single loop with one trailing
+seen-filter — the whole point of the backend.  Soundness rests on
+compiled scalar closures being deterministic and effect-free, which
+they are by construction (:mod:`repro.exec.scalar` closes over pure
+terms only).
+
+Adjacent surviving ``Map`` ops are merged into one composed closure so
+emission produces a single call chain per element.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core import constructors as C
+from repro.exec.ir import (Compute, Dedup, Filter, Flatten, JoinProbe,
+                           LoweredQuery, Map, NestGroup, Pipeline, Scan,
+                           Sort, UnnestFlatten, WrapEnv)
+
+#: Ops through which duplicates may flow without affecting the final
+#: set value (rule 2's alphabet).
+_DUP_TRANSPARENT = (Map, Filter, WrapEnv, Flatten, UnnestFlatten)
+
+#: Ops that never *introduce* duplicates into a duplicate-free stream
+#: (rule 1's alphabet).
+_DUP_PRESERVING = (Filter, WrapEnv)
+
+
+def fuse(lowered: LoweredQuery) -> LoweredQuery:
+    """Fuse a lowered query: same value, fewer materialization points."""
+    return replace(lowered, pipeline=fuse_pipeline(lowered.pipeline))
+
+
+def fuse_pipeline(pipeline: Pipeline,
+                  consumer_dedups: bool = False) -> Pipeline:
+    """Fuse one pipeline.  ``consumer_dedups`` marks an internal
+    ``stream`` sink whose consumer is duplicate-insensitive (join
+    inputs, nest sources/keys) — a trailing Dedup then behaves as if
+    the sink were ``set``."""
+    source = _fuse_source(pipeline.source)
+    ops = _drop_dedups(source, pipeline.ops, pipeline.sink, consumer_dedups)
+    ops = _merge_maps(ops)
+    return Pipeline(source, tuple(ops), pipeline.sink)
+
+
+def _fuse_source(source):
+    if isinstance(source, JoinProbe):
+        return replace(source,
+                       left=fuse_pipeline(source.left, consumer_dedups=True),
+                       right=fuse_pipeline(source.right,
+                                           consumer_dedups=True))
+    if isinstance(source, NestGroup):
+        return replace(source,
+                       source=fuse_pipeline(source.source,
+                                            consumer_dedups=True),
+                       keys=fuse_pipeline(source.keys, consumer_dedups=True))
+    return source
+
+
+def _source_may_duplicate(source) -> bool:
+    if isinstance(source, Scan):
+        return source.kind != "set"
+    if isinstance(source, NestGroup):
+        return False      # one [key, group] pair per distinct key
+    if isinstance(source, JoinProbe):
+        return True       # distinct (a, b) pairs can share an image
+    return False          # Compute: never streamed
+
+
+def _drop_dedups(source, ops, sink: str, consumer_dedups: bool) -> list:
+    # Rule 1: forward duplicate-freeness analysis.
+    kept: list = []
+    may_duplicate = _source_may_duplicate(source)
+    for op in ops:
+        if isinstance(op, Dedup):
+            if not may_duplicate:
+                continue
+            may_duplicate = False
+        elif not isinstance(op, _DUP_PRESERVING):
+            may_duplicate = True
+        kept.append(op)
+
+    # Rule 2: backward duplicate-insensitivity analysis.
+    effective_sink = "set" if (sink == "stream" and consumer_dedups) else sink
+    result: list = []
+    for position, op in enumerate(kept):
+        if isinstance(op, Dedup) and _covered_downstream(
+                kept, position + 1, effective_sink):
+            continue
+        result.append(op)
+    return result
+
+
+def _covered_downstream(ops, start: int, sink: str) -> bool:
+    """True when a Dedup at ``start - 1`` is redundant: every op until
+    the next Dedup tolerates duplicates, and a Dedup (or a ``set``
+    sink) re-establishes set semantics afterwards."""
+    for op in ops[start:]:
+        if isinstance(op, Dedup):
+            return True
+        if not isinstance(op, _DUP_TRANSPARENT):
+            return False
+    return sink == "set"
+
+
+def _merge_maps(ops) -> list:
+    merged: list = []
+    for op in ops:
+        if (isinstance(op, Map) and merged
+                and isinstance(merged[-1], Map)):
+            previous = merged.pop()
+            merged.append(Map(C.compose(op.fn, previous.fn)))
+        else:
+            merged.append(op)
+    return merged
+
+
+def materialization_points(pipeline: Pipeline) -> int:
+    """How many set-materialization boundaries a pipeline still carries
+    (Dedups + Sorts, recursively) — the quantity fusion minimizes;
+    exposed for tests and ``explain`` output."""
+    count = sum(1 for op in pipeline.ops if isinstance(op, (Dedup, Sort)))
+    source = pipeline.source
+    if isinstance(source, JoinProbe):
+        count += materialization_points(source.left)
+        count += materialization_points(source.right)
+    elif isinstance(source, NestGroup):
+        count += materialization_points(source.source)
+        count += materialization_points(source.keys)
+    return count

@@ -15,11 +15,17 @@ search                  ``greedy``, ``saturate`` (equality
                         saturation under a small budget)
 front-end               sequential :class:`Optimizer`,
                         :class:`BatchOptimizer` batch
+execution backend       ``plan`` (physical plans), ``fused``
+                        (:mod:`repro.exec` loop pipelines),
+                        ``columnar`` (fused + cached columns)
 ======================  ==========================================
 
 :func:`default_matrix` enumerates six sequential configurations (the
-full engine × search cross) plus two batch configurations — eight
-re-evaluations per query.  A disagreement anywhere is a
+full engine × search cross), two batch configurations, and two
+fused-execution configurations (``fused-exec``,
+``fused-exec-columnar``) — ten re-evaluations per query, every one
+compared bag-for-bag against direct evaluation.  A disagreement
+anywhere is a
 :class:`Divergence`; the oracle shrinks it to a minimal reproducer
 (see :mod:`repro.fuzz.shrink`) and reports the replay seed, so a CI
 failure is immediately a local one-liner (``docs/testing.md``).
@@ -76,17 +82,26 @@ class OracleConfig:
     search: str                  # "greedy" | "saturate"
     batch: bool = False          # route through BatchOptimizer
     workers: int = 1             # batch pool size (1 = in-process)
+    backend: str = "plan"        # execution backend (see BACKENDS)
 
 
 def default_matrix(*, batch_workers: int = 1) -> tuple[OracleConfig, ...]:
     """The full cross: 3 engine tiers × 2 searches, plus 2 batch
-    front-end configs (greedy and saturate) — 8 configurations."""
+    front-end configs (greedy and saturate), plus 2 fused-execution
+    configs (generator backend and columnar fast path) — 10
+    configurations."""
     configs = [OracleConfig(f"{engine}-{search}", engine, search)
                for engine in ("linear", "indexed", "compiled")
                for search in ("greedy", "saturate")]
     configs += [OracleConfig(f"batch-{search}", "compiled", search,
                              batch=True, workers=batch_workers)
                 for search in ("greedy", "saturate")]
+    configs += [
+        OracleConfig("fused-exec", "compiled", "greedy",
+                     backend="fused"),
+        OracleConfig("fused-exec-columnar", "compiled", "greedy",
+                     backend="columnar"),
+    ]
     return tuple(configs)
 
 
@@ -268,7 +283,7 @@ class DifferentialOracle:
         else:
             result = self._optimizers[config.name].optimize(
                 query, self.db, search=config.search)
-        return result, result.execute(self.db)
+        return result, result.execute(self.db, backend=config.backend)
 
     def check(self, query: Term, seed: int | None = None,
               report: OracleReport | None = None) -> list[Divergence]:

@@ -45,7 +45,7 @@ chosen plan.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.aqua.terms import AquaExpr
 from repro.core.terms import Term
@@ -69,6 +69,14 @@ from repro.translate.oql import parse_oql
 #: Search modes accepted by :meth:`Optimizer.optimize`.
 SEARCH_MODES = ("greedy", "saturate")
 
+#: Execution backends accepted by :meth:`OptimizedQuery.execute`:
+#: ``plan`` runs the chosen physical plan (per-combinator
+#: interpretation or the specialized join-nest strategy), ``fused``
+#: compiles the best known form down to one loop pipeline
+#: (:mod:`repro.exec`), ``columnar`` additionally serves bulk scans
+#: from cached columns.
+BACKENDS = ("plan", "fused", "columnar")
+
 
 @dataclass
 class OptimizedQuery:
@@ -78,6 +86,11 @@ class OptimizedQuery:
     no database was supplied, so there are no cardinalities to estimate
     from.  (It is never NaN: an uncosted plan is an explicit state, not
     a number that silently poisons ``<=`` comparisons.)
+
+    Compiled fused pipelines are cached on the result itself
+    (:meth:`executable`), so plan-cache hits reuse the compiled loops
+    across queries and databases — compilation happens once per cached
+    plan, binding happens per :meth:`execute` call.
     """
 
     source: object                 # OQL text, AQUA expression, or KOLA term
@@ -91,9 +104,35 @@ class OptimizedQuery:
     search: str = "greedy"
     chosen: Term | None = None     # saturate mode: the extracted form
     saturation: SaturationReport | None = None
+    _executables: dict = field(default_factory=dict, init=False,
+                               repr=False, compare=False)
 
-    def execute(self, db: Database) -> object:
-        return self.plan.execute(db)
+    @property
+    def best_term(self) -> Term:
+        """The form execution should run: the extracted term in
+        saturate mode, the untangled form otherwise."""
+        return self.chosen if self.chosen is not None else self.untangled
+
+    def executable(self, columnar: bool = False) -> "ExecutablePlan":
+        """The fused executable pipeline for :attr:`best_term`,
+        compiled lazily and cached on this (plan-cached) result."""
+        cached = self._executables.get(columnar)
+        if cached is None:
+            from repro.exec import compile_executable
+            cached = compile_executable(self.best_term, columnar=columnar)
+            self._executables[columnar] = cached
+        return cached
+
+    def execute(self, db: Database | None = None,
+                backend: str = "plan") -> object:
+        if backend == "plan":
+            return self.plan.execute(db)
+        if backend == "fused":
+            return self.executable().run(db)
+        if backend == "columnar":
+            return self.executable(columnar=True).run(db)
+        raise ValueError(f"unknown backend {backend!r}; "
+                         f"expected one of {BACKENDS}")
 
     def explain(self) -> str:
         cost = ("(not costed: no db)" if self.estimated_cost is None
@@ -316,3 +355,17 @@ class Optimizer:
                                 chosen=chosen, saturation=report)
         self._plan_cache.put(key, result, max_size=self.PLAN_CACHE_MAX)
         return result
+
+    def execute(self, query: object, db: Database | None = None,
+                search: str | None = None,
+                backend: str = "fused") -> object:
+        """Optimize-and-run: the one-call serving entry point.
+
+        Defaults to the fused loop backend; pass ``backend="plan"`` for
+        the per-combinator physical plans or ``backend="columnar"`` for
+        the column-cached scan path.  Plan-cache hits reuse both the
+        optimization result *and* its compiled pipeline — only the
+        database binding happens per call.
+        """
+        return self.optimize(query, db=db, search=search).execute(
+            db, backend=backend)

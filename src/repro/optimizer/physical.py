@@ -1,11 +1,19 @@
 """Executable physical plans.
 
-Two plan families:
+Three plan families:
 
 * :class:`InterpretPlan` — run the query with the operational-semantics
   evaluator.  For a nested (hidden-join) form this *is* the
   nested-loops strategy: the inner query re-runs for every outer
   element.
+
+* :class:`FusedPlan` — run the query on the fused execution layer
+  (:mod:`repro.exec`): the term lowers to a loop IR, fusion deletes
+  the unnecessary set-materialization boundaries, and emission
+  produces database-retargetable generator pipelines (optionally with
+  the columnar scan fast path).  The compiled executable is cached on
+  the plan; only the term (plus the columnar flag) crosses the batch
+  wire.
 
 * :class:`JoinNestPlan` — the specialized implementation that untangling
   unlocks (the paper's Section 4.1 motivation).  It recognizes the
@@ -28,13 +36,14 @@ Two plan families:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core import constructors as C
 from repro.core.eval import apply_fn, eval_obj, test_pred
 from repro.core.pretty import pretty
 from repro.core.terms import Term
 from repro.core.values import KPair, as_set, kset
+from repro.exec.lower import equality_shape, membership_shape
 from repro.optimizer.cost import CostModel
 from repro.rewrite.pattern import flatten_compose
 from repro.schema.adt import Database
@@ -65,6 +74,42 @@ class InterpretPlan(PhysicalPlan):
 
     def explain(self) -> str:
         return f"Interpret[{pretty(self.query)}]"
+
+    def cost_estimate(self, db: Database,
+                      model: CostModel | None = None) -> float:
+        return (model or CostModel()).estimate(self.query, db)
+
+
+@dataclass
+class FusedPlan(PhysicalPlan):
+    """Run the query on the fused loop backend (:mod:`repro.exec`).
+
+    The executable pipeline is compiled lazily on first use and cached
+    on the plan object, so a plan-cache hit reuses the compiled loops.
+    Database bindings happen per :meth:`execute` call — the same plan
+    serves any database.
+    """
+
+    query: Term
+    columnar: bool = False
+    _compiled: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def executable(self) -> "ExecutablePlan":
+        if self._compiled is None:
+            from repro.exec import compile_executable
+            self._compiled = compile_executable(self.query,
+                                                columnar=self.columnar)
+        return self._compiled
+
+    def execute(self, db: Database) -> object:
+        return self.executable.run(db)
+
+    def explain(self) -> str:
+        mode = "columnar" if self.columnar else "generators"
+        body = "\n".join("  " + line
+                         for line in self.executable.explain().splitlines())
+        return f"Fused[{mode}]\n{body}"
 
     def cost_estimate(self, db: Database,
                       model: CostModel | None = None) -> float:
@@ -205,48 +250,8 @@ def recognize_join_nest(query: Term) -> JoinNestPlan | None:
                         membership_fn=membership_fn, eq_keys=eq_keys)
 
 
-def _projected(component: Term) -> tuple[str, Term] | None:
-    """Decompose a pair-consuming function that reads exactly one side:
-    ``pi1``/``pi2`` -> (side, id); ``f o pi1`` -> ("pi1", f); &c."""
-    if component.op in ("pi1", "pi2"):
-        return component.op, C.id_()
-    factors = flatten_compose(component)
-    if len(factors) >= 2 and factors[-1].op in ("pi1", "pi2"):
-        from repro.rewrite.pattern import build_chain
-        return factors[-1].op, build_chain(factors[:-1])
-    return None
-
-
-def _equality_shape(pred: Term) -> tuple[Term, Term] | None:
-    """``eq @ (f >< g)`` / ``eq @ <u, v>`` with each side projecting one
-    input  -->  ``(left_key, right_key)`` for a hash equi-join."""
-    if pred.op != "oplus" or pred.args[0].op != "eq":
-        return None
-    mapper = pred.args[1]
-    if mapper.op == "cross":
-        return mapper.args[0], mapper.args[1]
-    if mapper.op != "pair":
-        return None
-    first = _projected(mapper.args[0])
-    second = _projected(mapper.args[1])
-    if first is None or second is None:
-        return None
-    if {first[0], second[0]} != {"pi1", "pi2"}:
-        return None  # both sides read the same input: not an equi-join
-    left_key = first[1] if first[0] == "pi1" else second[1]
-    right_key = first[1] if first[0] == "pi2" else second[1]
-    return left_key, right_key
-
-
-def _membership_shape(pred: Term) -> Term | None:
-    """``in @ (id >< g)`` or ``in @ <pi1, g o pi2>``  -->  ``g``."""
-    if pred.op != "oplus" or pred.args[0].op != "isin":
-        return None
-    mapper = pred.args[1]
-    if mapper.op == "cross" and mapper.args[0] == C.id_():
-        return mapper.args[1]
-    if (mapper.op == "pair" and mapper.args[0] == C.pi1()
-            and mapper.args[1].op == "compose"
-            and mapper.args[1].args[1] == C.pi2()):
-        return mapper.args[1].args[0]
-    return None
+# The predicate shape recognizers are shared with the fused backend's
+# lowering pass — one structural definition of "equi-join" and
+# "membership join" for both plan families (repro.exec.lower).
+_equality_shape = equality_shape
+_membership_shape = membership_shape

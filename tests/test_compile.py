@@ -1,5 +1,6 @@
 """Tests for the closure compiler: compiled evaluation must agree with
-the tree-walking evaluator everywhere."""
+the tree-walking evaluator everywhere, and compiled queries must bind
+their database at execution time, not compile time."""
 
 import pytest
 from hypothesis import given, settings
@@ -33,29 +34,29 @@ class TestBasicAgreement:
 
     def test_query(self, tiny_db):
         query = parse_obj("iterate(gt @ <age, Kf(25)>, age) ! P")
-        compiled = compile_query(query, tiny_db)
-        assert compiled() == eval_obj(query, tiny_db)
+        compiled = compile_query(query)
+        assert compiled(tiny_db) == eval_obj(query, tiny_db)
 
     def test_garage_query(self, tiny_db, queries):
         for query in (queries.kg1, queries.kg2):
-            assert compile_query(query, tiny_db)() == eval_obj(query,
-                                                               tiny_db)
+            assert compile_query(query)(tiny_db) == eval_obj(query,
+                                                             tiny_db)
 
     def test_bag_pipeline(self, tiny_db):
         query = parse_obj(
             "distinct o bag_iterate(Kp(T), city) o bag_flat"
             " o bag_iterate(Kp(T), tobag o grgs) o tobag ! P")
-        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+        assert compile_query(query)(tiny_db) == eval_obj(query, tiny_db)
 
     def test_list_pipeline(self, tiny_db):
         query = parse_obj(
             "to_set o list_iterate(Cp(lt, 40) @ age, id)"
             " o listify(age) ! P")
-        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+        assert compile_query(query)(tiny_db) == eval_obj(query, tiny_db)
 
     def test_aggregates(self, tiny_db):
         query = parse_obj("count o iterate(Kp(T), id) ! P")
-        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+        assert compile_query(query)(tiny_db) == eval_obj(query, tiny_db)
         assert compile_fn(parse_fun("plus"))(KPair(3, 4)) == 7
 
     def test_test_expression(self):
@@ -64,7 +65,33 @@ class TestBasicAgreement:
 
     def test_pairobj_query(self, tiny_db):
         query = parse_obj("join(Kp(T), pi1) ! [P, V]")
-        assert compile_query(query, tiny_db)() == eval_obj(query, tiny_db)
+        assert compile_query(query)(tiny_db) == eval_obj(query, tiny_db)
+
+
+class TestRetargeting:
+    """Database binding happens per run, never at compile time: one
+    compiled plan must serve any number of databases."""
+
+    def test_one_plan_two_databases(self, db_pair):
+        small, large = db_pair
+        query = parse_obj("iterate(gt @ <age, Kf(25)>, city o addr) ! P")
+        compiled = compile_query(query)
+        assert compiled(small) == eval_obj(query, small)
+        assert compiled(large) == eval_obj(query, large)
+        # Results genuinely differ across databases — the plan is not
+        # accidentally caching its first binding.
+        assert eval_obj(parse_obj("count ! P"), small) != eval_obj(
+            parse_obj("count ! P"), large)
+
+    def test_fn_db_is_per_callable_not_per_compilation(self, db_pair):
+        small, large = db_pair
+        term = parse_fun("count o grgs")
+        on_small = compile_fn(term, small)
+        on_large = compile_fn(term, large)
+        person_small = next(iter(small.collection("P")))
+        person_large = next(iter(large.collection("P")))
+        assert on_small(person_small) == apply_fn(term, person_small, small)
+        assert on_large(person_large) == apply_fn(term, person_large, large)
 
 
 class TestErrors:
@@ -72,11 +99,17 @@ class TestErrors:
         with pytest.raises(EvalError, match="pair"):
             compile_fn(parse_fun("pi1"))(3)
 
-    def test_needs_database(self):
+    def test_needs_database_at_run_time(self, tiny_db):
+        # Compiling a db-dependent term succeeds; only *running* it
+        # without a database raises — the evaluator's behavior.
+        fn = compile_fn(parse_fun("age"))
         with pytest.raises(EvalError, match="database"):
-            compile_fn(parse_fun("age"))
+            fn(next(iter(tiny_db.collection("P"))))
+        run = compile_query(parse_obj("iterate(Kp(T), id) ! P"))
         with pytest.raises(EvalError, match="database"):
-            compile_query(parse_obj("iterate(Kp(T), id) ! P"))
+            run()
+        assert run(tiny_db) == eval_obj(
+            parse_obj("iterate(Kp(T), id) ! P"), tiny_db)
 
     def test_metavariable_rejected(self):
         from repro.core.terms import fun_var
@@ -114,11 +147,11 @@ def test_compiled_is_faster_on_iteration(db, queries):
     """Not asserted as a strict bound in CI-like runs, but the compiled
     form must at least not be slower by 2x on the garage query."""
     import time
-    compiled = compile_query(queries.kg1, db)
-    compiled()  # warm
+    compiled = compile_query(queries.kg1)
+    compiled(db)  # warm
     start = time.perf_counter()
     for _ in range(3):
-        compiled()
+        compiled(db)
     compiled_time = time.perf_counter() - start
     start = time.perf_counter()
     for _ in range(3):

@@ -1,0 +1,87 @@
+"""Property suite: fused execution is observationally identical to the
+direct operational-semantics evaluator.
+
+Two sources of queries:
+
+* Hypothesis draws from :func:`repro.fuzz.strategies.kola_queries` —
+  the same grammar-directed generator the fuzz oracle replays, run
+  against both the generator-closure path and the columnar fast path;
+* every anchor in ``tests/corpus/`` — the regression corpus of
+  queries that once exposed a divergence anywhere in the stack.
+
+Identity is *type-strict*: a ``KBag`` result must come back as a
+``KBag`` with the same multiplicities, an ``int`` must not come back as
+a ``bool``, and a query that raises ``EvalError`` under direct
+evaluation must raise ``EvalError`` through the fused pipeline too.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core.errors import EvalError
+from repro.core.eval import eval_obj
+from repro.exec import compile_executable
+from repro.fuzz.corpus import load_all
+from repro.fuzz.strategies import kola_queries
+from repro.schema.generator import tiny_database
+
+DB = tiny_database()
+
+
+def _identical(a, b):
+    return type(a) is type(b) and a == b
+
+
+def _direct(query):
+    """(outcome, value) under the tree-walking evaluator."""
+    try:
+        return "ok", eval_obj(query, DB)
+    except EvalError as err:
+        return "error", type(err)
+
+
+def _fused(query, columnar):
+    try:
+        return "ok", compile_executable(query, columnar=columnar).run(DB)
+    except EvalError as err:
+        return "error", type(err)
+
+
+def _assert_agrees(query, columnar):
+    expected_outcome, expected = _direct(query)
+    outcome, got = _fused(query, columnar)
+    assert outcome == expected_outcome, (
+        f"outcome diverged on {query!r}: direct={expected_outcome} "
+        f"fused={outcome} ({got!r})")
+    if expected_outcome == "ok":
+        assert _identical(got, expected), (
+            f"value diverged on {query!r}: direct={expected!r} "
+            f"fused={got!r}")
+
+
+class TestGeneratedQueries:
+    @settings(max_examples=150, deadline=None)
+    @given(query=kola_queries())
+    def test_fused_matches_eval(self, query):
+        _assert_agrees(query, columnar=False)
+
+    @settings(max_examples=150, deadline=None)
+    @given(query=kola_queries())
+    def test_columnar_matches_eval(self, query):
+        _assert_agrees(query, columnar=True)
+
+
+def _corpus_anchors():
+    anchors = load_all()
+    assert anchors, "tests/corpus/ must hold at least one anchor"
+    return anchors
+
+
+@pytest.mark.parametrize(
+    "anchor", _corpus_anchors(), ids=lambda anchor: anchor.name)
+class TestCorpusAnchors:
+    def test_fused_matches_eval(self, anchor):
+        _assert_agrees(anchor.term(), columnar=False)
+
+    def test_columnar_matches_eval(self, anchor):
+        _assert_agrees(anchor.term(), columnar=True)
