@@ -110,6 +110,11 @@ def _build_parser() -> argparse.ArgumentParser:
     batch_cmd.add_argument("--seed", type=int, default=2026)
     batch_cmd.add_argument("--show", type=int, default=3,
                            help="print the first N optimized plans")
+    batch_cmd.add_argument("--no-abstract-cache", action="store_true",
+                           help="disable the parameterized "
+                           "(constant-abstracted) plan-cache level, "
+                           "skeleton-affinity routing and warm e-graph "
+                           "reuse; exact keying only")
 
     fuzz_cmd = sub.add_parser(
         "fuzz",
@@ -250,13 +255,23 @@ def cmd_optimize_batch(args) -> int:
     traffic = args.traffic if args.traffic is not None else len(corpus)
     stream = corpus_stream(corpus, traffic, seed=args.seed)
     report = optimize_many(stream, db, workers=args.workers,
-                           search=args.search)
+                           search=args.search,
+                           abstract_cache=not args.no_abstract_cache)
     print(report.summary())
     for info in report.per_worker:
         cache = info["plan_cache"]
-        print(f"  worker {info['worker']}: {info['processed']} queries, "
-              f"plan cache {cache['hits']}/{cache['hits'] + cache['misses']}"
-              f" hits, size {cache['size']}")
+        line = (f"  worker {info['worker']}: {info['processed']} queries, "
+                f"plan cache {cache['hits']}/"
+                f"{cache['hits'] + cache['misses']}"
+                f" hits, size {cache['size']}")
+        param = cache.get("param")
+        if param is not None:
+            line += (f"; skeletons {param['hits']}/"
+                     f"{param['hits'] + param['misses']} hits, "
+                     f"size {param['size']}, "
+                     f"{param['blocked']} blocked, "
+                     f"{param['warm_hits']} warm e-graph reuse(s)")
+        print(line)
     for batch_result in report.results[:max(0, args.show)]:
         print()
         print(f"-- query #{batch_result.index} "

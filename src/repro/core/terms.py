@@ -109,7 +109,8 @@ class Term:
     """
 
     __slots__ = ("op", "args", "label", "_hash", "_size", "_depth",
-                 "_ground", "_ops", "_canon", "_portable", "__weakref__")
+                 "_ground", "_ops", "_canon", "_portable", "_abstract",
+                 "__weakref__")
 
     op: str
     args: tuple["Term", ...]
@@ -539,6 +540,193 @@ def from_portable(payload: object) -> Term:
             del memo[next(iter(memo))]
         memo[payload] = term
     return term
+
+
+# -- constant abstraction ------------------------------------------------
+
+#: Label tag marking a parameter-slot literal in a constant-abstracted
+#: skeleton.  The middle dot keeps the tag out of the identifier space
+#: real queries use for strings, and the full slot label
+#: ``(PARAM_TAG, index, type name)`` is a plain tuple so skeletons stay
+#: hashable, internable, and portable-encodable (shard routing hashes
+#: skeleton payloads).
+PARAM_TAG = "·param"
+
+#: Literal payload types that abstraction may replace with a slot.
+#: Exact type membership: ``bool`` is deliberately absent (``true()``
+#: and ``false()`` are ``lit(True)``/``lit(False)`` and rule patterns
+#: pin them structurally), and containers (frozenset/KBag/KList/KPair)
+#: stay concrete because the cost model and type inference read their
+#: contents.
+ABSTRACTABLE_SCALARS: dict[type, str] = {int: "int", float: "float",
+                                         str: "str"}
+
+
+def _slot_shaped(label: object) -> bool:
+    return (type(label) is tuple and len(label) == 3
+            and label[0] == PARAM_TAG)
+
+
+def is_param_slot(term: Term) -> bool:
+    """True when ``term`` is a parameter-slot literal produced by
+    :func:`abstract_constants`."""
+    return term.op == "lit" and _slot_shaped(term.label)
+
+
+def abstract_constants(term: Term) -> tuple[Term, tuple]:
+    """Split ``term`` into a constant-abstracted *skeleton* and the
+    tuple of constant values it binds.
+
+    Every scalar literal (exact type ``int``/``float``/``str`` — never
+    ``bool``, never NaN, never containers) is replaced by a numbered
+    parameter slot ``lit((PARAM_TAG, index, type name))``.  Slots are
+    numbered by first occurrence of each *distinct* ``(type, value)``
+    pair in a deterministic structural walk, so value-equal positions
+    share a slot: the skeleton preserves the query's literal-equality
+    pattern exactly (two queries get the same skeleton iff they differ
+    only in constant values *and* agree on which positions hold equal
+    constants — the property non-linear rule patterns and interned-term
+    sharing depend on).
+
+    Returns ``(skeleton, values)`` with the exact inverse
+    ``instantiate_constants(skeleton, values) is term``.  Terms with no
+    abstractable constants — and, defensively, terms that already spell
+    a slot-shaped literal, which would make abstraction ambiguous —
+    return ``(term, ())``.
+
+    The result is memoized on the interned term, so the serving hot
+    path (cache-key computation per optimize call) is a slot read after
+    the first call.
+    """
+    cached = getattr(term, "_abstract", None)
+    if cached is not None:
+        return cached
+    slots: dict[tuple, int] = {}
+    values: list = []
+    rebuilt: dict[Term, Term] = {}
+    opaque = False
+    stack = [term]
+    while stack:  # iterative post-order over distinct subterms (DAG walk)
+        node = stack[-1]
+        if node in rebuilt:
+            stack.pop()
+            continue
+        pending = [child for child in node.args if child not in rebuilt]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        if node.op == "lit":
+            label = node.label
+            type_name = ABSTRACTABLE_SCALARS.get(type(label))
+            if type_name is not None and label == label:  # NaN: v != v
+                key = (type(label), label)
+                index = slots.get(key)
+                if index is None:
+                    index = len(values)
+                    slots[key] = index
+                    values.append(label)
+                rebuilt[node] = Term("lit", (),
+                                     (PARAM_TAG, index, type_name))
+                continue
+            if _slot_shaped(label):
+                opaque = True
+            rebuilt[node] = node
+            continue
+        rebuilt[node] = node.with_args(
+            tuple(rebuilt[child] for child in node.args))
+    result = ((term, ()) if opaque or not values
+              else (rebuilt[term], tuple(values)))
+    object.__setattr__(term, "_abstract", result)
+    return result
+
+
+def instantiate_constants(skeleton: Term, values: tuple) -> Term:
+    """The exact inverse of :func:`abstract_constants`: replace each
+    parameter slot in ``skeleton`` with ``values[index]``.
+
+    Also substitutes into *derived* skeletons — forms the optimizer
+    abstracted with :func:`abstract_with` against the same binding
+    vector.  Raises :class:`TermError` on an out-of-range slot index or
+    a value whose exact type does not match the slot's type tag (the
+    guard that keeps instantiation sort- and type-preserving).
+
+    An empty binding vector returns ``skeleton`` unchanged — the
+    ``(term, ())`` form :func:`abstract_constants` produces for
+    non-abstractable terms inverts trivially.
+    """
+    if not values or "lit" not in skeleton.ops:
+        return skeleton
+    rebuilt: dict[Term, Term] = {}
+    stack = [skeleton]
+    while stack:
+        node = stack[-1]
+        if node in rebuilt:
+            stack.pop()
+            continue
+        pending = [child for child in node.args if child not in rebuilt]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        if node.op == "lit" and _slot_shaped(node.label):
+            _, index, type_name = node.label
+            if (type(index) is not int
+                    or not 0 <= index < len(values)):
+                raise TermError(
+                    f"parameter slot index {index!r} out of range for "
+                    f"{len(values)} binding value(s)")
+            value = values[index]
+            if ABSTRACTABLE_SCALARS.get(type(value)) != type_name:
+                raise TermError(
+                    f"parameter slot {index} expects a {type_name}, "
+                    f"got {type(value).__name__} value {value!r}")
+            rebuilt[node] = Term("lit", (), value)
+        else:
+            rebuilt[node] = node.with_args(
+                tuple(rebuilt[child] for child in node.args))
+    return rebuilt[skeleton]
+
+
+def abstract_with(term: Term, values: tuple) -> Term:
+    """Abstract ``term`` against an *existing* binding vector: scalar
+    literals whose ``(type, value)`` appears in ``values`` become that
+    value's slot; every other literal stays concrete.
+
+    This is how the optimizer abstracts its *outputs* (simplified,
+    untangled and extracted forms, derivation steps): output literals
+    either co-vary with the input constants (and get slotted) or were
+    introduced by a rule right-hand side independently of the bindings
+    (and stay concrete) — the optimizer's blocked-constant validity
+    check rejects the ambiguous overlap up front.
+    """
+    if not values:
+        return term
+    slot_of = {(type(value), value): index
+               for index, value in enumerate(values)}
+    rebuilt: dict[Term, Term] = {}
+    stack = [term]
+    while stack:
+        node = stack[-1]
+        if node in rebuilt:
+            stack.pop()
+            continue
+        pending = [child for child in node.args if child not in rebuilt]
+        if pending:
+            stack.extend(reversed(pending))
+            continue
+        stack.pop()
+        if node.op == "lit":
+            label = node.label
+            type_name = ABSTRACTABLE_SCALARS.get(type(label))
+            index = (slot_of.get((type(label), label))
+                     if type_name is not None and label == label else None)
+            rebuilt[node] = (node if index is None else
+                             Term("lit", (), (PARAM_TAG, index, type_name)))
+            continue
+        rebuilt[node] = node.with_args(
+            tuple(rebuilt[child] for child in node.args))
+    return rebuilt[term]
 
 
 def sort_of(term: Term) -> Sort:

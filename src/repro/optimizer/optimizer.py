@@ -29,14 +29,30 @@ Two **search modes** drive stage 5:
   costlier than greedy's — budget exhaustion degrades to greedy, not to
   failure.
 
-Results are memoized in a cross-call **plan cache** keyed on the
-interned initial KOLA term, the rulebase generation, the database's
-stats fingerprint and the search mode: re-optimizing a repeated query
-(the serving hot path) is a dictionary hit.  The cache is a
-hash-sharded LRU (:class:`~repro.parallel.cache.ShardedLRUCache`) —
-LRU so skewed traffic keeps its hot plans cached, sharded so the batch
-layer (:mod:`repro.parallel.batch`) can place the shards in worker
-processes and scale aggregate capacity with the pool.
+Results are memoized in a **two-level cross-call plan cache**:
+
+* The **exact** level keys on the interned initial KOLA term, the
+  rulebase generation, the database's stats fingerprint and the search
+  mode: re-optimizing a literally repeated query (the serving hot
+  path) is a dictionary hit.  The cache is a hash-sharded LRU
+  (:class:`~repro.parallel.cache.ShardedLRUCache`) — LRU so skewed
+  traffic keeps its hot plans cached, sharded so the batch layer
+  (:mod:`repro.parallel.batch`) can place the shards in worker
+  processes and scale aggregate capacity with the pool.
+* The **parameterized** level keys on the constant-abstracted
+  *skeleton* (:func:`~repro.core.terms.abstract_constants`): queries
+  differing only in scalar constants share one cached entry whose
+  forms are stored with numbered parameter slots and re-instantiated
+  per query with its own bindings.  Validity guard: a query whose
+  bindings intersect any scalar constant pinned by a rule (or declared
+  as an oracle fact) could simplify differently per value, so such
+  queries fall back to exact keying only.  See
+  ``docs/architecture.md`` for the soundness argument.
+
+Saturate-mode runs additionally keep a small **warm e-graph pool**
+keyed by skeleton family: a later family member seeds its forms into
+the already-saturated graph instead of re-deriving the shared,
+constant-free structure from scratch.
 
 The result is an :class:`OptimizedQuery` holding every intermediate
 form, the full derivation (each step justified by a rule), and the
@@ -48,7 +64,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.aqua.terms import AquaExpr
-from repro.core.terms import Term
+from repro.core.terms import (ABSTRACTABLE_SCALARS, Term,
+                              abstract_constants, abstract_with,
+                              instantiate_constants)
 from repro.coko.hidden_join import hidden_join_blocks
 from repro.coko.blocks import run_blocks
 from repro.optimizer.cost import CostModel
@@ -154,6 +172,31 @@ class OptimizedQuery:
         return "\n".join(lines)
 
 
+@dataclass(frozen=True)
+class ParamPlanEntry:
+    """One parameterized plan-cache entry: every form the optimizer
+    produced for a skeleton family, stored constant-abstracted.
+
+    ``steps`` holds the derivation as ``(rule, before, after, path)``
+    tuples with ``before``/``after`` abstracted — re-instantiation
+    rebuilds a :class:`~repro.rewrite.trace.Derivation` whose forms
+    carry the serving query's own constants, so the replayed trace is
+    indistinguishable from a cold optimization's.  The physical plan is
+    *not* stored: it is re-derived per query by ``_choose_plan`` over
+    the instantiated best form (deterministic and value-independent),
+    which keeps plan objects bound to their query's concrete terms.
+    """
+
+    skeleton: Term
+    simplified: Term
+    untangled: Term
+    chosen: Term | None
+    steps: tuple
+    title: str
+    search: str
+    saturation: SaturationReport | None
+
+
 class Optimizer:
     """The assembled rule-based optimizer.
 
@@ -171,7 +214,15 @@ class Optimizer:
             (overridable per :meth:`optimize` call).
         saturation_budget: budgets for saturate-mode runs.
         plan_cache_shards: shard count of the plan cache (the global
-            capacity bound ``PLAN_CACHE_MAX`` is unaffected).
+            capacity bound is unaffected).
+        plan_cache_max: capacity of the exact-level plan cache
+            (defaults to :attr:`PLAN_CACHE_MAX`) — the batch layer
+            raises it so an in-process pool's single cache matches the
+            *aggregate* capacity the worker processes would have had.
+        abstract_cache: enable the parameterized (constant-abstracted)
+            cache level and the warm e-graph pool.  ``False`` is the
+            ``--no-abstract-cache`` escape hatch: exact keying only,
+            byte-for-byte the pre-abstraction behavior.
     """
 
     #: Cap on cached optimize results (LRU eviction, across all shards).
@@ -180,15 +231,28 @@ class Optimizer:
     #: Default plan-cache shard count.
     PLAN_CACHE_SHARDS = 4
 
+    #: Cap on parameterized (skeleton-keyed) plan entries.
+    PARAM_CACHE_MAX = 256
+
+    #: Cap on pooled warm e-graphs (saturate mode only).
+    WARM_POOL_MAX = 8
+
+    #: A pooled e-graph is dropped once it grows past this multiple of
+    #: the per-run enode budget (warm runs budget *added* nodes, so a
+    #: long-lived shared graph needs its own absolute bound).
+    WARM_POOL_ENODE_FACTOR = 3
+
     def __init__(self, rulebase: RuleBase | None = None,
                  cost_model: CostModel | None = None,
                  catalog: "IndexCatalog | None" = None,
                  engine: Engine | None = None,
                  search: str = "greedy",
                  saturation_budget: SaturationBudget | None = None,
-                 plan_cache_shards: int | None = None) -> None:
+                 plan_cache_shards: int | None = None,
+                 plan_cache_max: int | None = None,
+                 abstract_cache: bool = True) -> None:
         from repro.optimizer.indexes import IndexCatalog
-        from repro.parallel.cache import ShardedLRUCache
+        from repro.parallel.cache import LRUCache, ShardedLRUCache
         if search not in SEARCH_MODES:
             raise ValueError(f"unknown search mode {search!r}; "
                              f"expected one of {SEARCH_MODES}")
@@ -198,26 +262,133 @@ class Optimizer:
         self.engine = engine if engine is not None else Engine()
         self.search = search
         self.saturation_budget = saturation_budget or SaturationBudget()
+        self._plan_cache_max = plan_cache_max
+        self.abstract_cache = abstract_cache
         self._plan_cache = ShardedLRUCache(
-            self.PLAN_CACHE_MAX,
+            self.plan_cache_max,
             shards=plan_cache_shards or self.PLAN_CACHE_SHARDS)
+        self._param_cache = LRUCache(self.PARAM_CACHE_MAX)
+        self._warm_pool = LRUCache(self.WARM_POOL_MAX)
+        self._param_stats = {"hits": 0, "misses": 0, "blocked": 0,
+                             "warm_hits": 0}
+        self._blocked_cache: tuple | None = None
 
     # -- plan cache ---------------------------------------------------------
 
+    @property
+    def plan_cache_max(self) -> int:
+        """Exact-level capacity: the constructor override when given,
+        else :attr:`PLAN_CACHE_MAX` (looked up dynamically, so
+        instance-level attribute overrides keep working)."""
+        if self._plan_cache_max is not None:
+            return self._plan_cache_max
+        return self.PLAN_CACHE_MAX
+
     def plan_cache_info(self) -> dict:
-        """Size and traffic of the cross-query plan cache."""
+        """Size and traffic of the cross-query plan cache.
+
+        The nested ``"param"`` dict reports the parameterized level:
+        skeleton-cache size and traffic, queries refused abstraction
+        (``blocked``), and warm e-graph reuses (``warm_hits``).  Batch
+        merging (:func:`~repro.parallel.cache.merge_cache_info`) sums
+        the flat counters and ignores the nested dict.
+        """
         info = self._plan_cache.info()
-        info["max_size"] = self.PLAN_CACHE_MAX
+        info["max_size"] = self.plan_cache_max
+        param = dict(self._param_cache.info())
+        param.update(self._param_stats)
+        param["warm_pool_size"] = len(self._warm_pool)
+        info["param"] = param
         return info
 
     def clear_plan_cache(self) -> None:
-        """Drop all cached optimize results (keeps the counters)."""
+        """Drop all cached optimize results — both levels and the warm
+        e-graph pool (keeps the counters)."""
         self._plan_cache.clear()
+        self._param_cache.clear()
+        self._warm_pool.clear()
 
     def _cache_key(self, initial: Term, db: Database | None,
                    search: str) -> tuple:
         fingerprint = None if db is None else db.stats_fingerprint()
         return (initial, self.rulebase.generation, fingerprint, search)
+
+    # -- parameterized (constant-abstracted) level --------------------------
+
+    def _blocked_values(self) -> frozenset:
+        """Typed ``(type, value)`` scalar constants that make a query
+        non-abstractable: literals pinned by any rule plus literals
+        inside declared oracle facts.  A cached skeleton plan would be
+        unsound for a query binding one of these — a guarded rule could
+        fire (or refuse to) based on the value — so such queries are
+        keyed exactly.  Cached per (rulebase generation, fact count);
+        both only grow, so staleness is impossible."""
+        oracle_facts = getattr(self.engine.oracle, "_facts", None) or {}
+        fact_count = sum(len(terms) for terms in oracle_facts.values())
+        stamp = (self.rulebase.generation, fact_count)
+        cached = self._blocked_cache
+        if cached is not None and cached[0] == stamp:
+            return cached[1]
+        pinned = set(self.rulebase.scalar_constants())
+        for terms in oracle_facts.values():
+            for fact in terms:
+                for node in fact.subterms():
+                    if (node.op == "lit"
+                            and type(node.label) in ABSTRACTABLE_SCALARS):
+                        pinned.add((type(node.label), node.label))
+        result = frozenset(pinned)
+        self._blocked_cache = (stamp, result)
+        return result
+
+    def _make_param_entry(self, result: OptimizedQuery, values: tuple,
+                          mode: str) -> ParamPlanEntry | None:
+        """Abstract one cold optimization result into a reusable
+        skeleton entry, or ``None`` if any output form introduced a
+        scalar constant that collides with a binding value (then
+        re-instantiation could not tell the two apart)."""
+        skeleton, _ = abstract_constants(result.initial)
+        try:
+            steps = tuple(
+                (step.rule, abstract_with(step.before, values),
+                 abstract_with(step.after, values), step.path)
+                for step in result.derivation.steps)
+            entry = ParamPlanEntry(
+                skeleton=skeleton,
+                simplified=abstract_with(result.simplified, values),
+                untangled=abstract_with(result.untangled, values),
+                chosen=(None if result.chosen is None
+                        else abstract_with(result.chosen, values)),
+                steps=steps,
+                title=result.derivation.title,
+                search=mode,
+                saturation=result.saturation)
+        except Exception:  # pragma: no cover - defensive
+            return None
+        return entry
+
+    def _instantiate_entry(self, entry: ParamPlanEntry, query: object,
+                           aqua: AquaExpr | None, initial: Term,
+                           values: tuple,
+                           db: Database | None) -> OptimizedQuery:
+        """Serve a skeleton entry to one concrete query: substitute its
+        binding values into every stored form, replay the derivation,
+        and re-run (deterministic, value-independent) plan choice on
+        the instantiated best form."""
+        simplified = instantiate_constants(entry.simplified, values)
+        untangled = instantiate_constants(entry.untangled, values)
+        chosen = (None if entry.chosen is None
+                  else instantiate_constants(entry.chosen, values))
+        derivation = Derivation(entry.title)
+        for rule, before, after, path in entry.steps:
+            derivation.record(rule, instantiate_constants(before, values),
+                              instantiate_constants(after, values), path)
+        best = chosen if chosen is not None else untangled
+        plan, estimated = self._choose_plan(best, db)
+        return OptimizedQuery(source=query, aqua=aqua, initial=initial,
+                              simplified=simplified, untangled=untangled,
+                              plan=plan, derivation=derivation,
+                              estimated_cost=estimated, search=entry.search,
+                              chosen=chosen, saturation=entry.saturation)
 
     # -- planning helpers ---------------------------------------------------
 
@@ -262,6 +433,7 @@ class Optimizer:
 
     def _saturate_plan(self, initial: Term, simplified: Term,
                        untangled: Term, db: Database | None,
+                       family: Term | None = None,
                        ) -> tuple[PhysicalPlan, float | None, Term,
                                   SaturationReport]:
         """Saturation-mode plan choice.
@@ -271,10 +443,38 @@ class Optimizer:
         then evaluates plans over the extracted candidate frontier plus
         the greedy form itself — so the outcome can only improve on
         greedy, never regress, even when a budget is hit immediately.
+
+        ``family`` (the query's constant-abstracted skeleton) keys the
+        warm e-graph pool: a fully saturated, untruncated run donates
+        its graph, and the family's next member seeds into it instead
+        of starting cold — the constant-free shared structure is
+        already saturated, so only the new constants' consequences need
+        deriving.  Partial runs (budget hit, truncated match round) are
+        never pooled, and a pooled graph that a later run leaves
+        partial is evicted: the pool only ever holds graphs whose
+        equalities are complete under the budget.
         """
         saturator = Saturator(self.engine, self._saturation_rules(),
                               self.saturation_budget)
-        run = saturator.run([initial, simplified, untangled])
+        warm_key = warm = None
+        if family is not None and self.saturation_budget.incremental_match:
+            warm_key = (family, self.rulebase.generation)
+            warm = self._warm_pool.get(warm_key)
+            if warm is not None:
+                self._param_stats["warm_hits"] += 1
+        run = saturator.run([initial, simplified, untangled], egraph=warm)
+        if warm_key is not None:
+            cap = (self.WARM_POOL_ENODE_FACTOR
+                   * self.saturation_budget.max_enodes)
+            poolable = (run.report.saturated
+                        and run.report.match_truncations == 0
+                        and run.egraph.enodes_allocated <= cap)
+            if poolable:
+                self._warm_pool.put(warm_key, run.egraph,
+                                    max_size=self.WARM_POOL_MAX)
+            elif warm is not None:
+                # The shared graph is now partial; drop it.
+                self._warm_pool.put(warm_key, None)
         extractor = Extractor(run.egraph, self.cost_model)
         frontier = extractor.candidates(run.root)
 
@@ -331,6 +531,46 @@ class Optimizer:
         if cached is not None:
             return cached
 
+        # Parameterized level: queries differing only in scalar
+        # constants share one skeleton entry.  The blocked-values guard
+        # runs on BOTH the serve and the store path, so a query a rule
+        # could treat value-sensitively never touches this level — it
+        # falls back to exact keying above.
+        skeleton = None
+        family = None
+        values: tuple = ()
+        param_key = None
+        if self.abstract_cache:
+            skeleton, values = abstract_constants(initial)
+            if values:
+                # E-graph sharing is keyed by skeleton regardless of
+                # the blocked check below: saturation works on the
+                # concrete terms, so the warm pool stays sound even
+                # when plan transfer would not be.
+                family = skeleton
+                blocked = self._blocked_values()
+                if blocked and any(pair in blocked
+                                   for pair in ((type(v), v)
+                                                for v in values)):
+                    self._param_stats["blocked"] += 1
+                    skeleton = None
+                else:
+                    fingerprint = (None if db is None
+                                   else db.stats_fingerprint())
+                    param_key = (skeleton, self.rulebase.generation,
+                                 fingerprint, mode)
+                    entry = self._param_cache.get(param_key)
+                    if entry is not None:
+                        self._param_stats["hits"] += 1
+                        result = self._instantiate_entry(
+                            entry, query, aqua, initial, values, db)
+                        self._plan_cache.put(key, result,
+                                             max_size=self.plan_cache_max)
+                        return result
+                    self._param_stats["misses"] += 1
+            else:
+                skeleton = None
+
         engine = self.engine
         derivation = Derivation("optimization")
 
@@ -344,7 +584,7 @@ class Optimizer:
         report: SaturationReport | None = None
         if mode == "saturate":
             plan, estimated, chosen, report = self._saturate_plan(
-                initial, simplified, untangled, db)
+                initial, simplified, untangled, db, family=family)
         else:
             plan, estimated = self._choose_plan(untangled, db)
 
@@ -353,7 +593,12 @@ class Optimizer:
                                 plan=plan, derivation=derivation,
                                 estimated_cost=estimated, search=mode,
                                 chosen=chosen, saturation=report)
-        self._plan_cache.put(key, result, max_size=self.PLAN_CACHE_MAX)
+        self._plan_cache.put(key, result, max_size=self.plan_cache_max)
+        if param_key is not None:
+            entry = self._make_param_entry(result, values, mode)
+            if entry is not None:
+                self._param_cache.put(param_key, entry,
+                                      max_size=self.PARAM_CACHE_MAX)
         return result
 
     def execute(self, query: object, db: Database | None = None,

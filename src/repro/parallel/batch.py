@@ -6,13 +6,18 @@ whose caches stay warm for the whole batch (and across batches when a
 :class:`BatchOptimizer` is reused).  Design points:
 
 * **Shard-affinity routing.**  Each query is routed to a fixed worker
-  by a stable hash of its portable payload (:func:`route_of`), so the
-  per-worker plan caches act as the shards of one batch-wide
-  :class:`~repro.parallel.cache.ShardedLRUCache`: a repeated query
-  always lands on the worker that cached it, and aggregate cache
-  capacity scales with the pool.  This matters beyond CPU parallelism —
-  a corpus with more distinct queries than one cache's capacity
-  thrashes a single process but fits in the pool's combined shards.
+  by a stable hash of its *constant-abstracted skeleton*
+  (:func:`~repro.core.terms.abstract_constants`; :func:`route_of`
+  hashes the portable payload), so the per-worker plan caches act as
+  the shards of one batch-wide
+  :class:`~repro.parallel.cache.ShardedLRUCache`: a repeated query —
+  and every member of a parameterized query family — lands on the
+  worker that cached its skeleton entry, so the family is served from
+  one warm parameterized cache instead of being re-optimized cold on
+  several workers.  This matters beyond CPU parallelism — a corpus
+  with more distinct queries than one cache's capacity thrashes a
+  single process but fits in the pool's combined shards.  With
+  ``abstract_cache=False`` routing falls back to the exact payload.
 
 * **Largest-first dispatch.**  Within each worker's queue, chunks are
   ordered by decreasing term size so the heaviest rewrites start first
@@ -46,7 +51,7 @@ import zlib
 from dataclasses import dataclass, field
 
 from repro.aqua.terms import AquaExpr
-from repro.core.terms import Term
+from repro.core.terms import Term, abstract_constants
 from repro.optimizer.optimizer import (SEARCH_MODES, OptimizedQuery,
                                        Optimizer)
 from repro.parallel.cache import merge_cache_info
@@ -139,7 +144,9 @@ class BatchOptimizer:
 
     def __init__(self, db=None, *, workers: int | None = None,
                  search: str = "greedy", budget=None,
-                 chunk_size: int = DEFAULT_CHUNK_SIZE) -> None:
+                 chunk_size: int = DEFAULT_CHUNK_SIZE,
+                 plan_cache_max: int | None = None,
+                 abstract_cache: bool = True) -> None:
         if search not in SEARCH_MODES:
             raise ValueError(f"unknown search mode {search!r}; "
                              f"expected one of {SEARCH_MODES}")
@@ -150,6 +157,8 @@ class BatchOptimizer:
         self.search = search
         self.budget = budget
         self.chunk_size = max(1, chunk_size)
+        self.plan_cache_max = plan_cache_max
+        self.abstract_cache = abstract_cache
         self.mode = "in-process"
         self.start_error: str | None = None  # why the pool fell back
         self._procs: list = []
@@ -168,10 +177,22 @@ class BatchOptimizer:
 
     @property
     def _fallback(self) -> Optimizer:
-        """The in-process optimizer (fallback runs, replans, reruns)."""
+        """The in-process optimizer (fallback runs, replans, reruns).
+
+        Its plan cache gets the *aggregate* capacity the pool's shards
+        would have had (``PLAN_CACHE_MAX × workers`` unless the caller
+        pinned ``plan_cache_max``): when a pool falls back in-process,
+        a corpus sized for the pool's combined shards must not thrash
+        one default-sized cache.
+        """
         if self._local is None:
+            capacity = (self.plan_cache_max
+                        if self.plan_cache_max is not None
+                        else Optimizer.PLAN_CACHE_MAX * self.workers)
             self._local = Optimizer(search=self.search,
-                                    saturation_budget=self.budget)
+                                    saturation_budget=self.budget,
+                                    plan_cache_max=capacity,
+                                    abstract_cache=self.abstract_cache)
         return self._local
 
     def start(self) -> bool:
@@ -188,7 +209,8 @@ class BatchOptimizer:
                 proc = ctx.Process(
                     target=worker_main,
                     args=(worker_id, task_queue, self._result_queue,
-                          self.db, self.search, self.budget),
+                          self.db, self.search, self.budget,
+                          self.abstract_cache),
                     daemon=True)
                 proc.start()
                 self._task_queues.append(task_queue)
@@ -283,11 +305,19 @@ class BatchOptimizer:
     def _run_pool(self, queries: list, terms: list[Term],
                   started: float) -> BatchReport:
         payloads = [term.to_portable() for term in terms]
+        if self.abstract_cache:
+            # Route on the constant-abstracted skeleton so a whole
+            # parameterized family shares one worker's skeleton cache;
+            # the wire payload stays the exact term.
+            route_keys = [abstract_constants(term)[0].to_portable()
+                          for term in terms]
+        else:
+            route_keys = payloads
 
         # Shard-affinity assignment, largest term first per worker.
         assignment: list[list[int]] = [[] for _ in range(self.workers)]
-        for index, payload in enumerate(payloads):
-            assignment[route_of(payload, self.workers)].append(index)
+        for index, route_key in enumerate(route_keys):
+            assignment[route_of(route_key, self.workers)].append(index)
         outstanding: dict[int, set[int]] = {}
         for worker_id, indices in enumerate(assignment):
             indices.sort(key=lambda i: terms[i].size(), reverse=True)
@@ -368,7 +398,9 @@ class BatchOptimizer:
 
 def optimize_many(queries, db=None, *, workers: int | None = None,
                   search: str = "greedy", budget=None,
-                  chunk_size: int = DEFAULT_CHUNK_SIZE) -> BatchReport:
+                  chunk_size: int = DEFAULT_CHUNK_SIZE,
+                  plan_cache_max: int | None = None,
+                  abstract_cache: bool = True) -> BatchReport:
     """One-shot batch optimization (pool started and torn down inside).
 
     Args:
@@ -381,9 +413,17 @@ def optimize_many(queries, db=None, *, workers: int | None = None,
         budget: :class:`~repro.saturate.driver.SaturationBudget` for
             saturate-mode runs.
         chunk_size: queries per worker task message.
+        plan_cache_max: exact-level plan-cache capacity of the
+            in-process fallback optimizer (defaults to the pool's
+            aggregate, ``PLAN_CACHE_MAX × workers``).
+        abstract_cache: enable the parameterized plan-cache level,
+            skeleton-affinity routing and warm e-graph reuse
+            (``False`` = exact keying and exact-payload routing).
     """
     batch = BatchOptimizer(db, workers=workers, search=search,
-                           budget=budget, chunk_size=chunk_size)
+                           budget=budget, chunk_size=chunk_size,
+                           plan_cache_max=plan_cache_max,
+                           abstract_cache=abstract_cache)
     try:
         return batch.optimize_many(queries)
     finally:

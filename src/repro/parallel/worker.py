@@ -43,7 +43,8 @@ ENCODE_MEMO_MAX = 2048
 
 
 def worker_main(worker_id: int, task_queue, result_queue,
-                db, search: str, budget) -> None:
+                db, search: str, budget,
+                abstract_cache: bool = True) -> None:
     """Run one worker: build the persistent optimizer, drain the task
     queue, report stats, exit."""
     from repro.core.terms import from_portable
@@ -52,7 +53,8 @@ def worker_main(worker_id: int, task_queue, result_queue,
     from repro.parallel.cache import LRUCache
     from repro.parallel.portable import encode_result
 
-    optimizer = Optimizer(search=search, saturation_budget=budget)
+    optimizer = Optimizer(search=search, saturation_budget=budget,
+                          abstract_cache=abstract_cache)
     encode_memo = LRUCache(ENCODE_MEMO_MAX)
     processed = 0
     while True:

@@ -44,6 +44,7 @@ class RuleBase:
         self._generation_total = 0
         self._group_indexes: dict[str, tuple[int, RuleIndex]] = {}
         self._group_compiled: dict[str, tuple[int, CompiledRuleSet]] = {}
+        self._scalar_constants: tuple[int, frozenset] | None = None
 
     # -- registration -------------------------------------------------------
 
@@ -147,6 +148,36 @@ class RuleBase:
             self._group_compiled[name] = (generation, compiled)
             return compiled
         return cached[1]
+
+    def scalar_constants(self) -> frozenset:
+        """Every abstractable scalar literal pinned by any registered
+        rule, as typed ``(type, value)`` pairs.
+
+        This is the constant-abstraction validity set: a rule whose LHS
+        spells a concrete ``int``/``float``/``str`` literal matches (or
+        fails to match) depending on a query's constant *values*, and a
+        rule whose RHS spells one introduces a constant that must never
+        be mistaken for a query binding — so the optimizer refuses to
+        serve a parameterized plan to any query whose bindings intersect
+        this set (guarded simplifications fall back to exact keying).
+        Scanned once per rulebase :attr:`generation` and cached.
+        """
+        from repro.core.terms import ABSTRACTABLE_SCALARS
+        cached = self._scalar_constants
+        if cached is not None and cached[0] == self._generation_total:
+            return cached[1]
+        pinned: set[tuple] = set()
+        for one_rule in self._rules.values():
+            for side in (one_rule.lhs, one_rule.rhs):
+                for node in side.subterms():
+                    if node.op != "lit":
+                        continue
+                    label = node.label
+                    if type(label) in ABSTRACTABLE_SCALARS:
+                        pinned.add((type(label), label))
+        result = frozenset(pinned)
+        self._scalar_constants = (self._generation_total, result)
+        return result
 
     def group_names(self) -> tuple[str, ...]:
         return tuple(sorted(self._groups))

@@ -71,6 +71,16 @@ class SaturationBudget:
             needs its own deterministic cap.  Exhaustion truncates the
             round (recorded as ``match_truncations``), never aborts
             the run.
+        incremental_match: restrict each round's match passes to the
+            upward closure of the classes dirtied since the previous
+            round (new classes, merge survivors, classes that gained a
+            spelling — congruence merges included).  Sound because a
+            *new* match must descend into a changed class, and clean
+            regions were fully matched in an earlier round; rounds run
+            with rules banned keep their frontier carried forward until
+            a fully-active round consumes it, so backoff still cannot
+            change what saturation reaches.  ``False`` restores the
+            match-everything passes (the escape hatch).
     """
 
     max_iterations: int = 8
@@ -79,6 +89,7 @@ class SaturationBudget:
     backoff_threshold: int = 2
     backoff_cooldown: int = 1
     max_match_visits: int = 1_000_000
+    incremental_match: bool = True
 
 
 @dataclass
@@ -98,6 +109,11 @@ class SaturationReport:
     banned_skips: int = 0
     #: Rounds whose e-match pass ran out of pattern-walk credits.
     match_truncations: int = 0
+    #: Whether the run reused an already-saturated e-graph.
+    warm_start: bool = False
+    #: E-nodes allocated *by this run* (equals ``enodes`` for cold
+    #: runs; warm runs start from a non-empty graph).
+    enodes_added: int = 0
 
     def summary(self) -> str:
         state = ("saturated" if self.saturated
@@ -137,18 +153,31 @@ class Saturator:
         self.rules = rules
         self.budget = budget or SaturationBudget()
 
-    def run(self, seeds: list[Term] | tuple[Term, ...]) -> SaturationRun:
+    def run(self, seeds: list[Term] | tuple[Term, ...],
+            egraph: EGraph | None = None) -> SaturationRun:
         """Saturate starting from ``seeds``.
 
         All seeds are asserted equal (they must be rule-derivable from
         one another — the optimizer seeds the initial query plus the
         greedy pipeline's forms) and merged into one root class.
+
+        Passing an ``egraph`` warm-starts the run on an existing
+        (typically already-saturated) graph: the seeds are added and
+        merged into one *new* root, and the enode budget counts only
+        nodes allocated past the graph's starting size.  The seeds are
+        never merged with pre-existing classes directly — any equality
+        between this query and earlier occupants must be (re)derived by
+        rules and congruence, which keeps sharing sound.
         """
         if not seeds:
             raise ValueError("saturation needs at least one seed term")
         budget = self.budget
-        egraph = EGraph()
         report = SaturationReport()
+        if egraph is None:
+            egraph = EGraph()
+        else:
+            report.warm_start = True
+        baseline = egraph.enodes_allocated
         root = egraph.add(seeds[0])
         for seed in seeds[1:]:
             root = egraph.merge(root, egraph.add(seed))
@@ -162,9 +191,16 @@ class Saturator:
         streak: dict[str, int] = {}
         banned_until: dict[str, int] = {}
         next_cooldown: dict[str, int] = {}
+        # Incremental-match frontier: classes dirtied since the last
+        # *fully processed* round.  Rounds with rules banned or with a
+        # truncated/budget-cut match pass did not exhaust their
+        # frontier, so it carries forward until a clean round consumes
+        # it — exactly the ban-lift discipline the scheduler already
+        # follows for fixpoints.
+        carry: set[int] = set()
 
         for iteration in range(budget.max_iterations):
-            if egraph.enodes_allocated >= budget.max_enodes:
+            if egraph.enodes_allocated - baseline >= budget.max_enodes:
                 report.budget_hit = "enodes"
                 break
             report.iterations = iteration + 1
@@ -174,13 +210,35 @@ class Saturator:
             banned = {rule.name for rule in matcher.rules} \
                 - {rule.name for rule in active}
             report.banned_skips += len(banned)
+            scope: set[int] | None = None
+            if budget.incremental_match:
+                carry |= egraph.dirty_classes()
+                egraph.clear_dirty()
+                scope = egraph.closure_up(carry)
+            truncations_before = report.match_truncations
             produced: set[str] = set()
             progressed = self._ematch_round(egraph, matcher, report,
-                                            budget, active, produced)
+                                            budget, active, produced,
+                                            scope, baseline)
             if not report.budget_hit and budget.reps_per_class:
+                rep_scope = scope
+                if scope is not None:
+                    # The e-match pass just ran and may have created
+                    # classes mid-round; the full enumeration would see
+                    # them now, so extend the closure with the fresh
+                    # dirt — but do NOT consume it: next round's
+                    # e-match pass still has to visit those classes.
+                    rep_scope = egraph.closure_up(
+                        carry | egraph.dirty_classes())
                 progressed |= self._representative_round(
-                    egraph, matcher, report, budget, banned, produced)
+                    egraph, matcher, report, budget, banned, produced,
+                    rep_scope, baseline)
             egraph.rebuild()
+            if budget.incremental_match and not banned \
+                    and not report.budget_hit \
+                    and report.match_truncations == truncations_before:
+                # Every rule saw the whole frontier: consumed.
+                carry.clear()
             if report.budget_hit:
                 break
             if not progressed and not banned:
@@ -211,6 +269,7 @@ class Saturator:
 
         root = egraph.find(root)
         report.enodes = egraph.enodes_allocated
+        report.enodes_added = egraph.enodes_allocated - baseline
         report.classes = egraph.class_count()
         report.merges = egraph.merges
         return SaturationRun(egraph=egraph, root=root, report=report,
@@ -221,13 +280,16 @@ class Saturator:
     def _ematch_round(self, egraph: EGraph, matcher: EMatcher,
                       report: SaturationReport,
                       budget: SaturationBudget, rules: list,
-                      produced: set[str]) -> bool:
-        """Match the active ``rules`` against every class, instantiate
+                      produced: set[str],
+                      scope: set[int] | None,
+                      baseline: int) -> bool:
+        """Match the active ``rules`` against every class (or only the
+        ``scope`` classes when incremental matching is on), instantiate
         each RHS as e-nodes, merge.  Rule names that created anything
         new land in ``produced`` (the backoff scheduler's productivity
         signal).  Returns whether anything changed."""
         progressed = False
-        for match in matcher.match_all(rules):
+        for match in matcher.match_all(rules, class_ids=scope):
             if match.rule.needs_typed_apply:
                 pair = matcher.ground_pair(match)
                 if pair is None or not _typed_apply_ok(*pair):
@@ -238,7 +300,7 @@ class Saturator:
                 produced.add(match.rule.name)
                 report.rewrites_applied += 1
             egraph.merge(match.cid, new_cid)
-            if egraph.enodes_allocated >= budget.max_enodes:
+            if egraph.enodes_allocated - baseline >= budget.max_enodes:
                 report.budget_hit = "enodes"
                 break
         if matcher.truncated:
@@ -249,15 +311,19 @@ class Saturator:
                               report: SaturationReport,
                               budget: SaturationBudget,
                               banned: set[str],
-                              produced: set[str]) -> bool:
+                              produced: set[str],
+                              scope: set[int] | None,
+                              baseline: int) -> bool:
         """Rewrite sampled member terms through the engine (covers
         oracle preconditions, typed application and peeling — the
         phases the structural e-matcher does not model).  Firings of
         ``banned`` rules are dropped; productive rule names land in
         ``produced``."""
         best = egraph.best_terms()
+        class_ids = (egraph.class_ids() if scope is None
+                     else sorted({egraph.find(cid) for cid in scope}))
         matches: list[tuple[int, str, Term]] = []
-        for cid in egraph.class_ids():
+        for cid in class_ids:
             for rep in egraph.sample_terms(
                     cid, budget.reps_per_class, best):
                 for rule, new_term, _ in self.engine.rewrites_at(
@@ -273,7 +339,7 @@ class Saturator:
                 produced.add(rule_name)
                 report.rewrites_applied += 1
             egraph.merge(cid, new_id)
-            if egraph.enodes_allocated >= budget.max_enodes:
+            if egraph.enodes_allocated - baseline >= budget.max_enodes:
                 report.budget_hit = "enodes"
                 break
         return progressed

@@ -93,6 +93,15 @@ class EGraph:
         #: congruence merges never decrement it).
         self.enodes_allocated = 0
         self.merges = 0
+        #: Classes changed (created, merged, or grown by an e-node or
+        #: member) since the last :meth:`clear_dirty` — the incremental
+        #: e-matching frontier.  Ids may be stale (absorbed by later
+        #: merges); readers normalize through :meth:`find`.
+        self._dirty: set[int] = set()
+        #: child class id -> ids of classes owning an e-node that
+        #: references it (the upward edges :meth:`closure_up` walks).
+        #: Keys and values may be stale; normalized on read.
+        self._parents: dict[int, set[int]] = {}
 
     # -- union-find ---------------------------------------------------------
 
@@ -110,7 +119,17 @@ class EGraph:
         cid = len(self._parent)
         self._parent.append(cid)
         self._classes[cid] = EClass()
+        self._dirty.add(cid)
         return cid
+
+    def _note_parents(self, cid: int, child_ids: tuple[int, ...]) -> None:
+        parents = self._parents
+        for child in child_ids:
+            bucket = parents.get(child)
+            if bucket is None:
+                parents[child] = {cid}
+            else:
+                bucket.add(cid)
 
     def merge(self, a: int, b: int) -> int:
         """Union the classes of ``a`` and ``b``; returns the surviving
@@ -128,6 +147,14 @@ class EGraph:
         self._parent[b] = a
         absorbed = self._classes.pop(b)
         target = self._classes[a]
+        self._dirty.add(a)
+        moved = self._parents.pop(b, None)
+        if moved is not None:
+            bucket = self._parents.get(a)
+            if bucket is None:
+                self._parents[a] = moved
+            else:
+                bucket.update(moved)
         target.nodes.update(absorbed.nodes)
         for term, seq in absorbed.members.items():
             if term not in target.members:
@@ -180,6 +207,8 @@ class EGraph:
                 cid = self.find(cid)
             eclass = self._classes[cid]
             eclass.nodes[key] = (node.op, node.label, child_ids)
+            self._note_parents(cid, child_ids)
+            self._dirty.add(cid)  # every loop node is a new member term
             if node not in eclass.members:
                 eclass.members[node] = self._seq
                 self._seq += 1
@@ -202,7 +231,11 @@ class EGraph:
             self.enodes_allocated += 1
         else:
             cid = self.find(cid)
-        self._classes[cid].nodes[key] = (op, label, child_ids)
+        eclass = self._classes[cid]
+        if key not in eclass.nodes:
+            self._dirty.add(cid)  # existing class gained a spelling
+        eclass.nodes[key] = (op, label, child_ids)
+        self._note_parents(cid, child_ids)
         return cid
 
     def find_enode(self, op: str, label: Hashable,
@@ -272,7 +305,45 @@ class EGraph:
                                        for child in child_ids)
                 rekeyed[_node_key(op, label, canon_children)] = \
                     (op, label, canon_children)
+                self._note_parents(cid, canon_children)
             eclass.nodes = rekeyed
+
+    # -- incremental-matching frontier --------------------------------------
+
+    def dirty_classes(self) -> set[int]:
+        """Find-normalized classes changed since :meth:`clear_dirty`."""
+        return {self.find(cid) for cid in self._dirty}
+
+    def clear_dirty(self) -> None:
+        """Mark the current state as fully processed (the saturation
+        driver calls this after consuming a round's frontier)."""
+        self._dirty.clear()
+
+    def closure_up(self, cids) -> set[int]:
+        """``cids`` plus every class reachable by following parent
+        edges upward (find-normalized).
+
+        This is the sound re-match frontier for incremental
+        e-matching: any *new* match must structurally descend into a
+        changed class, so its pattern root lies in the upward closure
+        of the dirty set — classes outside it were fully matched in an
+        earlier round against an identical local structure, and
+        re-matching them could only re-derive merges that are already
+        no-ops.
+        """
+        seen: set[int] = set()
+        frontier = [self.find(cid) for cid in cids]
+        parents = self._parents
+        while frontier:
+            cid = frontier.pop()
+            if cid in seen:
+                continue
+            seen.add(cid)
+            for parent in parents.get(cid, ()):
+                root = self.find(parent)
+                if root not in seen:
+                    frontier.append(root)
+        return seen
 
     # -- views --------------------------------------------------------------
 

@@ -117,15 +117,20 @@ class EMatcher:
 
     # -- match enumeration --------------------------------------------------
 
-    def match_all(self, rules: "list[Rule] | None" = None) -> list[EMatch]:
+    def match_all(self, rules: "list[Rule] | None" = None,
+                  class_ids=None) -> list[EMatch]:
         """Every (rule, class) match in the graph, rule-priority-major
         then class-id order (deterministic).  ``rules`` restricts the
         pass to a subset of the pool — the saturation driver's backoff
-        scheduler passes the currently unbanned rules."""
+        scheduler passes the currently unbanned rules.  ``class_ids``
+        restricts which classes patterns may be *rooted* at — the
+        driver's incremental mode passes the dirty-set upward closure;
+        metavariables inside a match still bind any class."""
         out: list[EMatch] = []
         self._visits = self.max_visits
         self.truncated = False
-        class_ids = self.egraph.class_ids()
+        class_ids = (self.egraph.class_ids() if class_ids is None
+                     else sorted(class_ids))
         for rule in (self.rules if rules is None else rules):
             if self._visits <= 0:
                 break
