@@ -1,0 +1,354 @@
+"""Codegen kernel benchmark: compiled source kernels vs the fused
+generator backend.
+
+Three claims are measured:
+
+1. **Bulk speedup** — on the bulk join/nest workload (the garage
+   join-nest query, the equi self-join and the correlated count) the
+   compiled kernel must beat the fused generator pipeline by at least
+   **2x** wall clock.  The mechanism is specialization: the fused
+   backend runs per-op generator closures and db-late scalar closures
+   per element, while the kernel inlines the whole pipeline — step
+   loop, join probes, dedup seen-sets, comparisons, sink accumulation
+   — as one flat compiled function with no per-op dispatch.  The
+   iterate/unnest chain is reported unbarred: at bench sizes its
+   runtime is fixed-overhead-dominated and the ratio is noisy (it
+   clears the bar on larger databases).
+2. **Warm-family throughput** — serving a constant-varying template
+   corpus through the skeleton-keyed kernel cache (compile once per
+   skeleton, bind values per query) must be at least **10x** the
+   throughput of compiling each concrete query cold.  This isolates
+   the PR's cache claim: one kernel serves the whole family.
+3. **Parity** — a fixed-seed fuzz stream (500 queries in the full
+   run) must be *bit-identical* between direct evaluation and both
+   codegen modes (plain and columnar-spliced): same values, same
+   types, and ``EvalError`` outcomes must agree.
+
+Run directly for the JSON artifact (written to ``BENCH_codegen.json``
+at the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_codegen.py
+
+``--quick`` runs the CI smoke variant: a smaller database and a
+120-query parity stream, still enforcing parity, full lowering, the
+warm-family bar, and the 2x codegen-over-fused bulk bar (the ratio
+compares two in-process runs of the same workload, so it is stable
+enough for CI wall clocks).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.core.errors import EvalError
+from repro.core.eval import eval_obj
+from repro.core.parser import parse_obj
+from repro.core.terms import abstract_constants
+from repro.exec import compile_executable, compile_kernel
+from repro.fuzz.generator import FuzzConfig, QueryGenerator
+from repro.rewrite.pattern import canon
+from repro.schema.generator import tiny_database
+from repro.workloads.corpus import _TEMPLATES
+
+# Direct script runs put benchmarks/ on sys.path automatically; pytest
+# collection (rootdir-based) does not, so make the sibling importable
+# either way.
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from bench_exec import BULK_QUERIES, banner, sized_db  # noqa: E402
+
+#: ISSUE acceptance bar: codegen wall clock vs the fused backend on
+#: the bulk join/nest workload (aggregate over JOIN_NEST_QUERIES).
+MIN_SPEEDUP = 2.0
+
+#: ISSUE acceptance bar: warm-family throughput vs cold per-query
+#: compilation on the constant-template corpus.
+WARM_MIN_SPEEDUP = 10.0
+
+#: Queries in the fixed-seed parity stream (full run).
+PARITY_COUNT = 500
+PARITY_SEED = 2026
+
+#: The join/nest subset of the bulk workload the 2x bar is measured
+#: on (matching the fused benchmark's workload definition); the
+#: remaining bulk query is timed and reported unbarred.
+JOIN_NEST_QUERIES = ("garage KG2 (join-nest)", "equi self-join",
+                     "count-correlated")
+
+#: Constant-varying instances per template in the warm-family corpus.
+FAMILY_WIDTH = 25
+
+#: Traffic passes over the warm-family corpus (repeats beyond the
+#: distinct set model the serving hot path, mirroring
+#: ``repro.workloads.corpus.corpus_stream``).
+FAMILY_PASSES = 3
+
+
+def _time(fn, repeat: int) -> float:
+    start = time.perf_counter()
+    for _ in range(repeat):
+        fn()
+    return (time.perf_counter() - start) / repeat * 1000
+
+
+def measure_bulk(db, *, repeat: int = 3) -> dict:
+    """Per-query timings for fused vs codegen (both columnar modes
+    off, isolating specialization), results asserted identical before
+    anything is timed."""
+    rows = []
+    for name, text in BULK_QUERIES.items():
+        query = canon(parse_obj(text))
+        fused = compile_executable(query)
+        kernel = compile_kernel(query)
+        reference = eval_obj(query, db)
+        identical = (
+            type(fused.run(db)) is type(reference)
+            and fused.run(db) == reference
+            and type(kernel.run(db)) is type(reference)
+            and kernel.run(db) == reference)
+        fused_ms = _time(lambda: fused.run(db), repeat)
+        codegen_ms = _time(lambda: kernel.run(db), repeat)
+        rows.append({
+            "query": name,
+            "barred": name in JOIN_NEST_QUERIES,
+            "fully_lowered": kernel.fully_lowered,
+            "identical": identical,
+            "fused_ms": round(fused_ms, 3),
+            "codegen_ms": round(codegen_ms, 3),
+            "speedup": round(fused_ms / codegen_ms, 2),
+        })
+    barred = [row for row in rows if row["barred"]]
+    barred_fused = sum(row["fused_ms"] for row in barred)
+    barred_codegen = sum(row["codegen_ms"] for row in barred)
+    return {
+        "rows": rows,
+        "join_nest_fused_ms": round(barred_fused, 3),
+        "join_nest_codegen_ms": round(barred_codegen, 3),
+        "join_nest_speedup": round(barred_fused / barred_codegen, 2),
+    }
+
+
+def _family_corpus():
+    """Concrete queries from the constant-varying templates, plus the
+    per-skeleton instance count."""
+    queries = []
+    for _, template in _TEMPLATES:
+        for offset in range(FAMILY_WIDTH):
+            queries.append(canon(parse_obj(
+                template.format(c=20 + offset))))
+    return queries
+
+
+def measure_warm_family(db, *, passes: int = FAMILY_PASSES) -> dict:
+    """Cold (compile every concrete query per call) vs warm
+    (skeleton-keyed kernel cache, bind values per call) throughput over
+    ``passes`` passes of the template corpus — repeats model the
+    serving hot path, where the cache claim lives.  Outcomes are
+    asserted identical query-for-query — one template family errors
+    under evaluation by design (the corpus also drives
+    pure-optimization benchmarks), and the error must be shared too."""
+    queries = _family_corpus()
+    traffic = queries * passes
+
+    start = time.perf_counter()
+    cold_results = [_outcome(lambda: compile_kernel(query).run(db))
+                    for query in traffic]
+    cold_s = time.perf_counter() - start
+
+    # One untimed pass populates the skeleton cache (and the kernels'
+    # internal closure caches) so the timed passes measure steady-state
+    # serving — the claim under test — not first-touch compilation.
+    kernels: dict = {}
+
+    def serve(query):
+        skeleton, values = abstract_constants(query)
+        kernel = kernels.get(skeleton)
+        if kernel is None:
+            kernel = kernels[skeleton] = compile_kernel(skeleton)
+        return _outcome(lambda: kernel.run(db, values))
+
+    for query in queries:
+        serve(query)
+    start = time.perf_counter()
+    warm_results = [serve(query) for query in traffic]
+    warm_s = time.perf_counter() - start
+
+    identical = all(
+        w[0] == c[0] and (w[0] == "error"
+                          or (type(w[1]) is type(c[1]) and w[1] == c[1]))
+        for w, c in zip(warm_results, cold_results))
+    return {
+        "queries": len(queries),
+        "passes": passes,
+        "distinct_skeletons": len(kernels),
+        "identical": identical,
+        "cold_qps": round(len(traffic) / cold_s, 1),
+        "warm_qps": round(len(traffic) / warm_s, 1),
+        "warm_speedup": round(cold_s / warm_s, 2),
+    }
+
+
+def _outcome(run):
+    try:
+        return "ok", run()
+    except EvalError:
+        return "error", EvalError
+
+
+def measure_parity(db, *, count: int = PARITY_COUNT,
+                   seed: int = PARITY_SEED) -> dict:
+    """Fixed-seed generated stream: direct evaluation vs both codegen
+    modes, bit-identical (type-strict) or the run fails."""
+    generator = QueryGenerator(FuzzConfig(seed=seed))
+    checked = good = 0
+    errors = 0
+    divergences = []
+    for _ in range(count):
+        query = generator.query()
+        expected_outcome, expected = _outcome(
+            lambda: eval_obj(query, db))
+        if expected_outcome == "error":
+            errors += 1
+        for mode, columnar in (("codegen", False),
+                               ("codegen-columnar", True)):
+            checked += 1
+            outcome, got = _outcome(
+                lambda: compile_kernel(query, columnar=columnar).run(db))
+            same = (outcome == expected_outcome
+                    and (outcome == "error"
+                         or (type(got) is type(expected)
+                             and got == expected)))
+            if same:
+                good += 1
+            elif len(divergences) < 5:
+                from repro.core.pretty import pretty
+                divergences.append({"mode": mode, "query": pretty(query)})
+    return {
+        "seed": seed, "queries": count, "checked": checked,
+        "good": good, "eval_errors": errors,
+        "divergences": divergences, "ok": good == checked,
+    }
+
+
+def _print_report(report: dict) -> None:
+    timings = report["timings"]
+    print(f"database: |P| = {report['config']['persons']}, "
+          f"|V| = {report['config']['vehicles']}")
+    print(f"{'query':<26} {'fused ms':>9} {'codegen ms':>11} "
+          f"{'speedup':>8}")
+    for row in timings["rows"]:
+        tag = "" if row["barred"] else "  [unbarred]"
+        print(f"{row['query']:<26} {row['fused_ms']:>9.2f} "
+              f"{row['codegen_ms']:>11.2f} {row['speedup']:>8.1f}{tag}")
+    print(f"  join/nest workload: {timings['join_nest_fused_ms']:.1f} ms"
+          f" fused vs {timings['join_nest_codegen_ms']:.1f} ms codegen"
+          f" = {timings['join_nest_speedup']}x"
+          f" (bar: {report['min_speedup']}x)")
+    family = report["warm_family"]
+    print(f"  warm families: {family['warm_qps']} q/s warm vs "
+          f"{family['cold_qps']} q/s cold over {family['queries']} "
+          f"queries x {family['passes']} passes / "
+          f"{family['distinct_skeletons']} skeletons = "
+          f"{family['warm_speedup']}x (bar: "
+          f"{report['warm_min_speedup']}x)")
+    parity = report["parity"]
+    print(f"  parity: {parity['good']}/{parity['checked']} bit-identical"
+          f" over {parity['queries']} generated queries x 2 modes "
+          f"(seed {parity['seed']}, {parity['eval_errors']} raise "
+          f"EvalError in both)")
+
+
+def _failures(report: dict) -> list[str]:
+    problems = []
+    for row in report["timings"]["rows"]:
+        if not row["identical"]:
+            problems.append(f"{row['query']}: codegen result differs "
+                            "from direct evaluation")
+        if row["barred"] and not row["fully_lowered"]:
+            problems.append(f"{row['query']}: join/nest query fell "
+                            "back to closure evaluation")
+    if not report["parity"]["ok"]:
+        problems.append(
+            f"{report['parity']['checked'] - report['parity']['good']} "
+            f"fuzz divergence(s): {report['parity']['divergences']}")
+    if (report["timings"]["join_nest_speedup"]
+            < report["min_speedup"]):
+        problems.append(
+            f"join/nest codegen speedup "
+            f"{report['timings']['join_nest_speedup']}x below the "
+            f"{report['min_speedup']}x bar")
+    family = report["warm_family"]
+    if not family["identical"]:
+        problems.append("warm-family results differ from cold compiles")
+    if family["warm_speedup"] < report["warm_min_speedup"]:
+        problems.append(
+            f"warm-family speedup {family['warm_speedup']}x below the "
+            f"{report['warm_min_speedup']}x bar")
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    quick = "--quick" in argv
+    banner("Codegen kernels — compiled source vs fused generators")
+    if quick:
+        persons, vehicles, parity_count, repeat = 200, 125, 120, 3
+    else:
+        persons, vehicles, parity_count, repeat = 400, 250, PARITY_COUNT, 5
+    db = sized_db(persons, vehicles, seed=2026)
+    report = {
+        "config": {"persons": persons, "vehicles": vehicles,
+                   "repeat": repeat, "quick": quick},
+        "min_speedup": MIN_SPEEDUP,
+        "warm_min_speedup": WARM_MIN_SPEEDUP,
+        "timings": measure_bulk(db, repeat=repeat),
+        "warm_family": measure_warm_family(tiny_database()),
+        "parity": measure_parity(tiny_database(), count=parity_count),
+    }
+    _print_report(report)
+    if not quick:
+        out = Path(__file__).resolve().parent.parent / "BENCH_codegen.json"
+        out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"\nwrote {out}")
+    problems = _failures(report)
+    for problem in problems:
+        print(f"FAIL: {problem}", file=sys.stderr)
+    if not problems:
+        print("OK: results bit-identical, speedup bars met")
+    return 1 if problems else 0
+
+
+# -- pytest entry points -------------------------------------------------
+
+
+def test_codegen_parity_smoke():
+    """Acceptance: every benchmark query and a 60-query fuzz stream
+    are bit-identical between direct evaluation and both codegen
+    modes."""
+    db = sized_db(40, 25, seed=2026)
+    timings = measure_bulk(db, repeat=1)
+    assert all(row["identical"] for row in timings["rows"]), timings
+    parity = measure_parity(tiny_database(), count=60)
+    assert parity["ok"], parity["divergences"]
+
+
+def test_warm_family_reuses_kernels():
+    """The skeleton cache compiles once per family and stays
+    bit-identical with cold compilation."""
+    family = measure_warm_family(tiny_database())
+    assert family["identical"]
+    assert family["distinct_skeletons"] < family["queries"]
+
+
+def test_bulk_kernels_fully_lowered():
+    """The bulk workload must compile to straight-line kernels, not
+    the closure fallback — otherwise the speedup claim measures
+    nothing."""
+    for text in BULK_QUERIES.values():
+        kernel = compile_kernel(canon(parse_obj(text)))
+        assert kernel.fully_lowered, text
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

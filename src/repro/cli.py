@@ -78,17 +78,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("query")
     run_cmd.add_argument("--kola", action="store_true",
                          help="input is KOLA text, not OQL")
-    run_cmd.add_argument("--backend", choices=("plan", "fused", "columnar"),
+    run_cmd.add_argument("--backend",
+                         choices=("plan", "fused", "columnar",
+                                  "codegen", "codegen-columnar"),
                          default="fused",
                          help="execution backend: physical plan, fused "
-                         "loop pipeline (default), or fused + cached "
-                         "columns")
+                         "loop pipeline (default), fused + cached "
+                         "columns, compiled source kernel, or kernel "
+                         "with columnar scan splicing")
     run_cmd.add_argument("--search", choices=("greedy", "saturate"),
                          default="greedy")
     run_cmd.add_argument("--repeat", type=int, default=3,
                          help="timed runs to average over")
     run_cmd.add_argument("--explain", action="store_true",
                          help="also print the executed plan/pipeline")
+    run_cmd.add_argument("--dump-kernel", action="store_true",
+                         help="print the generated kernel source "
+                         "(codegen backends only)")
     run_cmd.add_argument("--persons", type=int, default=40)
     run_cmd.add_argument("--vehicles", type=int, default=25)
     run_cmd.add_argument("--seed", type=int, default=2026)
@@ -223,10 +229,17 @@ def cmd_run(args) -> int:
     print("query    :", pretty(optimized.initial))
     print("executed :", pretty(optimized.best_term))
     print("backend  :", args.backend)
+    codegen = args.backend in ("codegen", "codegen-columnar")
     if args.backend in ("fused", "columnar"):
         executable = optimized.executable(
             columnar=args.backend == "columnar")
         coverage = ("fully lowered" if executable.fully_lowered
+                    else "partially lowered (closure fallback)")
+        print("pipeline :", coverage)
+    elif codegen:
+        kernel = optimized.kernel(
+            columnar=args.backend == "codegen-columnar")
+        coverage = ("fully lowered" if kernel.fully_lowered
                     else "partially lowered (closure fallback)")
         print("pipeline :", coverage)
     estimated = ("(not costed)" if optimized.estimated_cost is None
@@ -235,11 +248,22 @@ def cmd_run(args) -> int:
     print(f"measured : {measured_ms:.3f} ms/run "
           f"(averaged over {repeat} runs)")
     print("result   :", value_repr(result, limit=20))
+    if args.dump_kernel:
+        if not codegen:
+            print("(--dump-kernel needs --backend codegen or "
+                  "codegen-columnar)")
+        else:
+            print()
+            print(optimized.kernel(
+                columnar=args.backend == "codegen-columnar").source)
     if args.explain:
         print()
         if args.backend in ("fused", "columnar"):
             print(optimized.executable(
                 columnar=args.backend == "columnar").explain())
+        elif codegen:
+            print(optimized.kernel(
+                columnar=args.backend == "codegen-columnar").explain())
         else:
             print(optimized.plan.explain())
     return 0

@@ -4,7 +4,11 @@ Optimized KOLA terms are *lowered* into a small loop IR
 (:mod:`repro.exec.ir`), *fused* so producer–consumer pipelines touch
 each element once (:mod:`repro.exec.fuse`), and *emitted* as Python
 generator closures (:mod:`repro.exec.emit`) with an optional columnar
-fast path for bulk scans (:mod:`repro.exec.columnar`).
+fast path for bulk scans (:mod:`repro.exec.columnar`).  The codegen
+backend (:mod:`repro.exec.codegen`) goes one step further and compiles
+the same fused IR to specialized Python source — straight-line kernels
+with parameter slots, so one compiled kernel serves an entire
+constant-varying template family.
 
 The three stages are independently testable, but almost every caller
 wants the composition::
@@ -25,8 +29,10 @@ the differential oracle's ``fused-exec`` configurations and the
 property suites in ``tests/test_exec_property.py``).
 """
 
+from repro.exec.codegen import CompiledKernel, compile_kernel
 from repro.exec.emit import ExecutablePlan, compile_executable
 from repro.exec.fuse import fuse
 from repro.exec.lower import lower_query
 
-__all__ = ["ExecutablePlan", "compile_executable", "fuse", "lower_query"]
+__all__ = ["CompiledKernel", "ExecutablePlan", "compile_executable",
+           "compile_kernel", "fuse", "lower_query"]

@@ -40,7 +40,7 @@ collapse into single loops.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.terms import Term
 
@@ -61,17 +61,17 @@ DUP_SENSITIVE_SINKS = frozenset(
 
 # -- element operations -------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Map:
     fn: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Filter:
     pred: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WrapEnv:
     """``iter``'s environment pairing: ``y -> [env, y]`` with ``env``
     evaluated once per run, not once per element."""
@@ -79,26 +79,26 @@ class WrapEnv:
     env: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Flatten:
     """Stream the members of each (collection-valued) element."""
 
     kind: str    # the member collection kind: "set" | "bag" | "list"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UnnestFlatten:
     key_fn: Term
     set_fn: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Dedup:
     """A set-materialization boundary, executed as a streaming
     seen-filter when it survives fusion."""
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Sort:
     key_fn: Term
 
@@ -110,7 +110,7 @@ ELEMENTWISE = (Map, Filter, WrapEnv)
 
 # -- sources ------------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Scan:
     """Evaluate an object term to a collection and stream its elements,
     coercing with the semantics of ``kind``."""
@@ -119,7 +119,7 @@ class Scan:
     kind: str = "set"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Compute:
     """Opaque fallback: the term is closure-evaluated whole.  Only ever
     a *query* source (never streamed) — pipelines over a Compute have no
@@ -128,7 +128,7 @@ class Compute:
     term: Term
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class JoinProbe:
     """``join(p, f) ! [A, B]`` as a probe loop.
 
@@ -156,7 +156,7 @@ class JoinProbe:
         return "nested-loop"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NestGroup:
     """``nest(kf, vf) ! [src, keys]``: one pass over ``src`` filling
     per-key groups; yields ``[key, group]`` pairs (distinct by
@@ -174,7 +174,7 @@ Op = object      # Map | Filter | WrapEnv | Flatten | UnnestFlatten | Dedup | So
 
 # -- the pipeline -------------------------------------------------------------
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Pipeline:
     source: Source
     ops: tuple = ()
@@ -184,7 +184,7 @@ class Pipeline:
         return Pipeline(self.source, self.ops, sink)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LoweredQuery:
     """A whole query: a pipeline plus the residue lowering could not
     express as loops.

@@ -17,14 +17,17 @@ front-end               sequential :class:`Optimizer`,
                         :class:`BatchOptimizer` batch
 execution backend       ``plan`` (physical plans), ``fused``
                         (:mod:`repro.exec` loop pipelines),
-                        ``columnar`` (fused + cached columns)
+                        ``columnar`` (fused + cached columns),
+                        ``codegen`` (compiled source kernels),
+                        ``codegen-columnar`` (kernels + columns)
 ======================  ==========================================
 
 :func:`default_matrix` enumerates six sequential configurations (the
-full engine × search cross), two batch configurations, and two
+full engine × search cross), two batch configurations, two
 fused-execution configurations (``fused-exec``,
-``fused-exec-columnar``) — ten re-evaluations per query, every one
-compared bag-for-bag against direct evaluation.  A disagreement
+``fused-exec-columnar``), and two codegen configurations
+(``codegen-exec``, ``codegen-exec-columnar``) — twelve re-evaluations
+per query, every one compared bag-for-bag against direct evaluation.  A disagreement
 anywhere is a
 :class:`Divergence`; the oracle shrinks it to a minimal reproducer
 (see :mod:`repro.fuzz.shrink`) and reports the replay seed, so a CI
@@ -88,7 +91,8 @@ class OracleConfig:
 def default_matrix(*, batch_workers: int = 1) -> tuple[OracleConfig, ...]:
     """The full cross: 3 engine tiers × 2 searches, plus 2 batch
     front-end configs (greedy and saturate), plus 2 fused-execution
-    configs (generator backend and columnar fast path) — 10
+    configs (generator backend and columnar fast path), plus 2 codegen
+    configs (compiled source kernels, plain and columnar-spliced) — 12
     configurations."""
     configs = [OracleConfig(f"{engine}-{search}", engine, search)
                for engine in ("linear", "indexed", "compiled")
@@ -101,6 +105,10 @@ def default_matrix(*, batch_workers: int = 1) -> tuple[OracleConfig, ...]:
                      backend="fused"),
         OracleConfig("fused-exec-columnar", "compiled", "greedy",
                      backend="columnar"),
+        OracleConfig("codegen-exec", "compiled", "greedy",
+                     backend="codegen"),
+        OracleConfig("codegen-exec-columnar", "compiled", "greedy",
+                     backend="codegen-columnar"),
     ]
     return tuple(configs)
 

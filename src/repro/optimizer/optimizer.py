@@ -92,8 +92,11 @@ SEARCH_MODES = ("greedy", "saturate")
 #: interpretation or the specialized join-nest strategy), ``fused``
 #: compiles the best known form down to one loop pipeline
 #: (:mod:`repro.exec`), ``columnar`` additionally serves bulk scans
-#: from cached columns.
-BACKENDS = ("plan", "fused", "columnar")
+#: from cached columns, ``codegen`` compiles the fused pipeline to
+#: specialized Python source (:mod:`repro.exec.codegen`), and
+#: ``codegen-columnar`` additionally splices cached column reads into
+#: the emitted source.
+BACKENDS = ("plan", "fused", "columnar", "codegen", "codegen-columnar")
 
 
 @dataclass
@@ -141,6 +144,20 @@ class OptimizedQuery:
             self._executables[columnar] = cached
         return cached
 
+    def kernel(self, columnar: bool = False) -> "CompiledKernel":
+        """The codegen kernel for :attr:`best_term`, compiled lazily
+        and cached on this (plan-cached) result.  The kernel is
+        compiled from the concrete term (no parameter slots);
+        constant-family sharing lives in the optimizer's
+        skeleton-keyed kernel cache (:meth:`Optimizer.kernel_for`)."""
+        cache_key = ("kernel", columnar)
+        cached = self._executables.get(cache_key)
+        if cached is None:
+            from repro.exec import compile_kernel
+            cached = compile_kernel(self.best_term, columnar=columnar)
+            self._executables[cache_key] = cached
+        return cached
+
     def execute(self, db: Database | None = None,
                 backend: str = "plan") -> object:
         if backend == "plan":
@@ -149,6 +166,10 @@ class OptimizedQuery:
             return self.executable().run(db)
         if backend == "columnar":
             return self.executable(columnar=True).run(db)
+        if backend == "codegen":
+            return self.kernel().run(db)
+        if backend == "codegen-columnar":
+            return self.kernel(columnar=True).run(db)
         raise ValueError(f"unknown backend {backend!r}; "
                          f"expected one of {BACKENDS}")
 
@@ -234,6 +255,9 @@ class Optimizer:
     #: Cap on parameterized (skeleton-keyed) plan entries.
     PARAM_CACHE_MAX = 256
 
+    #: Cap on cached codegen kernels (skeleton-keyed, LRU eviction).
+    KERNEL_CACHE_MAX = 256
+
     #: Cap on pooled warm e-graphs (saturate mode only).
     WARM_POOL_MAX = 8
 
@@ -271,6 +295,8 @@ class Optimizer:
         self._warm_pool = LRUCache(self.WARM_POOL_MAX)
         self._param_stats = {"hits": 0, "misses": 0, "blocked": 0,
                              "warm_hits": 0}
+        self._kernel_cache = LRUCache(self.KERNEL_CACHE_MAX)
+        self._kernel_stats = {"kernel_hits": 0, "kernel_misses": 0}
         self._blocked_cache: tuple | None = None
 
     # -- plan cache ---------------------------------------------------------
@@ -289,9 +315,12 @@ class Optimizer:
 
         The nested ``"param"`` dict reports the parameterized level:
         skeleton-cache size and traffic, queries refused abstraction
-        (``blocked``), and warm e-graph reuses (``warm_hits``).  Batch
-        merging (:func:`~repro.parallel.cache.merge_cache_info`) sums
-        the flat counters and ignores the nested dict.
+        (``blocked``), and warm e-graph reuses (``warm_hits``).  The
+        nested ``"kernel"`` dict reports the codegen kernel cache:
+        compiled-kernel count and hit/miss traffic of
+        :meth:`kernel_for`.  Batch merging
+        (:func:`~repro.parallel.cache.merge_cache_info`) sums the flat
+        counters and ignores the nested dicts.
         """
         info = self._plan_cache.info()
         info["max_size"] = self.plan_cache_max
@@ -299,19 +328,64 @@ class Optimizer:
         param.update(self._param_stats)
         param["warm_pool_size"] = len(self._warm_pool)
         info["param"] = param
+        kernel = dict(self._kernel_cache.info())
+        kernel.update(self._kernel_stats)
+        kernel["max_size"] = self.KERNEL_CACHE_MAX
+        info["kernel"] = kernel
         return info
 
     def clear_plan_cache(self) -> None:
-        """Drop all cached optimize results — both levels and the warm
-        e-graph pool (keeps the counters)."""
+        """Drop all cached optimize results — both levels, the warm
+        e-graph pool, and the compiled kernel cache (keeps the
+        counters)."""
         self._plan_cache.clear()
         self._param_cache.clear()
         self._warm_pool.clear()
+        self._kernel_cache.clear()
 
     def _cache_key(self, initial: Term, db: Database | None,
                    search: str) -> tuple:
         fingerprint = None if db is None else db.stats_fingerprint()
         return (initial, self.rulebase.generation, fingerprint, search)
+
+    # -- codegen kernel cache ------------------------------------------------
+
+    def kernel_for(self, result: OptimizedQuery,
+                   db: Database | None = None,
+                   columnar: bool = False) -> tuple:
+        """The family-shared codegen kernel for one optimize result.
+
+        Returns ``(kernel, values)``: the compiled kernel plus the
+        parameter values that instantiate it to ``result.best_term``
+        (run as ``kernel.run(db, values)``).  The cache is keyed on the
+        best form's constant-abstracted *skeleton* (plus rulebase
+        generation, db stats fingerprint, and the columnar flag), so an
+        entire constant-varying template family compiles once and every
+        member binds its own values at run time.  Unlike the
+        parameterized *plan* cache this needs no blocked-values guard:
+        abstraction happens after rewriting, and the emitted kernel is
+        value-faithful by construction — parameter slots flow through
+        the same db-late closures the concrete term would.  With
+        ``abstract_cache`` disabled the concrete term itself is the key
+        (no slots, empty values).
+        """
+        term = result.best_term
+        if self.abstract_cache:
+            skeleton, values = abstract_constants(term)
+        else:
+            skeleton, values = term, ()
+        fingerprint = None if db is None else db.stats_fingerprint()
+        key = (skeleton, self.rulebase.generation, fingerprint, columnar)
+        kernel = self._kernel_cache.get(key)
+        if kernel is None:
+            from repro.exec import compile_kernel
+            self._kernel_stats["kernel_misses"] += 1
+            kernel = compile_kernel(skeleton, columnar=columnar)
+            self._kernel_cache.put(key, kernel,
+                                   max_size=self.KERNEL_CACHE_MAX)
+        else:
+            self._kernel_stats["kernel_hits"] += 1
+        return kernel, values
 
     # -- parameterized (constant-abstracted) level --------------------------
 
@@ -607,10 +681,18 @@ class Optimizer:
         """Optimize-and-run: the one-call serving entry point.
 
         Defaults to the fused loop backend; pass ``backend="plan"`` for
-        the per-combinator physical plans or ``backend="columnar"`` for
-        the column-cached scan path.  Plan-cache hits reuse both the
-        optimization result *and* its compiled pipeline — only the
-        database binding happens per call.
+        the per-combinator physical plans, ``backend="columnar"`` for
+        the column-cached scan path, or ``backend="codegen"`` /
+        ``backend="codegen-columnar"`` for compiled source kernels.
+        Plan-cache hits reuse both the optimization result *and* its
+        compiled pipeline — only the database binding happens per call.
+        The codegen backends additionally route through the
+        skeleton-keyed kernel cache (:meth:`kernel_for`), so queries
+        differing only in scalar constants share one compiled kernel.
         """
-        return self.optimize(query, db=db, search=search).execute(
-            db, backend=backend)
+        result = self.optimize(query, db=db, search=search)
+        if backend in ("codegen", "codegen-columnar"):
+            kernel, values = self.kernel_for(
+                result, db, columnar=(backend == "codegen-columnar"))
+            return kernel.run(db, values)
+        return result.execute(db, backend=backend)

@@ -117,6 +117,44 @@ class FusedPlan(PhysicalPlan):
 
 
 @dataclass
+class CodegenPlan(PhysicalPlan):
+    """Run the query as a compiled codegen kernel
+    (:mod:`repro.exec.codegen`).
+
+    The kernel is compiled lazily on first use and cached on the plan
+    object; like every backend it is db-late, so one plan serves any
+    database.  The plan holds a *concrete* term and runs its kernel
+    with no parameter bindings — constant-family reuse across queries
+    lives in the optimizer's skeleton-keyed kernel cache, not here.
+    """
+
+    query: Term
+    columnar: bool = False
+    _compiled: object = field(default=None, repr=False, compare=False)
+
+    @property
+    def kernel(self) -> "CompiledKernel":
+        if self._compiled is None:
+            from repro.exec import compile_kernel
+            self._compiled = compile_kernel(self.query,
+                                            columnar=self.columnar)
+        return self._compiled
+
+    def execute(self, db: Database) -> object:
+        return self.kernel.run(db)
+
+    def explain(self) -> str:
+        mode = "columnar" if self.columnar else "plain"
+        body = "\n".join("  " + line
+                         for line in self.kernel.explain().splitlines())
+        return f"Codegen[{mode}]\n{body}"
+
+    def cost_estimate(self, db: Database,
+                      model: CostModel | None = None) -> float:
+        return (model or CostModel()).estimate(self.query, db)
+
+
+@dataclass
 class JoinNestPlan(PhysicalPlan):
     """Specialized execution of the untangled nest-of-join shape."""
 

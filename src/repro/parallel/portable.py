@@ -9,13 +9,14 @@ side's intern tables.  The parent rehydrates with
 :func:`decode_result`: terms re-intern through
 :func:`~repro.core.terms.from_portable`, derivation steps resolve their
 rules by name against the parent's rulebase, and plans rebuild from a
-tagged payload (``interpret`` / ``joinnest`` / ``fused``; anything else
-is tagged ``replan`` and the caller re-derives it from the decoded
-terms — plan choice is deterministic, so that reproduces the worker's
-plan).  ``fused`` payloads carry only the query term plus the columnar
-flag: lowering, fusion and emission are deterministic, so the receiver
-recompiles the identical executable pipeline — compiled closures never
-cross the wire.
+tagged payload (``interpret`` / ``joinnest`` / ``fused`` /
+``codegen``; anything else is tagged ``replan`` and the caller
+re-derives it from the decoded terms — plan choice is deterministic,
+so that reproduces the worker's plan).  ``fused`` and ``codegen``
+payloads carry only the query term plus the columnar flag: lowering,
+fusion and emission (or source generation and ``compile()``) are
+deterministic, so the receiver recompiles the identical executable —
+compiled closures and kernel code objects never cross the wire.
 """
 
 from __future__ import annotations
@@ -25,8 +26,9 @@ from dataclasses import asdict
 from repro.core.errors import PortableTermError
 from repro.core.terms import Term, from_portable
 from repro.optimizer.optimizer import OptimizedQuery
-from repro.optimizer.physical import (FusedPlan, InterpretPlan,
-                                      JoinNestPlan, PhysicalPlan)
+from repro.optimizer.physical import (CodegenPlan, FusedPlan,
+                                      InterpretPlan, JoinNestPlan,
+                                      PhysicalPlan)
 from repro.rewrite.rulebase import RuleBase
 from repro.rewrite.trace import Derivation
 from repro.saturate.driver import SaturationReport
@@ -50,6 +52,12 @@ def encode_plan(plan: PhysicalPlan) -> tuple:
         # identical pipeline from the re-interned term.
         return ("fused", {"query": plan.query.to_portable(),
                           "columnar": plan.columnar})
+    if isinstance(plan, CodegenPlan):
+        # Same contract as fused: source generation and compile() are
+        # deterministic, so only the term and the columnar flag ship —
+        # the receiver recompiles the identical kernel.
+        return ("codegen", {"query": plan.query.to_portable(),
+                            "columnar": plan.columnar})
     if isinstance(plan, JoinNestPlan):
         eq_keys = (None if plan.eq_keys is None
                    else (plan.eq_keys[0].to_portable(),
@@ -76,6 +84,9 @@ def decode_plan(payload: tuple) -> PhysicalPlan | None:
     if tag == "fused":
         return FusedPlan(query=from_portable(body["query"]),
                          columnar=body["columnar"])
+    if tag == "codegen":
+        return CodegenPlan(query=from_portable(body["query"]),
+                           columnar=body["columnar"])
     if tag == "joinnest":
         eq_keys = (None if body["eq_keys"] is None
                    else (from_portable(body["eq_keys"][0]),

@@ -87,7 +87,12 @@ def worker_main(worker_id: int, task_queue, result_queue,
 
 
 def worker_stats(optimizer, processed: int) -> dict:
-    """The per-worker stats blob merged into the batch report."""
+    """The per-worker stats blob merged into the batch report.
+
+    ``plan_cache`` carries the nested ``"param"`` and ``"kernel"``
+    dicts (skeleton-plan and codegen-kernel traffic) alongside the
+    flat counters; the batch merge sums the flat counters and keeps
+    the nested detail per worker."""
     return {
         "processed": processed,
         "plan_cache": optimizer.plan_cache_info(),

@@ -185,6 +185,16 @@ class Database:
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         self._collections: dict[str, frozenset] = {}
+        self._attr_names: dict[str, frozenset] = {}
+
+    def _attrs_of(self, adt_name: str) -> frozenset:
+        """The attribute-name set of an ADT, cached per database so the
+        per-element ``apply_prim`` hot path is two dict probes."""
+        names = self._attr_names.get(adt_name)
+        if names is None:
+            names = frozenset(self.schema.adt(adt_name).attribute_names())
+            self._attr_names[adt_name] = names
+        return names
 
     def set_collection(self, name: str, items: Iterable[object]) -> None:
         """Populate a declared collection."""
@@ -205,8 +215,7 @@ class Database:
     def apply_prim(self, name: str, value: object) -> object:
         """Apply primitive function ``name`` to ``value``."""
         if isinstance(value, Instance):
-            adt = self.schema.adt(value.adt)
-            if name in adt.attribute_names():
+            if name in self._attrs_of(value.adt):
                 return value.get(name)
         fn = self.schema.computed_function(name)
         if fn is not None:

@@ -5,7 +5,8 @@ Two sources of queries:
 
 * Hypothesis draws from :func:`repro.fuzz.strategies.kola_queries` —
   the same grammar-directed generator the fuzz oracle replays, run
-  against both the generator-closure path and the columnar fast path;
+  against the generator-closure path, the columnar fast path, and the
+  codegen source-kernel backend (plain and columnar-spliced);
 * every anchor in ``tests/corpus/`` — the regression corpus of
   queries that once exposed a divergence anywhere in the stack.
 
@@ -20,7 +21,7 @@ from hypothesis import given, settings
 
 from repro.core.errors import EvalError
 from repro.core.eval import eval_obj
-from repro.exec import compile_executable
+from repro.exec import compile_executable, compile_kernel
 from repro.fuzz.corpus import load_all
 from repro.fuzz.strategies import kola_queries
 from repro.schema.generator import tiny_database
@@ -47,16 +48,27 @@ def _fused(query, columnar):
         return "error", type(err)
 
 
-def _assert_agrees(query, columnar):
+def _codegen(query, columnar):
+    try:
+        return "ok", compile_kernel(query, columnar=columnar).run(DB)
+    except EvalError as err:
+        return "error", type(err)
+
+
+def _assert_agrees(query, columnar, run=_fused, label="fused"):
     expected_outcome, expected = _direct(query)
-    outcome, got = _fused(query, columnar)
+    outcome, got = run(query, columnar)
     assert outcome == expected_outcome, (
         f"outcome diverged on {query!r}: direct={expected_outcome} "
-        f"fused={outcome} ({got!r})")
+        f"{label}={outcome} ({got!r})")
     if expected_outcome == "ok":
         assert _identical(got, expected), (
             f"value diverged on {query!r}: direct={expected!r} "
-            f"fused={got!r}")
+            f"{label}={got!r}")
+
+
+def _assert_codegen_agrees(query, columnar):
+    _assert_agrees(query, columnar, run=_codegen, label="codegen")
 
 
 class TestGeneratedQueries:
@@ -69,6 +81,16 @@ class TestGeneratedQueries:
     @given(query=kola_queries())
     def test_columnar_matches_eval(self, query):
         _assert_agrees(query, columnar=True)
+
+    @settings(max_examples=150, deadline=None)
+    @given(query=kola_queries())
+    def test_codegen_matches_eval(self, query):
+        _assert_codegen_agrees(query, columnar=False)
+
+    @settings(max_examples=150, deadline=None)
+    @given(query=kola_queries())
+    def test_codegen_columnar_matches_eval(self, query):
+        _assert_codegen_agrees(query, columnar=True)
 
 
 def _corpus_anchors():
@@ -85,3 +107,9 @@ class TestCorpusAnchors:
 
     def test_columnar_matches_eval(self, anchor):
         _assert_agrees(anchor.term(), columnar=True)
+
+    def test_codegen_matches_eval(self, anchor):
+        _assert_codegen_agrees(anchor.term(), columnar=False)
+
+    def test_codegen_columnar_matches_eval(self, anchor):
+        _assert_codegen_agrees(anchor.term(), columnar=True)
