@@ -178,6 +178,52 @@ def _build_parser() -> argparse.ArgumentParser:
     decompile_cmd = sub.add_parser(
         "decompile", help="show a KOLA query in lambda notation")
     decompile_cmd.add_argument("query")
+
+    serve_cmd = sub.add_parser(
+        "serve", help="run the plan-serving daemon "
+                      "(TCP and/or unix socket)")
+    serve_cmd.add_argument("--host", default=None,
+                           help="TCP listen host (default 127.0.0.1 "
+                                "unless --unix-socket is given)")
+    serve_cmd.add_argument("--port", type=int, default=None,
+                           help="TCP listen port (0 picks a free one)")
+    serve_cmd.add_argument("--unix-socket", default=None,
+                           help="unix socket path to listen on")
+    serve_cmd.add_argument("--workers", type=int, default=None,
+                           help="worker pool size")
+    serve_cmd.add_argument("--backend", choices=("process", "thread"),
+                           default="process")
+    serve_cmd.add_argument("--search", choices=("greedy", "saturate"),
+                           default="greedy")
+    serve_cmd.add_argument("--queue-depth", type=int, default=None,
+                           help="per-worker in-flight bound")
+    serve_cmd.add_argument("--max-inflight", type=int, default=None,
+                           help="global admission bound (shed beyond)")
+    serve_cmd.add_argument("--recycle-after", type=int, default=None,
+                           help="recycle a worker after serving N "
+                                "requests")
+    serve_cmd.add_argument("--stats-interval", type=float, default=None,
+                           help="log a stats summary every N seconds")
+    serve_cmd.add_argument("--persons", type=int, default=40)
+    serve_cmd.add_argument("--vehicles", type=int, default=25)
+    serve_cmd.add_argument("--seed", type=int, default=2026)
+
+    client_cmd = sub.add_parser(
+        "client", help="one-shot request against a serving daemon")
+    client_cmd.add_argument("query", nargs="?",
+                            help="OQL text (KOLA with --kola); omit "
+                                 "with --ping/--stats")
+    client_cmd.add_argument("--kola", action="store_true",
+                            help="the query is KOLA text, not OQL")
+    client_cmd.add_argument("--host", default=None)
+    client_cmd.add_argument("--port", type=int, default=None)
+    client_cmd.add_argument("--unix-socket", default=None)
+    client_cmd.add_argument("--ping", action="store_true")
+    client_cmd.add_argument("--stats", action="store_true")
+    client_cmd.add_argument("--search",
+                            choices=("greedy", "saturate"), default=None)
+    client_cmd.add_argument("--shed-retries", type=int, default=3,
+                            help="retries after load-shed responses")
     return parser
 
 
@@ -411,6 +457,95 @@ def cmd_decompile(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from repro.serve import PlanServer
+    from repro.serve.daemon import DEFAULT_PORT
+
+    host, port = args.host, args.port
+    if host is None and args.unix_socket is None:
+        host = "127.0.0.1"
+    if host is not None and port is None:
+        port = DEFAULT_PORT
+    db = _database(args)
+    server = PlanServer(db, workers=args.workers, search=args.search,
+                        backend=args.backend, host=host, port=port,
+                        unix_path=args.unix_socket,
+                        max_inflight=args.max_inflight,
+                        recycle_after=args.recycle_after,
+                        **({"queue_depth": args.queue_depth}
+                           if args.queue_depth is not None else {}))
+
+    async def _run() -> None:
+        await server.start()
+        where = []
+        if host is not None:
+            where.append(f"tcp {host}:{server.tcp_port}")
+        if args.unix_socket is not None:
+            where.append(f"unix {args.unix_socket}")
+        print(f"[serve] listening on {' and '.join(where)} — "
+              f"{server.pool.workers} {server.pool.backend} worker(s), "
+              f"search={server.search}", flush=True)
+        logger = None
+        if args.stats_interval:
+            logger = asyncio.ensure_future(
+                server.log_stats_forever(args.stats_interval))
+        try:
+            await server.serve_forever()
+        finally:
+            if logger is not None:
+                logger.cancel()
+            await server.stop()
+
+    try:
+        asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\n[serve] shutting down")
+    return 0
+
+
+def cmd_client(args) -> int:
+    from repro.serve import ServeClient, snapshot_summary
+    from repro.serve.daemon import DEFAULT_PORT
+
+    host, port = args.host, args.port
+    if args.unix_socket is not None:
+        host = port = None  # the unix socket wins when both are given
+    elif host is None:
+        host = "127.0.0.1"
+    if host is not None and port is None:
+        port = DEFAULT_PORT
+    with ServeClient(host=host, port=port,
+                     unix_path=args.unix_socket) as client:
+        if args.ping:
+            print(f"pong in {client.ping() * 1000:.2f}ms")
+            return 0
+        if args.stats:
+            stats = client.stats()
+            print(snapshot_summary(stats))
+            server = stats.get("server", {})
+            if server:
+                print(f"served {server.get('served', 0)}, "
+                      f"shed {server.get('shed', 0)}, "
+                      f"errors {server.get('errors', 0)}, "
+                      f"recycles {server.get('recycles', 0)}, "
+                      f"inflight {server.get('inflight', 0)}, "
+                      f"uptime {server.get('uptime_s', 0.0):.1f}s")
+            return 0
+        if args.query is None:
+            print("error: client needs a query, --ping or --stats",
+                  file=sys.stderr)
+            return 2
+        served = client.optimize(args.query, kola=args.kola,
+                                 search=args.search,
+                                 shed_retries=args.shed_retries)
+        print(served.result.explain())
+        print(f"[served by worker {served.worker}, "
+              f"{served.elapsed_ms:.2f}ms server-side]")
+    return 0
+
+
 _COMMANDS = {
     "eval": cmd_eval,
     "optimize": cmd_optimize,
@@ -423,6 +558,8 @@ _COMMANDS = {
     "rules": cmd_rules,
     "verify-pool": cmd_verify_pool,
     "decompile": cmd_decompile,
+    "serve": cmd_serve,
+    "client": cmd_client,
 }
 
 

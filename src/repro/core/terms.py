@@ -515,6 +515,10 @@ def from_portable(payload: object) -> Term:
     """
     memo = _DECODE_MEMO
     try:
+        # Hash explicitly: dict.pop on an *empty* dict never hashes
+        # the key, which would let an unhashable list-form payload
+        # slip through to the memo insert below.
+        hash(payload)
         cached = memo.pop(payload, None)
     except TypeError:  # unhashable (list-form) payload: decode fully
         cached = None

@@ -166,6 +166,10 @@ class BatchOptimizer:
         self._result_queue = None
         self._local: Optimizer | None = None
         self._rulebase = standard_rulebase()
+        #: Replies drained during :meth:`close` for chunks that were
+        #: still in flight when shutdown started: ``index -> (worker_id,
+        #: outcome)``.  Nothing a worker finished is silently dropped.
+        self.late_replies: dict[int, tuple[int, object]] = {}
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -252,7 +256,18 @@ class BatchOptimizer:
         return True
 
     def close(self) -> None:
-        """Shut the pool down (idempotent; in-process state is kept)."""
+        """Shut the pool down (idempotent; in-process state is kept).
+
+        In-flight chunks are drained first: each live worker gets a
+        stats barrier (its task queue is FIFO, so the barrier's answer
+        proves every chunk queued before ``close`` was processed), and
+        late ``("results", ...)`` replies read during the drain are
+        kept in :attr:`late_replies` rather than thrown away with the
+        result queue — a close racing a late chunked reply previously
+        dropped those results on the floor.
+        """
+        if self._procs:
+            self._drain_before_close()
         for task_queue in self._task_queues:
             try:
                 task_queue.put(None)
@@ -268,6 +283,32 @@ class BatchOptimizer:
         self._task_queues = []
         self._result_queue = None
         self.mode = "in-process"
+
+    def _drain_before_close(self, timeout: float = 10.0) -> None:
+        """Barrier-drain the pool so shutdown cannot outrun replies."""
+        barriers: set[int] = set()
+        for worker_id, task_queue in enumerate(self._task_queues):
+            if self._procs[worker_id].is_alive():
+                try:
+                    task_queue.put(("stats", None))
+                    barriers.add(worker_id)
+                except Exception:
+                    pass
+        deadline = time.monotonic() + timeout
+        while barriers and time.monotonic() < deadline:
+            try:
+                message = self._result_queue.get(timeout=0.1)
+            except queue_module.Empty:
+                for worker_id in list(barriers):
+                    if not self._procs[worker_id].is_alive():
+                        barriers.discard(worker_id)
+                continue
+            if message[0] == "results":
+                _, worker_id, items = message
+                for index, outcome in items:
+                    self.late_replies[index] = (worker_id, outcome)
+            elif message[0] == "stats":
+                barriers.discard(message[1])
 
     # -- batch runs ---------------------------------------------------------
 

@@ -1,0 +1,36 @@
+"""Plan serving: a long-lived asyncio daemon over the worker pool.
+
+The serving stack, bottom-up:
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames over TCP
+  or a unix socket; queries in OQL/KOLA text or the portable term
+  wire form.
+* :mod:`repro.serve.pool` — :class:`ServingPool`: request-pipelined
+  dispatch into persistent optimizer workers with skeleton
+  shard-affinity, bounded per-worker queues, dead-worker resubmission
+  and graceful zero-drop recycling.
+* :mod:`repro.serve.daemon` — :class:`PlanServer`: the asyncio
+  front-end with admission control/load-shedding, out-of-order
+  response streaming, and the ``stats`` endpoint.
+* :mod:`repro.serve.client` — blocking and asyncio clients.
+* :mod:`repro.serve.stats` — :func:`stats_snapshot`, the single
+  aggregation path for per-worker counters (daemon endpoint,
+  benchmark, CLI logging, and tests all share it).
+
+See ``docs/serving.md`` for the protocol and deployment knobs.
+"""
+
+from repro.serve.client import AsyncServeClient, ServeClient, ServeResult
+from repro.serve.daemon import PlanServer
+from repro.serve.pool import (PoolClosedError, ServingPool,
+                              WorkerSaturatedError)
+from repro.serve.protocol import (FrameError, ServeError, ShedError,
+                                  MAX_FRAME)
+from repro.serve.stats import snapshot_summary, stats_snapshot
+
+__all__ = [
+    "AsyncServeClient", "FrameError", "MAX_FRAME", "PlanServer",
+    "PoolClosedError", "ServeClient", "ServeError", "ServeResult",
+    "ServingPool", "ShedError", "WorkerSaturatedError",
+    "snapshot_summary", "stats_snapshot",
+]

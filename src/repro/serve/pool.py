@@ -1,0 +1,585 @@
+"""The daemon's persistent worker pool: pipelined per-request dispatch.
+
+:class:`ServingPool` reuses the PR 4 batch worker loop
+(:func:`repro.parallel.worker.worker_main`) unchanged — same task
+protocol, same portable wire form, same persistent per-worker
+:class:`~repro.optimizer.optimizer.Optimizer` — but drives it
+*request-at-a-time* instead of batch-at-a-time:
+
+* **Shard-affinity routing** (:func:`repro.parallel.batch.route_of`
+  over the constant-abstracted skeleton) pins every member of a query
+  family to one worker, so serving traffic lands on the worker whose
+  parameterized plan cache, warm e-graph and codegen kernels already
+  hold the family (PRs 7–8).
+
+* **Coalesced dispatch.**  Submissions append to a per-worker buffer;
+  a flusher thread ships whatever accumulated since its last pass as
+  *one* task-queue message.  At low load that degenerates to one
+  request per message; under load it amortizes queue IPC exactly like
+  the batch layer's chunking — without holding requests back on a
+  timer.
+
+* **Bounded per-worker queues.**  A submit that would push a worker's
+  in-flight count past ``queue_depth`` raises
+  :class:`WorkerSaturatedError`; the daemon turns that into a
+  load-shed response.  Affinity means an overloaded worker's traffic
+  cannot be rerouted without abandoning its warm caches, so the
+  correct backpressure is *shed*, not *spill*.
+
+* **Zero-drop lifecycle.**  Every in-flight request is tracked by
+  serial with its payload.  A worker that dies is replaced in its slot
+  and its pending requests are resubmitted (extending PR 4's
+  dead-worker reclaim).  :meth:`recycle` spawns and *warms* a
+  replacement before the old worker stops receiving traffic, then
+  drains and retires it — no request is dropped or errored by a
+  recycle.  :meth:`close` drains all in-flight work before sending
+  shutdown sentinels.
+
+The pool is backend-agnostic: ``backend="process"`` spawns real worker
+processes (the serving default — real parallelism and isolation);
+``backend="thread"`` runs the identical worker loop in daemon threads
+(no spawn cost; used by tests and single-core deployments where the
+pool exists for cache sharding, not CPU parallelism).
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import threading
+import time
+
+from repro.core.errors import KolaError
+from repro.core.terms import Term, abstract_constants
+from repro.parallel.batch import route_of
+from repro.parallel.worker import worker_main
+
+#: Default bound on one worker's in-flight requests.
+DEFAULT_QUEUE_DEPTH = 64
+
+#: Result-queue poll interval (also the dead-worker detection cadence).
+POLL_INTERVAL = 0.2
+
+#: How long :meth:`ServingPool.close`/:meth:`recycle` wait for
+#: in-flight work to drain before giving up on a worker.
+DRAIN_TIMEOUT = 30.0
+
+#: Consecutive crash-respawns tolerated per slot before the pool stops
+#: replacing that slot's worker (a worker that dies before ever
+#: replying is crash-looping — e.g. an unimportable ``__main__`` under
+#: the spawn start method — and respawning it forever helps nobody).
+MAX_RESPAWNS = 3
+
+BACKENDS = ("process", "thread")
+
+
+class PoolClosedError(KolaError):
+    """Submit after :meth:`ServingPool.close` started."""
+
+
+class WorkerSaturatedError(KolaError):
+    """The routed worker's in-flight queue is full (backpressure)."""
+
+    def __init__(self, message: str, worker_id: int, depth: int) -> None:
+        super().__init__(message)
+        self.worker_id = worker_id
+        self.depth = depth
+
+
+class _Worker:
+    """One live worker: its queue, runner, and in-flight bookkeeping."""
+
+    __slots__ = ("id", "slot", "queue", "runner", "pending", "draining",
+                 "retired", "processed")
+
+    def __init__(self, worker_id: int, slot: int, task_queue,
+                 runner) -> None:
+        self.id = worker_id
+        self.slot = slot
+        self.queue = task_queue
+        self.runner = runner            # Process or Thread
+        self.pending: dict[int, object] = {}   # serial -> payload
+        self.draining = False
+        self.retired = False            # deliberate shutdown in progress
+        self.processed = 0
+
+    def is_alive(self) -> bool:
+        return self.runner.is_alive()
+
+
+class ServingPool:
+    """A slot-addressed worker pool with request-level dispatch.
+
+    Args:
+        db: database shipped to each worker for cost-based planning.
+        workers: slot count (each slot holds one live worker).
+        search: ``"greedy"`` or ``"saturate"`` (fixed per pool — the
+            workers' optimizers are built for one mode).
+        budget: saturation budget for saturate-mode workers.
+        abstract_cache: parameterized-cache level on workers, and
+            skeleton (vs exact) routing.
+        backend: ``"process"`` (spawn) or ``"thread"``.
+        queue_depth: per-worker in-flight bound (``None`` = unbounded).
+        on_reply: ``callback(serial, worker_id, outcome)`` invoked from
+            the pump thread for every completed request; ``outcome`` is
+            the worker protocol's ``("ok", encoded)`` or
+            ``("err", message, traceback)``.
+    """
+
+    def __init__(self, db=None, *, workers: int = 4,
+                 search: str = "greedy", budget=None,
+                 abstract_cache: bool = True, backend: str = "process",
+                 queue_depth: int | None = DEFAULT_QUEUE_DEPTH,
+                 on_reply=None) -> None:
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown pool backend {backend!r}; "
+                             f"expected one of {BACKENDS}")
+        if workers < 1:
+            raise ValueError("ServingPool needs at least one worker")
+        self.db = db
+        self.workers = workers
+        self.search = search
+        self.budget = budget
+        self.abstract_cache = abstract_cache
+        self.backend = backend
+        self.queue_depth = queue_depth
+        self.on_reply = on_reply
+
+        self._lock = threading.RLock()
+        self._slots: list[_Worker | None] = [None] * workers
+        self._slot_failures = [0] * workers    # consecutive respawns
+        self._by_id: dict[int, _Worker] = {}
+        self._next_id = 0
+        self._pending: dict[int, _Worker] = {}     # serial -> worker
+        self._result_queue = None
+        self._mp_context = None
+        self._pump: threading.Thread | None = None
+        self._flusher: threading.Thread | None = None
+        self._flush_cond = threading.Condition()
+        self._buffers: dict[int, list] = {}        # worker id -> items
+        self._stats_waiters: dict[int, list] = {}  # worker id -> waiters
+        self._closing = False
+        self._started = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "ServingPool":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def start(self) -> None:
+        """Spawn one worker per slot and start the pump/flusher."""
+        with self._lock:
+            if self._started:
+                return
+            if self.backend == "process":
+                import multiprocessing
+                self._mp_context = multiprocessing.get_context("spawn")
+                self._result_queue = self._mp_context.Queue()
+            else:
+                self._result_queue = queue_module.Queue()
+            self._started = True
+        for slot in range(self.workers):
+            worker = self._spawn(slot)
+            with self._lock:
+                self._slots[slot] = worker
+        self._pump = threading.Thread(target=self._pump_loop,
+                                      name="serve-pool-pump", daemon=True)
+        self._pump.start()
+        self._flusher = threading.Thread(target=self._flush_loop,
+                                         name="serve-pool-flush",
+                                         daemon=True)
+        self._flusher.start()
+
+    def _spawn(self, slot: int) -> _Worker:
+        """Start a new worker for ``slot`` (registered, not routed)."""
+        with self._lock:
+            worker_id = self._next_id
+            self._next_id += 1
+        args = (worker_id, None, self._result_queue, self.db,
+                self.search, self.budget, self.abstract_cache)
+        if self.backend == "process":
+            task_queue = self._mp_context.Queue()
+            runner = self._mp_context.Process(
+                target=worker_main,
+                args=(worker_id, task_queue) + args[2:], daemon=True)
+        else:
+            task_queue = queue_module.Queue()
+            runner = threading.Thread(
+                target=worker_main,
+                args=(worker_id, task_queue) + args[2:],
+                name=f"serve-worker-{worker_id}", daemon=True)
+        worker = _Worker(worker_id, slot, task_queue, runner)
+        with self._lock:
+            self._by_id[worker_id] = worker
+        with self._flush_cond:
+            self._buffers[worker_id] = []
+        runner.start()
+        return worker
+
+    def warmup(self, timeout: float = 60.0) -> bool:
+        """Block until every slot's worker answers a stats round-trip
+        (imports done, rulebase compiled).  ``True`` when all did."""
+        infos = self.request_stats(timeout=timeout)
+        return len(infos) == self.workers
+
+    # -- routing and dispatch -----------------------------------------------
+
+    def route_key(self, term: Term) -> tuple:
+        """The payload this pool routes ``term`` by: its
+        constant-abstracted skeleton when the parameterized cache level
+        is on (family affinity), else the exact term."""
+        if self.abstract_cache:
+            return abstract_constants(term)[0].to_portable()
+        return term.to_portable()
+
+    def slot_for(self, term: Term) -> int:
+        return route_of(self.route_key(term), self.workers)
+
+    def submit(self, serial: int, payload, *, slot: int | None = None,
+               term: Term | None = None) -> int:
+        """Queue one request; returns the worker id it was routed to.
+
+        ``payload`` is the portable term payload shipped to the worker;
+        routing uses ``slot`` when given, else ``term``'s skeleton.
+
+        Raises:
+            PoolClosedError: the pool is shutting down, or the routed
+                slot's worker crash-looped past :data:`MAX_RESPAWNS`.
+            WorkerSaturatedError: the routed worker is at
+                ``queue_depth`` in-flight requests.
+        """
+        if slot is None:
+            if term is None:
+                raise ValueError("submit needs a slot or a term to route")
+            slot = self.slot_for(term)
+        with self._lock:
+            if self._closing or not self._started:
+                raise PoolClosedError("serving pool is not accepting work")
+            worker = self._slots[slot]
+            if worker is None:
+                raise PoolClosedError(
+                    f"worker slot {slot} is unavailable (its worker "
+                    f"crashed {MAX_RESPAWNS + 1} times in a row)")
+            if (self.queue_depth is not None
+                    and len(worker.pending) >= self.queue_depth):
+                raise WorkerSaturatedError(
+                    f"worker {worker.id} has {len(worker.pending)} "
+                    f"requests in flight (bound {self.queue_depth})",
+                    worker.id, len(worker.pending))
+            worker.pending[serial] = payload
+            self._pending[serial] = worker
+        with self._flush_cond:
+            self._buffers[worker.id].append((serial, payload))
+            self._flush_cond.notify()
+        return worker.id
+
+    def inflight(self) -> int:
+        """Requests submitted but not yet replied."""
+        with self._lock:
+            return len(self._pending)
+
+    def slot_of_worker(self, worker_id: int) -> int | None:
+        """The slot ``worker_id`` currently owns (``None`` when it is
+        draining or gone)."""
+        with self._lock:
+            worker = self._by_id.get(worker_id)
+            if worker is None or worker.draining:
+                return None
+            return worker.slot
+
+    def worker_ids(self) -> list[int]:
+        """Current slot owners, by slot."""
+        with self._lock:
+            return [worker.id for worker in self._slots
+                    if worker is not None]
+
+    # -- the flusher --------------------------------------------------------
+
+    def _flush_loop(self) -> None:
+        while True:
+            with self._flush_cond:
+                while (not self._closing
+                       and not any(self._buffers.values())):
+                    self._flush_cond.wait(timeout=POLL_INTERVAL)
+                if self._closing and not any(self._buffers.values()):
+                    return
+                grabbed = [(worker_id, items) for worker_id, items
+                           in self._buffers.items() if items]
+                for worker_id, _ in grabbed:
+                    self._buffers[worker_id] = []
+            for worker_id, items in grabbed:
+                with self._lock:
+                    worker = self._by_id.get(worker_id)
+                if worker is not None:
+                    worker.queue.put(("chunk", items))
+
+    def _flush_worker(self, worker: _Worker) -> None:
+        """Synchronously flush ``worker``'s buffer (ordering barrier:
+        anything queued before this call reaches the worker before
+        anything put directly on its queue after it)."""
+        with self._flush_cond:
+            items = self._buffers.get(worker.id) or []
+            if items:
+                self._buffers[worker.id] = []
+        if items:
+            worker.queue.put(("chunk", items))
+
+    # -- the result pump ----------------------------------------------------
+
+    def _pump_loop(self) -> None:
+        last_reap = time.monotonic()
+        while True:
+            try:
+                message = self._result_queue.get(timeout=POLL_INTERVAL)
+            except queue_module.Empty:
+                if self._closing and not self._pending:
+                    return
+                self._reap_dead_workers()
+                last_reap = time.monotonic()
+                continue
+            if time.monotonic() - last_reap > POLL_INTERVAL:
+                # A busy queue must not starve dead-worker detection.
+                self._reap_dead_workers()
+                last_reap = time.monotonic()
+            kind = message[0]
+            if kind == "results":
+                _, worker_id, items = message
+                deliveries = []
+                with self._lock:
+                    worker = self._by_id.get(worker_id)
+                    if (worker is not None
+                            and self._slots[worker.slot] is worker):
+                        # A reply proves the slot's worker is healthy.
+                        self._slot_failures[worker.slot] = 0
+                    for serial, outcome in items:
+                        # The serial may by now be pending on a
+                        # *replacement* worker (resubmitted after its
+                        # original was presumed dead): clear the books
+                        # on whichever worker owns it, and drop the
+                        # duplicate reply if one already landed.
+                        owner = self._pending.pop(serial, None)
+                        if owner is None:
+                            continue
+                        owner.pending.pop(serial, None)
+                        (worker or owner).processed += 1
+                        deliveries.append((serial, outcome))
+                if self.on_reply is not None:
+                    for serial, outcome in deliveries:
+                        self.on_reply(serial, worker_id, outcome)
+            elif kind == "stats":
+                _, worker_id, info = message
+                with self._lock:
+                    worker = self._by_id.get(worker_id)
+                    if (worker is not None
+                            and self._slots[worker.slot] is worker):
+                        self._slot_failures[worker.slot] = 0
+                    waiters = self._stats_waiters.pop(worker_id, [])
+                for event, holder in waiters:
+                    holder[worker_id] = info
+                    event.set()
+
+    def _reap_dead_workers(self) -> None:
+        """Replace dead workers and resubmit their in-flight requests
+        (nothing is dropped; plan choice is deterministic, so a
+        resubmitted request returns the same result)."""
+        with self._lock:
+            dead = [worker for worker in self._by_id.values()
+                    if not worker.retired and not worker.is_alive()
+                    and (worker.pending
+                         or self._slots[worker.slot] is worker)]
+        for worker in dead:
+            with self._lock:
+                if worker.retired or worker.is_alive():
+                    continue
+                worker.retired = True
+                orphans = list(worker.pending.items())
+                worker.pending.clear()
+                owns_slot = self._slots[worker.slot] is worker
+                self._by_id.pop(worker.id, None)
+                waiters = self._stats_waiters.pop(worker.id, [])
+            with self._flush_cond:
+                # Anything still buffered for the dead worker was
+                # never shipped; it is in ``orphans`` via pending.
+                self._buffers.pop(worker.id, None)
+            for event, _holder in waiters:
+                event.set()  # waiter sees no entry for this worker
+            if owns_slot:
+                with self._lock:
+                    self._slot_failures[worker.slot] += 1
+                    failures = self._slot_failures[worker.slot]
+                if failures > MAX_RESPAWNS:
+                    # Crash loop: stop replacing this slot.  Fail its
+                    # orphans instead of bouncing them forever; new
+                    # submits to the slot raise PoolClosedError.
+                    with self._lock:
+                        self._slots[worker.slot] = None
+                        for serial, _payload in orphans:
+                            self._pending.pop(serial, None)
+                    if self.on_reply is not None:
+                        message = (f"worker slot {worker.slot} crashed "
+                                   f"{failures} times in a row; giving "
+                                   f"up on this slot")
+                        for serial, _payload in orphans:
+                            self.on_reply(serial, worker.id,
+                                          ("err", message, ""))
+                    continue
+                replacement = self._spawn(worker.slot)
+                with self._lock:
+                    self._slots[worker.slot] = replacement
+            with self._lock:
+                target = self._slots[worker.slot]
+                if target is None:
+                    # The slot was already abandoned by a prior crash
+                    # loop; fail the orphans rather than drop them.
+                    for serial, _payload in orphans:
+                        self._pending.pop(serial, None)
+                    failed = list(orphans)
+                else:
+                    failed = []
+                    for serial, payload in orphans:
+                        target.pending[serial] = payload
+                        self._pending[serial] = target
+            if failed and self.on_reply is not None:
+                for serial, _payload in failed:
+                    self.on_reply(
+                        serial, worker.id,
+                        ("err", f"worker slot {worker.slot} is "
+                                f"unavailable", ""))
+            if orphans and target is not None:
+                target.queue.put(("chunk", orphans))
+
+    # -- stats --------------------------------------------------------------
+
+    def request_stats(self, timeout: float = 10.0) -> dict[int, dict]:
+        """One stats round-trip per live slot owner.
+
+        Returns ``{worker_id: info}`` for every worker that answered
+        within ``timeout`` (a worker that died mid-request is simply
+        absent).  The stats marker queues *behind* any buffered work,
+        so an answer also proves the worker drained everything
+        submitted before the call — the drain barrier recycling and
+        shutdown are built on.
+        """
+        with self._lock:
+            targets = [worker for worker in self._slots
+                       if worker is not None and worker.is_alive()]
+        event = threading.Event()
+        holder: dict[int, dict] = {}
+        expected = set()
+        for worker in targets:
+            with self._lock:
+                self._stats_waiters.setdefault(worker.id, []).append(
+                    (event, holder))
+            expected.add(worker.id)
+            self._flush_worker(worker)
+            worker.queue.put(("stats", None))
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if all(worker_id in holder or worker_id not in self._by_id
+                   for worker_id in expected):
+                break
+            event.wait(timeout=0.05)
+            event.clear()
+        with self._lock:
+            for worker_id in expected:
+                waiters = self._stats_waiters.get(worker_id)
+                if waiters:
+                    self._stats_waiters[worker_id] = [
+                        w for w in waiters if w[1] is not holder]
+        return holder
+
+    # -- recycling and shutdown ---------------------------------------------
+
+    def recycle(self, slot: int, timeout: float = DRAIN_TIMEOUT) -> int:
+        """Gracefully replace ``slot``'s worker; returns the new id.
+
+        Spawns and **warms** the replacement first (one stats
+        round-trip, so its interpreter/rulebase startup cost is paid
+        before it takes traffic), then atomically reroutes the slot,
+        drains the old worker's in-flight requests, and retires it.
+        Zero requests are dropped: in-flight replies keep flowing
+        through the pump during the drain, and if the old worker dies
+        mid-drain its remainder is resubmitted to the replacement.
+        """
+        replacement = self._spawn(slot)
+        self._await_stats(replacement, timeout)
+        with self._lock:
+            old = self._slots[slot]
+            self._slots[slot] = replacement
+            replacement.slot = slot
+            old.draining = True
+        self._retire(old, timeout)
+        return replacement.id
+
+    def _await_stats(self, worker: _Worker, timeout: float) -> None:
+        event = threading.Event()
+        holder: dict[int, dict] = {}
+        with self._lock:
+            self._stats_waiters.setdefault(worker.id, []).append(
+                (event, holder))
+        worker.queue.put(("stats", None))
+        deadline = time.monotonic() + timeout
+        while worker.id not in holder and time.monotonic() < deadline:
+            if not worker.is_alive():
+                break
+            event.wait(timeout=0.05)
+            event.clear()
+
+    def _retire(self, worker: _Worker, timeout: float) -> None:
+        """Drain ``worker``'s in-flight work, then shut it down."""
+        self._flush_worker(worker)
+        deadline = time.monotonic() + timeout
+        while worker.pending and time.monotonic() < deadline:
+            if not worker.is_alive():
+                # The pump's reaper resubmits its remainder.
+                break
+            time.sleep(0.005)
+        with self._lock:
+            worker.retired = True
+            self._by_id.pop(worker.id, None)
+        with self._flush_cond:
+            self._buffers.pop(worker.id, None)
+        try:
+            worker.queue.put(None)
+        except Exception:
+            pass
+        worker.runner.join(timeout=5)
+        if self.backend == "process" and worker.is_alive():
+            worker.runner.terminate()
+            worker.runner.join(timeout=1)
+
+    def close(self, timeout: float = DRAIN_TIMEOUT) -> None:
+        """Drain all in-flight requests, then shut every worker down.
+
+        Idempotent.  Replies arriving during the drain are delivered
+        through ``on_reply`` exactly like steady-state traffic, so a
+        close racing late requests drops nothing."""
+        with self._lock:
+            if not self._started:
+                return
+            self._closing = True
+        deadline = time.monotonic() + timeout
+        while self._pending and time.monotonic() < deadline:
+            time.sleep(0.01)
+        with self._lock:
+            workers = list(self._by_id.values())
+        for worker in workers:
+            self._retire(worker, timeout=max(
+                0.0, deadline - time.monotonic()))
+        with self._flush_cond:
+            self._flush_cond.notify_all()
+        if self._flusher is not None:
+            self._flusher.join(timeout=5)
+        if self._pump is not None:
+            self._pump.join(timeout=5)
+        with self._lock:
+            self._slots = [None] * self.workers
+            self._by_id.clear()
+            self._pending.clear()
+            self._started = False
+            self._pump = None
+            self._flusher = None
+            self._result_queue = None

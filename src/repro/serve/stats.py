@@ -1,0 +1,100 @@
+"""One code path for aggregating per-worker serving counters.
+
+Workers report the same stats blob everywhere
+(:func:`repro.parallel.worker.worker_stats`: plan cache with nested
+``param``/``kernel`` levels, normal-form cache, cost memo).
+:func:`stats_snapshot` merges a set of those blobs into one snapshot —
+used by the daemon's ``stats`` endpoint, the serving benchmark, the
+CLI's ``--stats-interval`` logging, and the tests, so the aggregation
+cannot drift between them.
+
+Flat counters merge through the batch layer's
+:func:`~repro.parallel.cache.merge_cache_info`; the nested levels'
+extra counters (``blocked``, ``warm_hits``, ``kernel_hits``, ...) are
+summed here, and the raw per-worker blobs ride along for drill-down.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.cache import merge_cache_info
+
+#: Parameterized-level counters beyond the flat cache quintet.
+_PARAM_EXTRA = ("blocked", "warm_hits", "warm_pool_size")
+
+#: Kernel-level counters beyond the flat cache quintet.
+_KERNEL_EXTRA = ("kernel_hits", "kernel_misses")
+
+
+def _sum_extra(infos: list[dict], keys: tuple[str, ...]) -> dict:
+    return {key: sum(info.get(key, 0) for info in infos)
+            for key in keys}
+
+
+def stats_snapshot(per_worker) -> dict:
+    """Aggregate per-worker stats blobs into one snapshot.
+
+    Args:
+        per_worker: worker stats blobs — a list of dicts, or the
+            ``{worker_id: info}`` mapping
+            :meth:`~repro.serve.pool.ServingPool.request_stats`
+            returns (worker ids are folded into each blob).
+
+    Returns:
+        A dict with ``workers`` (count), ``processed`` (total queries
+        served), merged ``plan_cache`` (flat counters plus merged
+        nested ``param`` and ``kernel`` levels), merged ``nf_cache``
+        and ``cost_cache``, and the raw ``per_worker`` list.
+    """
+    if isinstance(per_worker, dict):
+        infos = []
+        for worker_id in sorted(per_worker):
+            info = dict(per_worker[worker_id])
+            info.setdefault("worker", worker_id)
+            infos.append(info)
+    else:
+        infos = [dict(info) for info in per_worker]
+
+    plans = [info.get("plan_cache", {}) for info in infos]
+    plan_cache = merge_cache_info(plans)
+    params = [plan.get("param", {}) for plan in plans if "param" in plan]
+    if params:
+        param = merge_cache_info(params)
+        param.update(_sum_extra(params, _PARAM_EXTRA))
+        plan_cache["param"] = param
+    kernels = [plan.get("kernel", {}) for plan in plans
+               if "kernel" in plan]
+    if kernels:
+        kernel = merge_cache_info(kernels)
+        kernel.update(_sum_extra(kernels, _KERNEL_EXTRA))
+        plan_cache["kernel"] = kernel
+
+    return {
+        "workers": len(infos),
+        "processed": sum(info.get("processed", 0) for info in infos),
+        "plan_cache": plan_cache,
+        "nf_cache": merge_cache_info(
+            [info.get("nf_cache", {}) for info in infos]),
+        "cost_cache": merge_cache_info(
+            [info.get("cost_cache", {}) for info in infos]),
+        "per_worker": infos,
+    }
+
+
+def snapshot_summary(snapshot: dict) -> str:
+    """A one-line human summary of a :func:`stats_snapshot`."""
+    plan = snapshot["plan_cache"]
+    probes = plan.get("hits", 0) + plan.get("misses", 0)
+    line = (f"{snapshot['workers']} worker(s), "
+            f"{snapshot['processed']} served — plan cache "
+            f"{plan.get('hits', 0)}/{probes} hits, "
+            f"size {plan.get('size', 0)}")
+    param = plan.get("param")
+    if param:
+        sprobes = param.get("hits", 0) + param.get("misses", 0)
+        line += (f"; skeletons {param.get('hits', 0)}/{sprobes} hits, "
+                 f"{param.get('warm_hits', 0)} warm e-graph reuse(s)")
+    kernel = plan.get("kernel")
+    if kernel:
+        line += (f"; kernels {kernel.get('kernel_hits', 0)} hit(s) / "
+                 f"{kernel.get('kernel_misses', 0)} compile(s)")
+    return line

@@ -87,3 +87,59 @@ class TestRules:
         assert main(["rules"]) == 0
         out = capsys.readouterr().out
         assert "r11" in out
+
+
+class TestServeClient:
+    @pytest.fixture(scope="class")
+    def daemon_port(self):
+        import asyncio
+        import threading
+
+        from repro.schema.generator import tiny_database
+        from repro.serve import PlanServer
+
+        holder = {}
+        ready = threading.Event()
+
+        def run():
+            async def main_coro():
+                server = PlanServer(tiny_database(), workers=1,
+                                    backend="thread",
+                                    host="127.0.0.1", port=0)
+                await server.start()
+                holder["server"] = server
+                holder["loop"] = asyncio.get_running_loop()
+                ready.set()
+                await server.serve_forever()
+
+            asyncio.run(main_coro())
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=120)
+        yield holder["server"].tcp_port
+        asyncio.run_coroutine_threadsafe(
+            holder["server"].stop(), holder["loop"]).result(30)
+        thread.join(timeout=30)
+
+    def test_ping(self, daemon_port, capsys):
+        assert main(["client", "--ping", "--port",
+                     str(daemon_port)]) == 0
+        assert "pong" in capsys.readouterr().out
+
+    def test_optimize_roundtrip(self, daemon_port, capsys):
+        code = main(["client", "select p.age from p in P where "
+                     "p.age > 30", "--port", str(daemon_port)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimized query" in out and "served by worker" in out
+
+    def test_stats(self, daemon_port, capsys):
+        assert main(["client", "--stats", "--port",
+                     str(daemon_port)]) == 0
+        out = capsys.readouterr().out
+        assert "worker(s)" in out and "served" in out
+
+    def test_query_required(self, daemon_port, capsys):
+        assert main(["client", "--port", str(daemon_port)]) == 2
+        assert "needs a query" in capsys.readouterr().err
