@@ -19,6 +19,9 @@ Commands:
 ``prove``      search for an equational proof of ``lhs == rhs`` from the
                standard rule pool
 ``rules``      list the rule pool (optionally one group)
+``rulepack``   check, list or load declarative ``.kpack`` rule packs
+               through the three-stage admission gate
+               (see :mod:`repro.rulepacks`)
 
 Examples::
 
@@ -28,6 +31,8 @@ Examples::
     python -m repro.cli verify "iterate(\\$p, id) o iterate(\\$q, id)" \\
         "iterate(\\$q, id) o iterate(\\$p, id)"
     python -m repro.cli rules --group fig8
+    python -m repro.cli rulepack check --standard --report gate.json
+    python -m repro.cli rulepack check my-rules.kpack --trials 200
 """
 
 from __future__ import annotations
@@ -169,6 +174,53 @@ def _build_parser() -> argparse.ArgumentParser:
 
     rules_cmd = sub.add_parser("rules", help="list the rule pool")
     rules_cmd.add_argument("--group", default=None)
+
+    rulepack_cmd = sub.add_parser(
+        "rulepack",
+        help="check, list or load declarative .kpack rule packs")
+    rp_sub = rulepack_cmd.add_subparsers(dest="rulepack_command",
+                                         required=True)
+
+    def _pack_selection(command) -> None:
+        command.add_argument("packs", nargs="*", metavar="PACK",
+                             help=".kpack file(s)")
+        command.add_argument("--standard", action="store_true",
+                             help="include the shipped standard packs")
+
+    rp_check = rp_sub.add_parser(
+        "check", help="run the three-stage admission gate over packs")
+    _pack_selection(rp_check)
+    rp_check.add_argument("--trials", type=int, default=None,
+                          help="model-check trials per direction")
+    rp_check.add_argument("--seed", type=int, default=None,
+                          help="model-check base seed")
+    rp_check.add_argument("--oracle-queries", type=int, default=None,
+                          help="stage-3 generated sweep queries per rule")
+    rp_check.add_argument("--oracle-probes", type=int, default=None,
+                          help="stage-3 LHS-instantiated probe queries")
+    rp_check.add_argument("--report", default=None, metavar="PATH",
+                          help="write the machine-readable gate report "
+                               "(gate_report.json) here")
+    rp_check.add_argument("--verbose", action="store_true",
+                          help="show per-stage results for admitted "
+                               "rules too")
+
+    rp_list = rp_sub.add_parser(
+        "list", help="list packs, their rules and group blocks")
+    _pack_selection(rp_list)
+    rp_list.add_argument("--rules", action="store_true",
+                         help="also list each rule with its safety tag")
+
+    rp_load = rp_sub.add_parser(
+        "load", help="gate packs jointly, then load them into a fresh "
+                     "rulebase and summarize it")
+    _pack_selection(rp_load)
+    rp_load.add_argument("--trials", type=int, default=None)
+    rp_load.add_argument("--seed", type=int, default=None)
+    rp_load.add_argument("--oracle-queries", type=int, default=None)
+    rp_load.add_argument("--oracle-probes", type=int, default=None)
+    rp_load.add_argument("--no-verify", action="store_true",
+                         help="skip the admission gate (trusted packs)")
 
     pool_cmd = sub.add_parser("verify-pool",
                               help="model-check every rule in the pool")
@@ -438,6 +490,104 @@ def cmd_rules(args) -> int:
     return 0
 
 
+def _rulepack_sources(args):
+    """Resolve the selected packs (positional files and/or --standard)."""
+    from pathlib import Path
+
+    from repro.rulepacks import load_pack_file, standard_pack_paths
+    packs = []
+    if args.standard:
+        packs.extend(load_pack_file(path)
+                     for path in standard_pack_paths())
+    for path in args.packs:
+        packs.append(load_pack_file(Path(path)))
+    if not packs:
+        print("error: name at least one .kpack file or pass --standard",
+              file=sys.stderr)
+        return None
+    return packs
+
+
+def _gate_config(args):
+    from dataclasses import replace
+
+    from repro.rulepacks import GateConfig
+    overrides = {name: getattr(args, name)
+                 for name in ("trials", "seed", "oracle_queries",
+                              "oracle_probes")
+                 if getattr(args, name, None) is not None}
+    return replace(GateConfig(), **overrides)
+
+
+def cmd_rulepack(args) -> int:
+    handler = {"check": _rulepack_check, "list": _rulepack_list,
+               "load": _rulepack_load}[args.rulepack_command]
+    return handler(args)
+
+
+def _rulepack_check(args) -> int:
+    from pathlib import Path
+
+    from repro.rulepacks import AdmissionGate
+    packs = _rulepack_sources(args)
+    if packs is None:
+        return 2
+    gate = AdmissionGate(_gate_config(args))
+    report = gate.check(packs)
+    print(report.render(verbose=args.verbose))
+    if args.report:
+        Path(args.report).write_text(report.to_json_text())
+        print(f"wrote {args.report}")
+    return 0 if report.ok else 1
+
+
+def _rulepack_list(args) -> int:
+    packs = _rulepack_sources(args)
+    if packs is None:
+        return 2
+    for pack in packs:
+        line = f"pack {pack.name} v{pack.version}: {len(pack.rules)} rule(s)"
+        if pack.group_blocks:
+            line += f", {len(pack.group_blocks)} group block(s)"
+        if pack.description:
+            line += f" — {pack.description}"
+        print(line)
+        if args.rules:
+            for decl in pack.rules:
+                groups = (f"  [{', '.join(decl.groups)}]"
+                          if decl.groups else "")
+                guard = " (guarded)" if decl.preconditions else ""
+                print(f"  {decl.name}: {decl.safety}{guard}{groups}")
+        for group_name, names in pack.group_blocks:
+            print(f"  group {group_name}: {len(names)} member(s)")
+    return 0
+
+
+def _rulepack_load(args) -> int:
+    from repro.rewrite.rulebase import RuleBase
+    from repro.rulepacks import AdmissionGate
+    packs = _rulepack_sources(args)
+    if packs is None:
+        return 2
+    if not args.no_verify:
+        # Gate the whole selection jointly so cross-pack group blocks
+        # (e.g. the standard-groups pack) resolve during coherence
+        # checks; then apply without re-gating pack by pack.
+        gate = AdmissionGate(_gate_config(args))
+        report = gate.check(packs)
+        if not report.ok:
+            print(report.render())
+            return 1
+    base = RuleBase()
+    for pack in packs:
+        base.load_pack(pack, verify=False)
+    print(f"loaded {len(base)} rule(s) into "
+          f"{len(base.group_names())} group(s)")
+    for name in base.group_names():
+        print(f"  {name}: {len(base.group(name))} rule(s)")
+    return 0
+
+
 def cmd_verify_pool(args) -> int:
     from repro.larch.report import pool_report, render_report
     from repro.rules.registry import standard_rulebase
@@ -556,6 +706,7 @@ _COMMANDS = {
     "verify": cmd_verify,
     "prove": cmd_prove,
     "rules": cmd_rules,
+    "rulepack": cmd_rulepack,
     "verify-pool": cmd_verify_pool,
     "decompile": cmd_decompile,
     "serve": cmd_serve,

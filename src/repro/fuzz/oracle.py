@@ -381,19 +381,10 @@ def unguarded_rulebase(rule_name: str,
 
     from repro.rules.registry import standard_rulebase
     base = base or standard_rulebase()
-    mutated = RuleBase()
-    added: set[str] = set()
-    for group in base.group_names():
-        for one_rule in base.group(group):
-            if one_rule.name in added:
-                mutated.extend_group(group, [one_rule.name])
-                continue
-            if one_rule.name == rule_name:
-                one_rule = dc_replace(one_rule, preconditions=())
-            mutated.add(one_rule, (group,))
-            added.add(one_rule.name)
-    if rule_name not in added:
-        raise ValueError(f"no rule named {rule_name!r} in any group")
+    if rule_name not in base:
+        raise ValueError(f"no rule named {rule_name!r}")
+    mutated = base.clone()
+    mutated.replace(dc_replace(base.get(rule_name), preconditions=()))
     mutated.extend_group("simplify", [rule_name])
     return mutated
 

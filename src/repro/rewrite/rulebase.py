@@ -78,15 +78,76 @@ class RuleBase:
 
     def extend_group(self, group: str, names: Iterable[str]) -> None:
         """Add already-registered rules (by name) to a group."""
+        names = list(names)
+        for name in names:
+            self.get(name)  # raises if unknown — and must not mutate
         bucket = self._groups.setdefault(group, [])
         changed = False
         for name in names:
-            self.get(name)  # raises if unknown
             if name not in bucket:
                 bucket.append(name)
                 changed = True
         if changed or group not in self._generations:
             self._bump(group)
+
+    def replace(self, one_rule: Rule) -> Rule:
+        """Swap an already-registered rule for ``one_rule`` (same name),
+        keeping every group membership and ordering intact.
+
+        Every group containing the rule is generation-bumped, so cached
+        indexes, compiled trees and downstream plan caches rebuild — the
+        same invalidation contract as a membership change.
+        """
+        if one_rule.name not in self._rules:
+            raise RewriteError(f"unknown rule {one_rule.name!r}")
+        self._rules[one_rule.name] = one_rule
+        touched = False
+        for group, names in self._groups.items():
+            if one_rule.name in names:
+                self._bump(group)
+                touched = True
+        if not touched:
+            # Not in any group: still move the whole-rulebase generation
+            # (scalar_constants and plan caches key on it).
+            self._generation_total += 1
+        return one_rule
+
+    def clone(self) -> "RuleBase":
+        """An independent copy sharing the (immutable) :class:`Rule`
+        objects but nothing mutable: group lists are copied, generation
+        counters carried over, and the lazily built index/compiled
+        caches start empty (they rebuild on first use).
+
+        This is the cheap way to derive an experimental rulebase — the
+        admission gate's per-rule mutants, ``unguarded_rulebase()`` —
+        without perturbing a live optimizer's caches.
+        """
+        twin = RuleBase()
+        twin._rules = dict(self._rules)
+        twin._groups = {g: list(names) for g, names in self._groups.items()}
+        twin._generations = dict(self._generations)
+        twin._generation_total = self._generation_total
+        return twin
+
+    def load_pack(self, source, *, gate=None, verify: bool = True):
+        """Admit a rule pack (path, text, or parsed
+        :class:`~repro.rulepacks.format.RulePack`) into this rulebase.
+
+        Every rule must clear the three-stage admission gate first
+        (parse/round-trip, Larch model check, differential-oracle
+        mutation run) unless ``verify=False`` — in which case only the
+        stage-1 structural checks implied by construction run.  On
+        success the pack's rules are registered (with their groups) and
+        its group blocks applied; every touched group is
+        generation-bumped, so plan and kernel caches invalidate.
+
+        Returns the :class:`~repro.rulepacks.gate.GateReport` (or
+        ``None`` when ``verify=False``).  Raises
+        :class:`~repro.rulepacks.gate.PackRejected` if any rule fails
+        the gate; the rulebase is untouched in that case.
+        """
+        from repro.rulepacks import load_pack_into
+        return load_pack_into(self, source, gate=gate, verify=verify)
 
     # -- lookup --------------------------------------------------------------
 

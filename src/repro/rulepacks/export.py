@@ -1,0 +1,130 @@
+"""Re-export the Python-registered rule pool as ``.kpack`` files.
+
+``python -m repro.rulepacks.export`` regenerates every file under
+``src/repro/rulepacks/packs/`` from :func:`standard_rulebase` — run it
+whenever a rule module changes.  ``tests/test_rulepack_gate.py`` fails
+if the committed packs drift from the registry, the same
+keep-generated-artifacts-in-sync contract ``tools/rulecatalog.py`` uses
+for the rules catalog.
+
+The exporter is deliberately *derivation*, not transcription: pack
+contents (sides, sorts, numbers, preconditions), saturation-safety tags
+(from ``simplify``/``saturate`` membership) and the inline-vs-block
+group split (inline exactly when a group's registry order equals the
+packs' declaration order) are all computed from the live rulebase, so
+the format provably covers whatever the registry holds.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.pretty import pretty
+from repro.core.terms import Sort, sort_of
+from repro.rewrite.rulebase import RuleBase
+from repro.rules.registry import standard_rulebase
+from repro.rulepacks.format import PackRule, RulePack, render_pack
+from repro.rulepacks.standard import GROUPS_PACK, PACK_SPECS, packs_dir
+
+_SORT_NAMES = {Sort.FUN: "fun", Sort.PRED: "pred", Sort.OBJ: "obj"}
+
+
+def _rule_sort(one_rule) -> str:
+    sort = sort_of(one_rule.lhs)
+    if sort is Sort.ANY:
+        sort = sort_of(one_rule.rhs)
+    return _SORT_NAMES[sort]
+
+
+def _safety_tag(name: str, simplify: set, saturate: set) -> str:
+    if name in simplify:
+        return "exhaustive"
+    if name in saturate:
+        return "saturate-only"
+    return "strategy-only"
+
+
+def derive_packs(base: RuleBase | None = None) -> tuple[RulePack, ...]:
+    """Compute the standard pack set (including the group-block pack)
+    from a built rulebase (default: a fresh :func:`standard_rulebase`)."""
+    base = base or standard_rulebase()
+    memberships: dict[str, list[str]] = {r.name: [] for r in base}
+    for group_name in base.group_names():
+        for one_rule in base.group(group_name):
+            memberships[one_rule.name].append(group_name)
+
+    # Declaration order: pack by pack, each pack in its defining group's
+    # registry order.  A group is attached inline exactly when filtering
+    # this order by its membership reproduces the registry's order —
+    # otherwise it becomes an ordered block in groups.kpack.
+    declaration_order: list[str] = []
+    pack_members: dict[str, list[str]] = {}
+    for pack_name, group_name, _ in PACK_SPECS:
+        names = [r.name for r in base.group(group_name)]
+        pack_members[pack_name] = names
+        declaration_order.extend(names)
+    assert sorted(declaration_order) == sorted(
+        r.name for r in base), "PACK_SPECS must partition the pool"
+
+    inline_groups: set[str] = set()
+    for group_name in base.group_names():
+        members = [r.name for r in base.group(group_name)]
+        member_set = set(members)
+        if [n for n in declaration_order if n in member_set] == members:
+            inline_groups.add(group_name)
+
+    simplify = {r.name for r in base.group("simplify")}
+    saturate = {r.name for r in base.group("saturate")}
+
+    packs: list[RulePack] = []
+    for pack_name, _, description in PACK_SPECS:
+        decls = []
+        for name in pack_members[pack_name]:
+            one_rule = base.get(name)
+            decls.append(PackRule(
+                name=name,
+                lhs_text=pretty(one_rule.lhs),
+                rhs_text=pretty(one_rule.rhs),
+                sort=_rule_sort(one_rule),
+                number=one_rule.number,
+                bidirectional=one_rule.bidirectional,
+                safety=_safety_tag(name, simplify, saturate),
+                preconditions=one_rule.preconditions,
+                citation=one_rule.citation,
+                note=one_rule.note,
+                groups=tuple(g for g in memberships[name]
+                             if g in inline_groups)))
+        packs.append(RulePack(name=pack_name, version=1,
+                              description=description,
+                              rules=tuple(decls),
+                              source=f"{pack_name}.kpack"))
+
+    blocks = tuple(
+        (group_name, tuple(r.name for r in base.group(group_name)))
+        for group_name in base.group_names()
+        if group_name not in inline_groups)
+    packs.append(RulePack(
+        name="standard-groups", version=1,
+        description=("Ordered group blocks for the derived groups — "
+                     "membership order is rule priority order"),
+        group_blocks=blocks, source=f"{GROUPS_PACK}.kpack"))
+    return tuple(packs)
+
+
+def export_packs(directory: Path | None = None) -> tuple[Path, ...]:
+    """Write the derived packs to ``directory`` (default: the shipped
+    ``packs/`` dir); returns the written paths."""
+    directory = directory or packs_dir()
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    names = [name for name, _, _ in PACK_SPECS] + [GROUPS_PACK]
+    for file_name, pack in zip(names, derive_packs()):
+        path = directory / f"{file_name}.kpack"
+        path.write_text(render_pack(pack), encoding="utf-8")
+        written.append(path)
+    return tuple(written)
+
+
+if __name__ == "__main__":
+    for path in export_packs():
+        print(path)

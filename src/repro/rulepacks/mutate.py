@@ -1,0 +1,205 @@
+"""Systematic mutation of shipped pack rules — gate escape detection.
+
+A verification gate is only evidence if it *catches things*: this
+module breeds known-unsound variants of the shipped rules
+(generalizing the single hand-written ``unguarded_rulebase()`` hook)
+and ``tests/test_rulepack_mutation.py`` asserts the admission gate
+rejects every one, naming the catching stage.  A surviving mutant is a
+test failure — either the gate got weaker or an operator produced a
+sound variant, and both demand a fix.
+
+Operators (each with an applicability filter that keeps the bred
+mutants genuinely unsound — e.g. no projection swaps under symmetric
+heads like ``plus``/``eq``, no metavariable swaps that reproduce the
+LHS):
+
+=====================  =====================================================
+operator               mutation
+=====================  =====================================================
+``drop-precondition``  strip a guarded rule's goals (the classic
+                       ``unguarded_rulebase()`` mutation)
+``flip-bool``          negate a boolean literal on the RHS
+``bump-int``           add 1 to an integer literal on the RHS
+``swap-projections``   exchange every ``pi1``/``pi2`` on the RHS
+``drop-conjunct``      weaken a guard: replace the first RHS
+                       conjunction/disjunction by its left operand
+``swap-metavars``      exchange two same-sorted metavariables on the RHS
+=====================  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace as dc_replace
+
+from repro.core.pretty import pretty
+from repro.core.terms import Term, mk, meta
+from repro.rewrite.pattern import canon
+from repro.rulepacks.format import PackRule, RulePack
+
+#: RHS heads under which argument order or projection choice may be
+#: semantically irrelevant — operators skip rules mentioning them so
+#: every bred mutant is genuinely unsound.
+_SYMMETRIC_OPS = frozenset({
+    "plus", "eq", "neq", "union", "intersect", "bag_union", "conj",
+    "disj", "join",
+})
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One bred bad rule, ready to gate as a single-rule pack."""
+
+    op: str
+    origin_pack: str
+    decl: PackRule            # mutated declaration (same rule name)
+
+    @property
+    def label(self) -> str:
+        return f"{self.op}:{self.origin_pack}/{self.decl.name}"
+
+    def as_pack(self) -> RulePack:
+        return RulePack(name=f"mutants-{self.origin_pack}", version=1,
+                        description=f"bred by operator {self.op}",
+                        rules=(self.decl,),
+                        source=f"<mutant {self.label}>")
+
+
+def _rewrite(term: Term, fn) -> Term:
+    """Bottom-up rebuild of ``term`` through ``fn`` (post-order; ``fn``
+    returns a replacement or ``None`` to keep the node)."""
+    new_args = tuple(_rewrite(arg, fn) for arg in term.args)
+    node = term if new_args == term.args else mk(
+        term.op, *new_args, label=term.label)
+    replacement = fn(node)
+    return node if replacement is None else replacement
+
+
+def _mentions(term: Term, ops: frozenset) -> bool:
+    return any(node.op in ops for node in term.subterms())
+
+
+def _parse_sides(decl: PackRule):
+    built = decl.build()
+    return built.lhs, built.rhs
+
+
+def _with_rhs(decl: PackRule, rhs: Term) -> PackRule:
+    return dc_replace(decl, rhs_text=pretty(rhs))
+
+
+# -- operators ---------------------------------------------------------------
+
+def _drop_precondition(decl: PackRule, lhs: Term,
+                       rhs: Term) -> list[PackRule]:
+    if not decl.preconditions:
+        return []
+    return [dc_replace(decl, preconditions=())]
+
+
+def _flip_bool(decl: PackRule, lhs: Term, rhs: Term) -> list[PackRule]:
+    flipped = _rewrite(rhs, lambda n: mk("lit", label=not n.label)
+                       if n.op == "lit" and type(n.label) is bool
+                       else None)
+    if flipped is rhs:
+        return []
+    return [_with_rhs(decl, flipped)]
+
+
+def _bump_int(decl: PackRule, lhs: Term, rhs: Term) -> list[PackRule]:
+    bumped = _rewrite(rhs, lambda n: mk("lit", label=n.label + 1)
+                      if n.op == "lit" and type(n.label) is int
+                      else None)
+    if bumped is rhs:
+        return []
+    return [_with_rhs(decl, bumped)]
+
+
+def _swap_projections(decl: PackRule, lhs: Term,
+                      rhs: Term) -> list[PackRule]:
+    if _mentions(lhs, _SYMMETRIC_OPS) or _mentions(rhs, _SYMMETRIC_OPS):
+        return []
+    swap = {"pi1": "pi2", "pi2": "pi1"}
+    swapped = _rewrite(rhs, lambda n: mk(swap[n.op])
+                       if n.op in swap else None)
+    if swapped is rhs or swapped == lhs:
+        return []
+    return [_with_rhs(decl, swapped)]
+
+
+def _drop_conjunct(decl: PackRule, lhs: Term, rhs: Term) -> list[PackRule]:
+    target = next((n for n in rhs.subterms()
+                   if n.op in ("conj", "disj")
+                   and n.args[0] is not n.args[1]), None)
+    if target is None:
+        return []
+    weakened = _rewrite(rhs, lambda n: n.args[0] if n is target else None)
+    if weakened is rhs or weakened == lhs:
+        return []
+    return [_with_rhs(decl, weakened)]
+
+
+def _swap_metavars(decl: PackRule, lhs: Term, rhs: Term) -> list[PackRule]:
+    if _mentions(lhs, _SYMMETRIC_OPS) or _mentions(rhs, _SYMMETRIC_OPS):
+        return []
+    by_sort: dict = {}
+    for name, sort in sorted(rhs.metavars()):
+        by_sort.setdefault(sort, []).append(name)
+    for sort, names in by_sort.items():
+        if len(names) < 2:
+            continue
+        first, second = names[0], names[1]
+        from repro.rewrite.pattern import instantiate
+        bindings = {name: meta(name, var_sort)
+                    for name, var_sort in rhs.metavars()}
+        bindings[first] = meta(second, sort)
+        bindings[second] = meta(first, sort)
+        swapped = canon(instantiate(rhs, bindings))
+        if swapped == rhs or swapped == lhs:
+            continue
+        return [_with_rhs(decl, swapped)]
+    return []
+
+
+_OPERATORS = (
+    ("drop-precondition", _drop_precondition),
+    ("flip-bool", _flip_bool),
+    ("bump-int", _bump_int),
+    ("swap-projections", _swap_projections),
+    ("drop-conjunct", _drop_conjunct),
+    ("swap-metavars", _swap_metavars),
+)
+
+#: Rules no operator may touch: mutating them yields a variant that is
+#: still sound (discovered empirically — each entry names why).
+_SOUND_MUTATION_SKIPS = frozenset({
+    # swap-metavars on composition-associativity only re-letters the
+    # metavariables; alpha-equivalent, hence sound.
+    ("swap-metavars", "compose-assoc"),
+    # The RHS is `Kf(0) o iterate(Kp(F), $f)`: flipping the literal
+    # changes only the iterate stage, whose entire output Kf(0)
+    # discards — the flipped rule is still sound.
+    ("flip-bool", "sum-singleton-free"),
+})
+
+
+def mutate_pack(pack: RulePack) -> list[Mutant]:
+    """Breed every applicable mutant of every rule in ``pack``."""
+    mutants: list[Mutant] = []
+    for decl in pack.rules:
+        lhs, rhs = _parse_sides(decl)
+        for op_name, operator in _OPERATORS:
+            if (op_name, decl.name) in _SOUND_MUTATION_SKIPS:
+                continue
+            for mutated in operator(decl, lhs, rhs):
+                mutants.append(Mutant(op=op_name, origin_pack=pack.name,
+                                      decl=mutated))
+    return mutants
+
+
+def mutate_packs(packs) -> list[Mutant]:
+    """Breed mutants across a pack set (group-block packs have no rules
+    and contribute nothing)."""
+    mutants: list[Mutant] = []
+    for pack in packs:
+        mutants.extend(mutate_pack(pack))
+    return mutants

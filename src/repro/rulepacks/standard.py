@@ -1,0 +1,125 @@
+"""The shipped rule packs: manifest, loading, and rulebase assembly.
+
+The entire standard pool (every rule :func:`repro.rules.registry.
+standard_rulebase` registers) ships a second time as ``.kpack`` files
+under :func:`packs_dir` — proving the declarative format is *total* over
+the existing rules, and giving the admission gate a fixed corpus to run
+against in CI.  ``tests/test_rulepack_gate.py`` pins that the rulebase
+assembled from these files is identical, rule-for-rule and
+group-order-for-group-order, to the Python-registered one.
+
+Pack partition (one pack per rule module, mirroring ``src/repro/rules``):
+
+==================  =========================  ==========================
+pack file           defining registry group    contents
+==================  =========================  ==========================
+``fig4.kpack``      ``fig4``                   Figure 4 sidebar rules 1-12
+``fig5.kpack``      ``fig5``                   Figure 5 rules 13-16
+``companions.kpack``  ``companions``           unnumbered identities
+``hidden-join.kpack`` ``fig8``                 Figure 8 rules 17-24 (+17b)
+``bags.kpack``      ``bags``                   bag algebra
+``lists.kpack``     ``lists``                  list algebra
+``aggregates.kpack``  ``aggregates``           aggregates
+``extended.kpack``  ``pool``                   the extended pool
+``groups.kpack``    —                          ordered group blocks for
+                                               the derived groups
+                                               (``cleanup``, ``simplify``,
+                                               ``saturate``, ...)
+==================  =========================  ==========================
+
+Groups whose membership order equals the packs' declaration order are
+attached inline on each rule (``groups`` field); every other group —
+the ones the registry builds with :meth:`RuleBase.extend_group` in a
+deliberate priority order — lives as an ordered block in
+``groups.kpack``, which loads last.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.errors import KolaError
+from repro.rewrite.rulebase import RuleBase
+from repro.rulepacks.format import (PackFormatError, RulePack,
+                                    load_pack_file)
+
+#: (pack name, defining registry group, description) — partition of the
+#: shipped pool.  Order is load order; ``groups`` must stay last so its
+#: blocks can reference rules from every other pack.
+PACK_SPECS: tuple[tuple[str, str, str], ...] = (
+    ("fig4", "fig4", "Figure 4 sidebar: rules 1-12"),
+    ("fig5", "fig5", "Figure 5: rules 13-16"),
+    ("companions", "companions",
+     "Unnumbered companion identities the derivations use silently"),
+    ("hidden-join", "fig8", "Figure 8 hidden-join rules 17-24 (+ 17b)"),
+    ("bags", "bags", "Bag algebra rules"),
+    ("lists", "lists", "List algebra rules"),
+    ("aggregates", "aggregates", "Aggregate rules"),
+    ("extended", "pool", "The extended rule pool"),
+)
+
+#: The group-block pack, loaded after every rule pack.
+GROUPS_PACK = "groups"
+
+
+def packs_dir() -> Path:
+    """Directory holding the shipped ``.kpack`` files."""
+    return Path(__file__).resolve().parent / "packs"
+
+
+def standard_pack_paths() -> tuple[Path, ...]:
+    """The shipped pack files, in load order (``groups.kpack`` last)."""
+    directory = packs_dir()
+    names = [name for name, _, _ in PACK_SPECS] + [GROUPS_PACK]
+    paths = tuple(directory / f"{name}.kpack" for name in names)
+    missing = [str(p) for p in paths if not p.is_file()]
+    if missing:
+        raise PackFormatError(
+            "missing shipped pack file(s): " + ", ".join(missing)
+            + " (regenerate with `python -m repro.rulepacks.export`)")
+    return paths
+
+
+def load_standard_packs() -> tuple[RulePack, ...]:
+    """Parse every shipped pack, in load order."""
+    return tuple(load_pack_file(path) for path in standard_pack_paths())
+
+
+def apply_pack(base: RuleBase, pack: RulePack) -> None:
+    """Register one parsed pack's rules and group blocks into ``base``.
+
+    Structural application only — no admission gate.  Rules already
+    registered under the same name are *replaced* (with the cache
+    generation bump :meth:`RuleBase.replace` guarantees); group blocks
+    append in declared order and may reference rules from previously
+    applied packs.
+    """
+    for decl in pack.rules:
+        built = decl.build()
+        if built.name in base:
+            base.replace(built)
+            for group in decl.groups:
+                base.extend_group(group, [built.name])
+        else:
+            base.add(built, decl.groups)
+    for group_name, names in pack.group_blocks:
+        try:
+            base.extend_group(group_name, names)
+        except KolaError as exc:
+            raise PackFormatError(
+                f"{pack.source}: group block {group_name!r}: {exc}"
+            ) from exc
+
+
+def build_rulebase(packs=None) -> RuleBase:
+    """Assemble a fresh :class:`RuleBase` from parsed packs (default:
+    the shipped standard packs), warming the per-group indexes the same
+    way :func:`repro.rules.registry.standard_rulebase` does."""
+    if packs is None:
+        packs = load_standard_packs()
+    base = RuleBase()
+    for pack in packs:
+        apply_pack(base, pack)
+    for group_name in base.group_names():
+        base.group_index(group_name)
+    return base

@@ -1,0 +1,26 @@
+"""Regenerate ``tests/golden/gate_report_fig5.json``.
+
+Run only after an *intentional* change to the admission gate or the
+fig5 rules, then review the diff:
+
+    PYTHONPATH=src python -m tests.regen_golden_gate_report
+"""
+
+import pathlib
+
+from repro.rulepacks import AdmissionGate, load_standard_packs
+
+
+def main() -> int:
+    from tests.test_rulepack_gate import GOLDEN_CONFIG
+    fig5 = next(p for p in load_standard_packs() if p.name == "fig5")
+    report = AdmissionGate(GOLDEN_CONFIG).check(fig5)
+    target = pathlib.Path(__file__).parent / "golden" \
+        / "gate_report_fig5.json"
+    target.write_text(report.to_json_text(), encoding="utf-8")
+    print(f"wrote {target}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

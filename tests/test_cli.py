@@ -143,3 +143,94 @@ class TestServeClient:
     def test_query_required(self, daemon_port, capsys):
         assert main(["client", "--port", str(daemon_port)]) == 2
         assert "needs a query" in capsys.readouterr().err
+
+
+class TestRulepack:
+    GOOD = ('pack add-on\nversion 1\n\nrule demo-id-left\n'
+            '    safety exhaustive\n    groups simplify\n'
+            '    lhs id o $f\n    rhs $f\n')
+    BAD = ('pack broken\nversion 1\n\nrule inv-gt-is-leq\n'
+           '    sort pred\n    safety exhaustive\n    groups simplify\n'
+           '    lhs inv(gt)\n    rhs leq\n')
+    FAST = ["--trials", "20", "--oracle-probes", "2",
+            "--oracle-queries", "1"]
+
+    @pytest.fixture()
+    def good_pack(self, tmp_path):
+        path = tmp_path / "good.kpack"
+        path.write_text(self.GOOD)
+        return str(path)
+
+    @pytest.fixture()
+    def bad_pack(self, tmp_path):
+        path = tmp_path / "bad.kpack"
+        path.write_text(self.BAD)
+        return str(path)
+
+    def test_check_admits_sound_pack(self, good_pack, capsys):
+        assert main(["rulepack", "check", good_pack] + self.FAST) == 0
+        out = capsys.readouterr().out
+        assert "pack add-on v1: 1 rule(s)" in out
+        assert "1/1 rule(s) admitted" in out
+
+    def test_check_rejects_with_counterexample(self, bad_pack, capsys):
+        assert main(["rulepack", "check", bad_pack] + self.FAST) == 1
+        out = capsys.readouterr().out
+        assert "[REJECT] broken/inv-gt-is-leq at stage model-check" in out
+        assert "counterexample:" in out
+
+    def test_check_writes_report_artifact(self, bad_pack, tmp_path,
+                                          capsys):
+        import json
+        report_path = tmp_path / "gate_report.json"
+        code = main(["rulepack", "check", bad_pack,
+                     "--report", str(report_path)] + self.FAST)
+        assert code == 1
+        payload = json.loads(report_path.read_text())
+        assert payload["ok"] is False
+        assert payload["checked"] == 1 and payload["rejected"] == 1
+        (entry,) = payload["results"]
+        assert entry["rule"] == "inv-gt-is-leq"
+        assert entry["rejected_stage"] == "model-check"
+        assert {s["stage"] for s in entry["stages"]} \
+            >= {"parse", "model-check"}
+        assert payload["config"]["trials"] == 20
+
+    def test_check_needs_a_pack(self, capsys):
+        assert main(["rulepack", "check"]) == 2
+        assert "--standard" in capsys.readouterr().err
+
+    def test_malformed_pack_is_a_cli_error(self, tmp_path, capsys):
+        path = tmp_path / "mangled.kpack"
+        path.write_text("pack mangled\nversion 1\nrule r\n    wat 3\n")
+        assert main(["rulepack", "check", str(path)]) == 2
+        assert "unknown rule field" in capsys.readouterr().err
+
+    def test_list_standard(self, capsys):
+        assert main(["rulepack", "list", "--standard"]) == 0
+        out = capsys.readouterr().out
+        assert "pack fig4 v1: 12 rule(s)" in out
+        assert "pack standard-groups v1" in out
+        assert "group simplify:" in out
+
+    def test_list_rules_flag(self, good_pack, capsys):
+        assert main(["rulepack", "list", good_pack, "--rules"]) == 0
+        out = capsys.readouterr().out
+        assert "demo-id-left: exhaustive" in out
+
+    def test_load_reports_the_built_rulebase(self, good_pack, capsys):
+        code = main(["rulepack", "load", good_pack] + self.FAST)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "loaded 1 rule(s) into 1 group(s)" in out
+        assert "simplify: 1 rule(s)" in out
+
+    def test_load_standard_no_verify(self, capsys):
+        code = main(["rulepack", "load", "--standard", "--no-verify"])
+        assert code == 0
+        assert "loaded 179 rule(s) into 32 group(s)" \
+            in capsys.readouterr().out
+
+    def test_load_rejects_bad_pack(self, bad_pack, capsys):
+        assert main(["rulepack", "load", bad_pack] + self.FAST) == 1
+        assert "[REJECT]" in capsys.readouterr().out

@@ -229,6 +229,9 @@ class TestRuleBase:
         from repro.core.errors import RewriteError
         with pytest.raises(RewriteError):
             rulebase.extend_group("x", ["does-not-exist"])
+        # The failed call must not leave a stray group behind (the
+        # session rulebase fixture is shared suite-wide).
+        assert "x" not in rulebase.group_names()
 
 
 class TestRewriteEverywhere:

@@ -1,0 +1,110 @@
+"""Mutation-escape tests: the gate must reject every bred mutant.
+
+``repro.rulepacks.mutate`` systematically breaks shipped rules (dropped
+guards, flipped literals, swapped projections/metavariables, weakened
+conjunctions); a mutant the gate admits is a *gate escape* and fails
+the suite, naming the operator and rule so the hole is identifiable.
+"""
+
+import pytest
+
+from repro.rulepacks import AdmissionGate, GateConfig, load_standard_packs
+from repro.rulepacks.gate import STAGES
+from repro.rulepacks.mutate import mutate_packs
+
+#: Stage 2 catches nearly every mutant quickly at this trial count; the
+#: ones it cannot (coherence breaks) die at stage 1.  Stage 3 is
+#: exercised separately below with the mutant class built to slip
+#: through stages 1-2.
+FAST = GateConfig(trials=40, oracle_probes=2, oracle_queries=1)
+
+
+@pytest.fixture(scope="module")
+def mutants():
+    bred = mutate_packs(load_standard_packs())
+    assert len(bred) >= 80     # the breeding surface must not quietly shrink
+    return bred
+
+
+@pytest.fixture(scope="module")
+def verdicts(mutants):
+    gate = AdmissionGate(FAST)
+    outcome = {}
+    for mutant in mutants:
+        report = gate.check(mutant.as_pack())
+        (result,) = report.results
+        outcome[mutant.label] = result
+    return outcome
+
+
+class TestNoEscapes:
+    def test_every_mutant_rejected(self, verdicts):
+        escaped = sorted(label for label, result in verdicts.items()
+                         if result.admitted)
+        assert not escaped, (
+            f"{len(escaped)} mutant(s) escaped the gate: {escaped}")
+
+    def test_catching_stage_is_named(self, verdicts):
+        for label, result in verdicts.items():
+            assert result.rejected_stage in STAGES, label
+
+    def test_rejections_carry_evidence(self, verdicts):
+        """Every rejection renders actionable detail (a counterexample
+        or a coherence/round-trip explanation)."""
+        for label, result in verdicts.items():
+            failed = next(s for s in result.stages if s.status == "fail")
+            assert failed.detail, label
+            if failed.stage == "model-check":
+                assert "counterexample:" in failed.detail, label
+
+    def test_all_operators_bred(self, mutants):
+        ops = {m.op for m in mutants}
+        assert ops == {"drop-precondition", "flip-bool", "bump-int",
+                       "swap-projections", "drop-conjunct",
+                       "swap-metavars"}
+
+    def test_guard_drops_rejected(self, verdicts):
+        """A dropped guard leaves an unguarded rule tagged
+        strategy-only but re-declared into no automatic group — it is
+        the *model check* that must refute it (stage 2), or, for the
+        injectivity rules whose unguarded form survives random typing,
+        the oracle.  None may be admitted."""
+        drop_labels = [label for label in verdicts
+                       if label.startswith("drop-precondition:")]
+        assert drop_labels
+        for label in drop_labels:
+            assert not verdicts[label].admitted, label
+
+
+class TestOracleStageCatches:
+    """The stage-3 differential oracle is live, not decorative: a rule
+    that is sound on random instantiation yet unsound *as automated*
+    (the classic unguarded ``count-map-inj``: count after a map is
+    count only for injective maps) must be caught by the oracle when
+    stages 1-2 are blind to it (trials=0 disables the model check)."""
+
+    @pytest.fixture(scope="class")
+    def unguarded_decl(self):
+        from dataclasses import replace
+        packs = load_standard_packs()
+        decl = next(d for pack in packs for d in pack.rules
+                    if d.name == "count-map-inj")
+        assert decl.preconditions    # guarded as shipped
+        return replace(decl, preconditions=(), groups=())
+
+    @pytest.mark.parametrize("safety", ["exhaustive", "saturate-only"])
+    def test_caught_by_oracle(self, unguarded_decl, safety):
+        from dataclasses import replace
+
+        from repro.rulepacks import RulePack
+        decl = replace(unguarded_decl, safety=safety)
+        pack = RulePack(name="escapee", version=1, rules=(decl,),
+                        source="<test>")
+        gate = AdmissionGate(GateConfig(trials=0, oracle_probes=4,
+                                        oracle_queries=1))
+        report = gate.check(pack)
+        (result,) = report.results
+        assert not result.admitted
+        assert result.rejected_stage == "oracle"
+        failed = next(s for s in result.stages if s.status == "fail")
+        assert "direct" in failed.detail or "diverge" in failed.detail
